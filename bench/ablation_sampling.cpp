@@ -1,0 +1,72 @@
+// ablation_sampling — how counter sampling affects profile *accuracy* (the
+// flip side of Fig 12's overhead story): "sampling a small fraction of
+// traffic with the same sampling rate to update the counter will not alter
+// the result" (§5.4.1) — true in expectation, but small windows at high
+// sampling periods get noisy. We measure the error of the estimated drop
+// rate and of the hot-pipelet ranking across sampling rates.
+#include "bench/common.h"
+#include "analysis/pipelet.h"
+#include "apps/scenarios.h"
+#include "cost/model.h"
+#include "profile/counter_map.h"
+#include "sim/nic_model.h"
+
+using namespace pipeleon;
+
+int main() {
+    bench::section("Ablation: counter sampling vs profile accuracy");
+
+    ir::Program program = apps::acl_routing_program(4, 4);
+    sim::NicModel nic = sim::bluefield2_model();
+
+    util::Rng rng(55);
+    std::vector<trafficgen::FieldRange> tuple;
+    for (auto& [name, key] : apps::acl_specs(4)) tuple.push_back({key, 0, 99999});
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(tuple, 1000, rng);
+
+    const double true_drop = 0.4;  // installed on acl_subnet
+
+    util::TextTable table({"sampling", "packets", "est. drop rate",
+                           "abs error", "top pipelet stable"});
+    for (double rate : {1.0, 1.0 / 16, 1.0 / 256, 1.0 / 1024}) {
+        for (int packets : {4096, 65536}) {
+            profile::InstrumentationConfig instr;
+            instr.enabled = true;
+            instr.sampling_rate = rate;
+            sim::Emulator emu(nic, program, instr);
+            trafficgen::Workload picker(flows, trafficgen::Locality::Uniform,
+                                        0.0, 1);
+            apps::install_acl_denies(emu, "acl_subnet", flows,
+                                     picker.pick_flows(true_drop), "subnet_id");
+            trafficgen::Workload wl(flows, trafficgen::Locality::Uniform, 0.0, 2);
+            bench::run_window(emu, wl, packets, 1.0);
+
+            profile::CounterMap map = profile::CounterMap::build(program, program);
+            profile::RuntimeProfile prof =
+                map.translate(program, emu.read_counters());
+            ir::NodeId acl = program.find_table("acl_subnet");
+            double est = prof.drop_probability(program.node(acl));
+
+            // Does the hottest pipelet match the unsampled ranking?
+            auto pipelets = analysis::form_pipelets(program);
+            cost::CostModel model(nic.costs, instr);
+            auto top = analysis::top_k_pipelets(
+                program, pipelets, prof, 0.01, [&](const analysis::Pipelet& p) {
+                    return model.pipelet_latency(program, p, prof);
+                });
+            bool stable = !top.empty() && top[0].pipelet_id == 0;
+
+            table.add_row(
+                {rate >= 1.0 ? "1/1" : util::format("1/%.0f", 1.0 / rate),
+                 std::to_string(packets), util::format("%.3f", est),
+                 util::format("%.3f", std::fabs(est - true_drop)),
+                 stable ? "yes" : "NO"});
+        }
+    }
+    std::printf("\n%s", table.to_string().c_str());
+    std::printf("\nexpected: estimates stay within a few percent of the true\n"
+                "drop rate even at 1/1024 sampling once the window holds\n"
+                "enough packets; tiny windows at aggressive sampling get\n"
+                "noisy — choose window x sampling jointly.\n");
+    return 0;
+}

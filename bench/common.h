@@ -1,0 +1,57 @@
+// bench/common.h — shared measurement helpers for the figure benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/emulator.h"
+#include "trafficgen/workload.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace pipeleon::bench {
+
+/// One measurement window: streams `packets` packets and advances the
+/// emulator clock by `window_seconds`.
+struct WindowResult {
+    double mean_cycles = 0.0;
+    double drop_rate = 0.0;
+    double throughput_gbps = 0.0;
+    std::uint64_t packets = 0;
+};
+
+inline WindowResult run_window(sim::Emulator& emulator,
+                               trafficgen::Workload& workload, int packets,
+                               double window_seconds) {
+    util::RunningStats cycles;
+    std::uint64_t dropped = 0;
+    double dt = window_seconds / std::max(1, packets);
+    for (int i = 0; i < packets; ++i) {
+        sim::Packet pkt = workload.next_packet(emulator.fields());
+        sim::ProcessResult r = emulator.process(pkt);
+        cycles.add(r.cycles);
+        dropped += r.dropped ? 1 : 0;
+        emulator.advance_time(dt);
+    }
+    WindowResult w;
+    w.mean_cycles = cycles.mean();
+    w.packets = static_cast<std::uint64_t>(packets);
+    w.drop_rate = packets > 0
+                      ? static_cast<double>(dropped) / static_cast<double>(packets)
+                      : 0.0;
+    w.throughput_gbps = emulator.throughput_gbps(w.mean_cycles);
+    return w;
+}
+
+inline void section(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_cdf(const std::string& label, const std::vector<double>& xs) {
+    util::EmpiricalCdf cdf(xs);
+    std::printf("%s (n=%zu):\n%s", label.c_str(), cdf.size(),
+                cdf.to_table(11).c_str());
+}
+
+}  // namespace pipeleon::bench

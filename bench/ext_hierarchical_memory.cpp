@@ -1,0 +1,95 @@
+// ext_hierarchical_memory — the §6 "Hierarchical memory support" extension:
+// on targets that expose table placement, Pipeleon hosts the hottest tables
+// in on-chip SRAM (l_mat_fast per access instead of l_mat). This bench
+// sweeps the SRAM budget on the DASH routing pipeline and reports the
+// placement and the measured latency/throughput — the future-work experiment
+// the paper sketches for Netronome-style EMEM/SRAM hierarchies.
+#include "apps/scenarios.h"
+#include "bench/common.h"
+#include "opt/memory_tiers.h"
+#include "profile/counter_map.h"
+#include "runtime/api_mapper.h"
+#include "sim/nic_model.h"
+
+using namespace pipeleon;
+
+int main() {
+    bench::section("Extension: hierarchical memory placement (Agilio-style "
+                   "EMEM vs SRAM)");
+
+    ir::Program program = apps::dash_routing_program();
+    sim::NicModel nic = sim::agilio_cx_model();
+    nic.costs.l_mat_fast = 6.0;  // SRAM ~4x faster than EMEM (26 cycles)
+
+    // Gather a profile on the unplaced program.
+    auto make_emulator = [&](const ir::Program& prog) {
+        auto emu = std::make_unique<sim::Emulator>(nic, prog, profile::InstrumentationConfig{});
+        runtime::ApiMapper api(program);
+        for (const char* table : {"direction_lookup", "appliance", "eni", "vni"}) {
+            for (std::uint64_t k = 0; k < 4; ++k) {
+                ir::TableEntry e;
+                e.key = {ir::FieldMatch::exact(k)};
+                e.action_index = 0;
+                e.action_data = {k};
+                emu->insert_entry(table, e);
+            }
+        }
+        for (std::uint64_t net = 0; net < 6; ++net) {
+            ir::TableEntry e;
+            e.key = {ir::FieldMatch::lpm(net << 24, 4 + 4 * static_cast<int>(net))};
+            e.action_index = 0;
+            e.action_data = {net};
+            emu->insert_entry("routing", e);
+        }
+        for (std::uint64_t f = 0; f < 2000; ++f) {
+            ir::TableEntry e;
+            e.key = {ir::FieldMatch::exact(f)};
+            e.action_index = 0;
+            emu->insert_entry("flowish", e);  // absent table: ignored
+        }
+        return emu;
+    };
+
+    util::Rng rng(3);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"direction", 0, 1}, {"appliance_key", 0, 3}, {"eni_mac", 0, 3},
+         {"vni_key", 0, 3}, {"flow_id", 0, 9999}, {"src_ip", 0, 9999},
+         {"dst_ip", 0, 9999}, {"dst_port", 0, 1023},
+         {"ipv4_dst", 0, 0x05FFFFFF}},
+        2000, rng);
+
+    auto base_emu = make_emulator(program);
+    trafficgen::Workload wl(flows, trafficgen::Locality::Uniform, 0.0, 7);
+    bench::WindowResult base = bench::run_window(*base_emu, wl, 15000, 5.0);
+    profile::CounterMap map = profile::CounterMap::build(program, program);
+    profile::RuntimeProfile prof = map.translate(program, base_emu->read_counters());
+
+    std::printf("\nbaseline (all tables in EMEM): %.1f cycles/pkt  %.2f Gbps\n\n",
+                base.mean_cycles, base.throughput_gbps);
+
+    util::TextTable table({"SRAM budget", "tables in SRAM", "bytes used",
+                           "cycles/pkt", "Gbps", "speedup"});
+    for (double kb : {0.0, 1.0, 4.0, 16.0, 64.0, 1024.0}) {
+        cost::CostParams params = nic.costs;
+        params.fast_memory_bytes = kb * 1024.0;
+        cost::CostModel model(params, {});
+        opt::TierAssignment placed = opt::assign_memory_tiers(program, prof, model);
+
+        sim::NicModel placed_nic = nic;
+        auto emu = make_emulator(placed.program);
+        trafficgen::Workload wl2(flows, trafficgen::Locality::Uniform, 0.0, 7);
+        bench::WindowResult w = bench::run_window(*emu, wl2, 15000, 5.0);
+        table.add_row({util::format("%.0f KB", kb),
+                       std::to_string(placed.tables_in_fast),
+                       util::format("%.0f", placed.fast_bytes_used),
+                       util::format("%.1f", w.mean_cycles),
+                       util::format("%.2f", w.throughput_gbps),
+                       util::format("%.2fx", base.mean_cycles / w.mean_cycles)});
+        (void)placed_nic;
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("\nexpected: latency falls monotonically with the SRAM budget;\n"
+                "the density greedy fills small hot tables first (metadata\n"
+                "lookups), then the multi-probe LPM routing table.\n");
+    return 0;
+}

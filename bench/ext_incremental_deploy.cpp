@@ -1,0 +1,152 @@
+// ext_incremental_deploy — the §6 "adaptability" extension: "compute new
+// optimizations as well as compile and deploy updates incrementally as
+// proposed by recent works [48, 63, 64]". On a reflash target (Agilio) a
+// full deployment costs the whole reload window and cools every cache;
+// incremental deployment pays downtime proportional to the changed-table
+// fraction and keeps unchanged flow caches warm. We deploy the same small
+// layout change both ways and compare downtime and post-deploy hit rates.
+#include "bench/common.h"
+#include "analysis/pipelet.h"
+#include "ir/builder.h"
+#include "opt/transform.h"
+#include "sim/nic_model.h"
+
+using namespace pipeleon;
+
+namespace {
+
+/// Program: a cached ternary block plus a tail of ACLs that will be
+/// reordered (the "small change").
+ir::Program cached_program(bool acl_swapped) {
+    ir::ProgramBuilder b("inc");
+    for (int i = 0; i < 3; ++i) {
+        std::string name = "tern" + std::to_string(i);
+        b.append(ir::TableSpec(name)
+                     .key("tf" + std::to_string(i), ir::MatchKind::Ternary)
+                     .noop_action(name + "_a", 1)
+                     .build());
+    }
+    for (int i : acl_swapped ? std::vector<int>{1, 0} : std::vector<int>{0, 1}) {
+        std::string name = "acl" + std::to_string(i);
+        b.append(ir::TableSpec(name)
+                     .key("af" + std::to_string(i))
+                     .noop_action(name + "_allow", 1)
+                     .drop_action(name + "_deny")
+                     .default_to(name + "_allow")
+                     .build());
+    }
+    ir::Program p = b.build();
+
+    // Cache the ternary block (identical in both variants).
+    auto pipelets = analysis::form_pipelets(p);
+    opt::PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1, 2, 3, 4};
+    plan.layout.caches = {opt::Segment{0, 2}};
+    return opt::apply_plans(p, pipelets, {plan});
+}
+
+}  // namespace
+
+int main() {
+    bench::section("Extension: incremental deployment (warm caches, partial "
+                   "downtime)");
+
+    sim::NicModel nic = sim::agilio_cx_model();  // reflash target, 12 s reload
+
+    util::Rng rng(8);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"tf0", 0, 7}, {"tf1", 0, 7}, {"tf2", 0, 7}, {"af0", 0, 999},
+         {"af1", 0, 999}},
+        2000, rng);
+
+    auto warm_up = [&](sim::Emulator& emu) {
+        for (int i = 0; i < 3; ++i) {
+            std::string name = "tern" + std::to_string(i);
+            for (int m = 0; m < 5; ++m) {
+                ir::TableEntry e;
+                e.key = {ir::FieldMatch::ternary(0, 0xFULL << (4 + m))};
+                e.action_index = 0;
+                e.priority = m;
+                emu.insert_entry(name, e);
+            }
+        }
+        trafficgen::Workload wl(flows, trafficgen::Locality::Zipf, 1.1, 5);
+        return bench::run_window(emu, wl, 10000, 2.0);
+    };
+    auto measure = [&](sim::Emulator& emu) {
+        trafficgen::Workload wl(flows, trafficgen::Locality::Zipf, 1.1, 5);
+        bench::WindowResult w = bench::run_window(emu, wl, 10000, 2.0);
+        profile::RawCounters raw = emu.read_counters();
+        std::uint64_t hits = 0, misses = 0;
+        for (const ir::Node& n : emu.program().nodes()) {
+            if (n.is_table() && n.table.role == ir::TableRole::Cache) {
+                hits += raw.cache_hits[static_cast<std::size_t>(n.id)];
+                misses += raw.cache_misses[static_cast<std::size_t>(n.id)];
+            }
+        }
+        double hr = hits + misses > 0
+                        ? static_cast<double>(hits) / (hits + misses)
+                        : 0.0;
+        return std::pair<double, double>{w.mean_cycles, hr};
+    };
+
+    util::TextTable table({"deployment", "downtime (s)", "caches warm",
+                           "first-window hit rate", "cycles/pkt"});
+
+    // Full deployment.
+    {
+        sim::Emulator emu(nic, cached_program(false), {});
+        warm_up(emu);
+        double downtime = emu.reconfigure(cached_program(true));
+        // Re-install entries (the runtime's ApiMapper would do this).
+        emu.begin_window();
+        auto [cycles, hr] = [&] {
+            for (int i = 0; i < 3; ++i) {
+                std::string name = "tern" + std::to_string(i);
+                for (int m = 0; m < 5; ++m) {
+                    ir::TableEntry e;
+                    e.key = {ir::FieldMatch::ternary(0, 0xFULL << (4 + m))};
+                    e.action_index = 0;
+                    e.priority = m;
+                    emu.insert_entry(name, e);
+                }
+            }
+            return measure(emu);
+        }();
+        table.add_row({"full reflash", util::format("%.1f", downtime), "0",
+                       util::format("%.2f", hr), util::format("%.1f", cycles)});
+    }
+
+    // Incremental deployment.
+    {
+        sim::Emulator emu(nic, cached_program(false), {});
+        warm_up(emu);
+        sim::Emulator::ReconfigureStats stats =
+            emu.reconfigure_incremental(cached_program(true));
+        emu.begin_window();
+        for (int i = 0; i < 3; ++i) {
+            std::string name = "tern" + std::to_string(i);
+            for (int m = 0; m < 5; ++m) {
+                ir::TableEntry e;
+                e.key = {ir::FieldMatch::ternary(0, 0xFULL << (4 + m))};
+                e.action_index = 0;
+                e.priority = m;
+                emu.insert_entry(name, e);
+            }
+        }
+        auto [cycles, hr] = measure(emu);
+        table.add_row({"incremental",
+                       util::format("%.1f", stats.downtime_s),
+                       std::to_string(stats.caches_kept_warm),
+                       util::format("%.2f", hr), util::format("%.1f", cycles)});
+        std::printf("\nincremental diff: %zu of %zu tables changed\n",
+                    stats.tables_changed, stats.tables_total);
+    }
+
+    std::printf("%s", table.to_string().c_str());
+    std::printf("\nexpected: incremental deployment pays a fraction of the\n"
+                "12 s reflash and starts with a warm cache (high first-window\n"
+                "hit rate) instead of re-learning every flow.\n");
+    return 0;
+}

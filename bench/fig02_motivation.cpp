@@ -1,0 +1,122 @@
+// Figure 2 — the motivating experiment: "Profile-guided optimizations adapt
+// to traffic profile changes and achieve higher performance on BlueField2."
+//
+// A program of four ACL tables, regular processing tables, and a routing
+// table runs under a traffic mix whose dropping pattern changes at t=32 s
+// ("Dropping rate change" in the figure). The dynamic deployment (Pipeleon
+// reordering ACLs by observed drop rate every 8 s) recovers line rate; any
+// static ACL order is wrong for at least one phase.
+#include "apps/scenarios.h"
+#include "bench/common.h"
+#include "runtime/controller.h"
+#include "sim/nic_model.h"
+
+using namespace pipeleon;
+
+int main() {
+    bench::section("Figure 2: dynamic vs static ACL order on BlueField2");
+
+    // Eight ACLs + nine ternary processing tables + routing: the full path
+    // costs more than the line-rate budget, so whether the hot ACL drops
+    // early decides whether the NIC keeps up with the wire.
+    ir::Program program = apps::acl_routing_program(
+        /*regular_tables=*/9, /*n_acls=*/8, ir::MatchKind::Ternary);
+    sim::NicModel nic = sim::bluefield2_model();
+
+    // Flow tuple covers every ACL key plus routing.
+    std::vector<trafficgen::FieldRange> tuple;
+    for (auto& [name, key] : apps::acl_specs(8)) tuple.push_back({key, 0, 99999});
+    tuple.push_back({"ipv4_dst", 0, 0xFFFFFF});
+    util::Rng rng(2);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(tuple, 1000, rng);
+
+    sim::Emulator dyn_emu(nic, program, {});
+    sim::Emulator sta_emu(nic, program, {});
+    runtime::ControllerConfig cfg;
+    cfg.optimizer.top_k_fraction = 1.0;
+    cfg.optimizer.search.allow_cache = false;  // Fig 2 isolates reordering
+    cfg.optimizer.search.allow_merge = false;
+    cfg.optimizer.pipelet.max_length = 20;     // keep the chain one pipelet
+    cfg.detector.threshold = 0.05;
+    runtime::Controller dyn_ctl(dyn_emu, program, cost::CostModel(nic.costs, {}),
+                                cfg);
+    runtime::Controller sta_ctl(sta_emu, program, cost::CostModel(nic.costs, {}),
+                                cfg);  // present but never ticked
+
+    // Default route everywhere.
+    ir::TableEntry route;
+    route.key = {ir::FieldMatch::lpm(0, 0)};
+    route.action_index = 0;
+    route.action_data = {1};
+    dyn_ctl.api().insert(dyn_emu, "routing", route);
+    sta_ctl.api().insert(sta_emu, "routing", route);
+
+    // Ternary rules in the processing tables (3 masks -> 3 probes each).
+    for (int i = 0; i < 9; ++i) {
+        for (int m = 4; m <= 6; ++m) {
+            ir::TableEntry e;
+            e.key = {ir::FieldMatch::ternary(0, 0xFULL << m)};
+            e.action_index = m % 2;
+            e.priority = m;
+            dyn_ctl.api().insert(dyn_emu, "proc" + std::to_string(i), e);
+            sta_ctl.api().insert(sta_emu, "proc" + std::to_string(i), e);
+        }
+    }
+
+    // Phase 1 (t < 32): acl_geo (the LAST ACL) denies 60% of flows.
+    // Phase 2 (t >= 32): dropping moves to acl_service.
+    trafficgen::Workload picker(flows, trafficgen::Locality::Uniform, 0.0, 9);
+    std::vector<std::size_t> phase1 = picker.pick_flows(0.65);
+    std::vector<std::size_t> phase2 = picker.pick_flows(0.65);
+    auto install_phase = [&](int phase) {
+        for (auto* pair : {&dyn_ctl, &sta_ctl}) {
+            sim::Emulator& emu = pair == &dyn_ctl ? dyn_emu : sta_emu;
+            if (phase == 1) {
+                for (std::size_t f : phase1) {
+                    pair->api().insert(emu, "acl_geo",
+                                       flows.exact_entry(f, {"geo_id"}, 1));
+                }
+            } else {
+                for (std::size_t f : phase1) {
+                    pair->api().erase(
+                        emu, "acl_geo",
+                        {ir::FieldMatch::exact(flows.value(f, "geo_id"))});
+                }
+                for (std::size_t f : phase2) {
+                    pair->api().insert(emu, "acl_service",
+                                       flows.exact_entry(f, {"service_id"}, 1));
+                }
+            }
+        }
+    };
+
+    trafficgen::Workload dyn_wl(flows, trafficgen::Locality::Uniform, 0.0, 4);
+    trafficgen::Workload sta_wl(flows, trafficgen::Locality::Uniform, 0.0, 4);
+
+    install_phase(1);
+    std::printf("\n%6s  %10s  %10s  %s\n", "t(s)", "dynamic", "static", "note");
+    std::printf("%6s  %10s  %10s\n", "", "(Gbps)", "(Gbps)");
+    const double step = 8.0;
+    for (int tick = 0; tick <= 9; ++tick) {
+        double t = tick * step;
+        if (tick == 4) install_phase(2);  // t = 32: dropping rate change
+
+        bench::WindowResult dyn =
+            bench::run_window(dyn_emu, dyn_wl, 20000, step);
+        bench::WindowResult sta =
+            bench::run_window(sta_emu, sta_wl, 20000, step);
+        dyn_ctl.tick();  // profile-guided adaptation every window
+
+        const char* note = "";
+        if (tick == 4) note = "<- dropping rate change";
+        std::printf("%6.0f  %10.1f  %10.1f  %s\n", t, dyn.throughput_gbps,
+                    sta.throughput_gbps, note);
+    }
+
+    const ir::Node& front = dyn_emu.program().node(dyn_emu.program().root());
+    std::printf("\nfinal dynamic ACL order starts with: %s\n",
+                front.table.name.c_str());
+    std::printf("paper: static orders plateau below line rate after the "
+                "change; the dynamic order returns to ~100 Gbps.\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+// Figure 11b — DASH-style packet routing on Agilio CX (§5.3.2). Two profile
+// phases:
+//   phase 1: small static config tables + biased ACL dropping rates
+//            -> Pipeleon merges the metadata block and reorders the ACLs
+//               (paper: +43.5%);
+//   phase 2: even ACL dropping rates + long-lived flows
+//            -> Pipeleon caches the ACLs instead (paper: +35.2%).
+// Netronome has no live reconfiguration: every deployment reflashes the
+// micro-engines and costs visible downtime ("Reloading" in the figure).
+#include "apps/scenarios.h"
+#include "bench/common.h"
+#include "runtime/controller.h"
+#include "sim/nic_model.h"
+
+using namespace pipeleon;
+
+namespace {
+
+void install_config_state(sim::Emulator& emu, runtime::ApiMapper& api) {
+    for (std::uint64_t d = 0; d < 2; ++d) {
+        ir::TableEntry e;
+        e.key = {ir::FieldMatch::exact(d)};
+        e.action_index = 0;
+        e.action_data = {d};
+        api.insert(emu, "direction_lookup", e);
+    }
+    for (const char* table : {"appliance", "eni", "vni"}) {
+        for (std::uint64_t k = 0; k < 4; ++k) {
+            ir::TableEntry e;
+            e.key = {ir::FieldMatch::exact(k)};
+            e.action_index = 0;
+            e.action_data = {k + 100};
+            api.insert(emu, table, e);
+        }
+    }
+    // Eight distinct prefix lengths: routing costs m = 8 probes (§3.1).
+    for (std::uint64_t net = 0; net < 8; ++net) {
+        ir::TableEntry e;
+        e.key = {ir::FieldMatch::lpm(net << 24, 4 + 4 * static_cast<int>(net % 8))};
+        e.action_index = 0;
+        e.action_data = {net};
+        api.insert(emu, "routing", e);
+    }
+}
+
+}  // namespace
+
+int main() {
+    bench::section("Figure 11b: DASH-style routing on Agilio CX");
+
+    ir::Program program = apps::dash_routing_program();
+    sim::NicModel nic = sim::agilio_cx_model();
+
+    // Pipeleon deployment + a never-optimized baseline.
+    sim::Emulator dyn_emu(nic, program, {});
+    sim::Emulator sta_emu(nic, program, {});
+    runtime::ControllerConfig cfg;
+    cfg.optimizer.top_k_fraction = 1.0;
+    cfg.optimizer.search.max_merge_len = 4;  // fuse the metadata block
+    cfg.optimizer.pipelet.max_length = 9;
+    // Eq. 5 resource limits: without them the knapsack would happily pick a
+    // merge whose Cartesian entries exceed the NIC's memory.
+    cfg.optimizer.limits.memory_bytes = 32.0 * 1024 * 1024;
+    cfg.optimizer.limits.updates_per_sec = 1e4;
+    cfg.detector.threshold = 0.05;
+    cost::CostModel model(nic.costs, {});
+    runtime::Controller controller(dyn_emu, program, model, cfg);
+    runtime::ApiMapper sta_api(program);
+    install_config_state(dyn_emu, controller.api());
+    install_config_state(sta_emu, sta_api);
+
+    util::Rng rng(12);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"direction", 0, 1}, {"appliance_key", 0, 3}, {"eni_mac", 0, 3},
+         {"vni_key", 0, 3}, {"flow_id", 0, 99999}, {"src_ip", 0, 99999},
+         {"dst_ip", 0, 99999}, {"dst_port", 0, 1023},
+         {"ipv4_dst", 0, 0x02FFFFFF}},
+        3000, rng);
+    trafficgen::Workload picker(flows, trafficgen::Locality::Uniform, 0.0, 21);
+
+    // Phase 1: biased dropping — acl_stage2 denies 50%, others almost none.
+    for (std::size_t f : picker.pick_flows(0.5)) {
+        ir::TableEntry e = flows.exact_entry(f, {"dst_ip"}, 1);
+        controller.api().insert(dyn_emu, "acl_stage2", e);
+        sta_api.insert(sta_emu, "acl_stage2", e);
+    }
+
+    trafficgen::Workload dyn_wl(flows, trafficgen::Locality::Uniform, 0.0, 22);
+    trafficgen::Workload sta_wl(flows, trafficgen::Locality::Uniform, 0.0, 22);
+
+    std::printf("\n%6s  %10s  %10s  %s\n", "t(s)", "Pipeleon", "Baseline",
+                "note");
+    double reload_until = -1.0;
+    double t = 0.0;
+    auto switch_to_phase2 = [&]() {
+        // Even dropping rates: spread modest denies across all three ACLs.
+        for (std::size_t f : picker.pick_flows(0.5)) {
+            ir::FieldMatch key = ir::FieldMatch::exact(flows.value(f, "dst_ip"));
+            controller.api().erase(dyn_emu, "acl_stage2", {key});
+            sta_api.erase(sta_emu, "acl_stage2", {key});
+        }
+        int i = 0;
+        const char* acls[] = {"acl_stage1", "acl_stage2", "acl_stage3"};
+        const char* keys[] = {"src_ip", "dst_ip", "dst_port"};
+        for (std::size_t f : picker.pick_flows(0.15)) {
+            ir::TableEntry e = flows.exact_entry(f, {keys[i % 3]}, 1);
+            controller.api().insert(dyn_emu, acls[i % 3], e);
+            sta_api.insert(sta_emu, acls[i % 3], e);
+            ++i;
+        }
+        // Long-lived flows: skew the samplers hard.
+        dyn_wl = trafficgen::Workload(flows, trafficgen::Locality::Zipf, 1.3, 33);
+        sta_wl = trafficgen::Workload(flows, trafficgen::Locality::Zipf, 1.3, 33);
+    };
+
+    for (int tick = 0; tick < 24; ++tick) {
+        const char* note = "";
+        if (tick == 12) {
+            switch_to_phase2();
+            note = "<- phase 2: even drops + long-lived flows";
+        }
+        bench::WindowResult dyn = bench::run_window(dyn_emu, dyn_wl, 12000, 10.0);
+        bench::WindowResult sta = bench::run_window(sta_emu, sta_wl, 12000, 10.0);
+        double dyn_gbps = dyn.throughput_gbps;
+        if (t < reload_until) {
+            // Part of this window was lost to the micro-engine reflash.
+            double lost = std::min(10.0, reload_until - t);
+            dyn_gbps *= 1.0 - lost / 10.0;
+            if (note[0] == '\0') note = "(reloading)";
+        }
+        std::printf("%6.0f  %10.2f  %10.2f  %s\n", t, dyn_gbps,
+                    sta.throughput_gbps, note);
+
+        runtime::TickResult r = controller.tick();
+        if (r.deployed) reload_until = t + 10.0 + r.downtime_s;
+        t += 10.0;
+    }
+
+    std::printf("\nfinal Pipeleon layout:\n");
+    for (ir::NodeId id : dyn_emu.program().topo_order()) {
+        const ir::Node& n = dyn_emu.program().node(id);
+        if (n.is_table()) {
+            std::printf("  %-44s %s\n", n.table.name.c_str(),
+                        ir::to_string(n.table.role));
+        }
+    }
+    std::printf("\npaper shape: ~+43%% in phase 1 (merge small static tables,\n"
+                "reorder ACLs), ~+35%% in phase 2 (cache ACLs for long-lived\n"
+                "flows); every deployment costs a visible reload gap.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 11c — network-function composition on the BMv2-based emulated NIC
+// model (§5.3.3): LB + routing + L2/L3/ACL composed into nine pipelets; on
+// this NIC "LPM and ternary matches have the same cost, which is 3x slower
+// than exact matches; conditional branches have 1/10 the cost of an exact
+// table". The traffic pattern shifts which NF is hot (NF1 -> NF2 -> NF3);
+// Pipeleon re-selects the top-30% costly pipelets each round and
+// re-optimizes, cutting the average emulated latency (paper: -49%).
+#include "apps/scenarios.h"
+#include "bench/common.h"
+#include "runtime/controller.h"
+#include "sim/nic_model.h"
+
+using namespace pipeleon;
+
+int main() {
+    bench::section("Figure 11c: NF composition on the emulated NIC model "
+                   "(top-30% pipelets)");
+
+    ir::Program program = apps::nf_composition_program();
+    sim::NicModel nic = sim::emulated_nic_model();
+
+    sim::Emulator dyn_emu(nic, program, {});
+    sim::Emulator sta_emu(nic, program, {});
+    runtime::ControllerConfig cfg;
+    cfg.optimizer.top_k_fraction = 0.30;  // "top-30% costly pipelets"
+    cfg.detector.threshold = 0.05;
+    cost::CostModel model(nic.costs, {});
+    runtime::Controller controller(dyn_emu, program, model, cfg);
+    runtime::ApiMapper sta_api(program);
+
+    // Routes and a ternary classifier so the L3 block costs something.
+    for (auto* api : {&controller.api(), &sta_api}) {
+        sim::Emulator& emu = api == &controller.api() ? dyn_emu : sta_emu;
+        for (std::uint64_t net = 0; net < 4; ++net) {
+            ir::TableEntry e;
+            e.key = {ir::FieldMatch::lpm(net << 24, 8 + 4 * (net % 3))};
+            e.action_index = 0;
+            e.action_data = {net};
+            api->insert(emu, "l3_routing", e);
+        }
+        for (int m = 0; m < 3; ++m) {
+            ir::TableEntry e;
+            e.key = {ir::FieldMatch::ternary(0, 0xFULL << (4 + m))};
+            e.action_index = m % 2;
+            e.priority = m;
+            api->insert(emu, "l3_flowcls", e);
+        }
+        for (std::uint64_t vip = 0; vip < 64; ++vip) {
+            ir::TableEntry e;
+            e.key = {ir::FieldMatch::exact(vip)};
+            e.action_index = 0;
+            e.action_data = {vip % 8};
+            api->insert(emu, "lb_vip", e);
+        }
+    }
+
+    // Three traffic phases steering the branches toward different NFs.
+    struct PhaseSpec {
+        const char* name;
+        std::uint64_t is_vip, needs_ct, is_l2;
+    };
+    const PhaseSpec phases[] = {
+        {"NF1 (LB-heavy)", 1, 0, 0},
+        {"NF2 (conntrack/ACL-heavy)", 0, 1, 0},
+        {"NF3 (L2-heavy)", 0, 0, 1},
+    };
+
+    util::Rng rng(77);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"lbf0", 0, 63}, {"lbf1", 0, 63}, {"lbf2", 0, 63}, {"vip", 0, 63},
+         {"direction", 0, 1}, {"eni_mac", 0, 63}, {"flow_id", 0, 9999},
+         {"src_ip", 0, 9999}, {"dst_ip", 0, 9999}, {"ipv4_dst", 0, 0x03FFFFFF},
+         {"eth_src", 0, 255}, {"eth_dst", 0, 255}, {"tuple_hash", 0, 255},
+         {"egress_key", 0, 255}},
+        2000, rng);
+
+    std::printf("\n%10s  %-26s  %12s  %12s\n", "packet seq", "phase",
+                "Pipeleon lat", "baseline lat");
+    std::uint64_t seq = 0;
+    for (const PhaseSpec& phase : phases) {
+        for (int window = 0; window < 3; ++window) {
+            trafficgen::Workload wl(flows, trafficgen::Locality::Zipf, 1.1,
+                                    seq + 5);
+            util::RunningStats dyn_lat, sta_lat;
+            for (int i = 0; i < 8000; ++i) {
+                sim::Packet a = wl.next_packet(dyn_emu.fields());
+                a.set(dyn_emu.fields().intern("is_vip_traffic"), phase.is_vip);
+                a.set(dyn_emu.fields().intern("needs_conntrack"), phase.needs_ct);
+                a.set(dyn_emu.fields().intern("is_l2"), phase.is_l2);
+                dyn_lat.add(dyn_emu.process(a).cycles);
+                dyn_emu.advance_time(5.0 / 8000);
+
+                sim::Packet b = wl.next_packet(sta_emu.fields());
+                b.set(sta_emu.fields().intern("is_vip_traffic"), phase.is_vip);
+                b.set(sta_emu.fields().intern("needs_conntrack"), phase.needs_ct);
+                b.set(sta_emu.fields().intern("is_l2"), phase.is_l2);
+                sta_lat.add(sta_emu.process(b).cycles);
+                sta_emu.advance_time(5.0 / 8000);
+            }
+            seq += 8000;
+            std::printf("%10llu  %-26s  %12.1f  %12.1f\n",
+                        static_cast<unsigned long long>(seq), phase.name,
+                        dyn_lat.mean(), sta_lat.mean());
+            controller.tick();
+        }
+    }
+
+    std::printf("\nhot pipelets tracked per phase; paper: Pipeleon reduces\n"
+                "average emulated latency by ~49%% across the phase changes.\n");
+    return 0;
+}

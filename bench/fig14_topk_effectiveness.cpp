@@ -1,0 +1,100 @@
+// Figure 14 — top-k effectiveness (§5.4.3): how much of the exhaustive
+// search's gain the top-k search retains, at three traffic-aggregation
+// levels. For each program we synthesize many runtime profiles, rank them by
+// pipelet-traffic entropy, take the 10th/50th/90th-percentile-entropy
+// profiles, and report the CDF of (top-k gain / ESearch gain) over programs
+// for k in {20, 30, 40, 50}%.
+#include "bench/common.h"
+#include "analysis/pipelet.h"
+#include "search/optimizer.h"
+#include "sim/nic_model.h"
+#include "synth/profile_synth.h"
+#include "synth/program_synth.h"
+
+using namespace pipeleon;
+
+namespace {
+
+double gain_for_k(const ir::Program& prog, const profile::RuntimeProfile& prof,
+                  const cost::CostModel& model, double k) {
+    search::OptimizerConfig cfg;
+    cfg.top_k_fraction = k;
+    search::Optimizer optimizer(model, cfg);
+    return optimizer.optimize(prog, prof).predicted_gain;
+}
+
+}  // namespace
+
+int main() {
+    bench::section("Figure 14: top-k gain / ESearch gain at three entropy "
+                   "levels");
+
+    const int programs = 30;        // paper: the first Fig-13 group (100)
+    const int profiles_per_prog = 200;  // paper: 2000
+    const std::vector<double> ks = {0.2, 0.3, 0.4, 0.5};
+
+    cost::CostModel model(sim::bluefield2_model().costs, {});
+
+    // ratios[entropy percentile][k] -> per-program ratios.
+    std::map<int, std::map<int, std::vector<double>>> ratios;
+
+    for (int i = 0; i < programs; ++i) {
+        synth::SynthConfig scfg;
+        scfg.pipelets = 12;
+        scfg.min_pipelet_len = 2;
+        scfg.max_pipelet_len = 2;
+        scfg.diamond_fraction = 0.4;
+        synth::ProgramSynthesizer gen(scfg, static_cast<std::uint64_t>(i) * 211 + 5);
+        ir::Program prog = gen.generate("topk");
+        auto pipelets = analysis::form_pipelets(prog);
+
+        // Synthesize profiles, rank by entropy.
+        std::vector<std::pair<double, profile::RuntimeProfile>> profs;
+        for (int p = 0; p < profiles_per_prog; ++p) {
+            synth::ProfileSynthesizer profgen(
+                synth::heavy_drop_config(),
+                static_cast<std::uint64_t>(i * 1000 + p));
+            profile::RuntimeProfile prof = profgen.generate(prog);
+            double h = synth::pipelet_traffic_entropy(prog, pipelets, prof);
+            profs.emplace_back(h, std::move(prof));
+        }
+        std::sort(profs.begin(), profs.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+
+        for (int pct : {10, 50, 90}) {
+            std::size_t idx = static_cast<std::size_t>(
+                pct / 100.0 * (profs.size() - 1));
+            const profile::RuntimeProfile& prof = profs[idx].second;
+            double esearch = gain_for_k(prog, prof, model, 1.0);
+            if (esearch <= 0.0) continue;
+            for (double k : ks) {
+                double g = gain_for_k(prog, prof, model, k);
+                ratios[pct][static_cast<int>(k * 100)].push_back(g / esearch);
+            }
+        }
+    }
+
+    for (int pct : {10, 50, 90}) {
+        std::printf("\n-- %dth entropy profile --\n", pct);
+        util::TextTable table({"k", "p10", "median", "p90", ">=0.7 of ESearch"});
+        for (double k : ks) {
+            auto& rs = ratios[pct][static_cast<int>(k * 100)];
+            if (rs.empty()) continue;
+            int ge = 0;
+            for (double r : rs) ge += r >= 0.7 ? 1 : 0;
+            table.add_row(
+                {util::format("%.0f%%", k * 100),
+                 util::format("%.3f", util::percentile(rs, 10)),
+                 util::format("%.3f", util::median(rs)),
+                 util::format("%.3f", util::percentile(rs, 90)),
+                 util::format("%.0f%%",
+                              100.0 * ge / static_cast<double>(rs.size()))});
+        }
+        std::printf("%s", table.to_string().c_str());
+    }
+
+    std::printf("\npaper shape: top-20%% retains >70%% of the ESearch gain for\n"
+                "(nearly) all programs at low entropy; larger k approaches 1;\n"
+                "the trend changes little across entropy levels.\n");
+    return 0;
+}

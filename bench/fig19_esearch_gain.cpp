@@ -1,0 +1,72 @@
+// Figure 19 / Appendix A.3 — ESearch gains across traffic distributions:
+// the CDF of (optimized throughput / original throughput) under the
+// 10th/50th/90th-entropy profiles. The paper reports average improvements of
+// 1.32x / 1.37x / 1.43x — i.e. ESearch performs similarly regardless of how
+// aggregated the traffic is.
+#include "bench/common.h"
+#include "analysis/pipelet.h"
+#include "search/optimizer.h"
+#include "sim/nic_model.h"
+#include "synth/profile_synth.h"
+#include "synth/program_synth.h"
+
+using namespace pipeleon;
+
+int main() {
+    bench::section("Figure 19: ESearch throughput gain at three entropy "
+                   "levels");
+
+    const int programs = 40;
+    const int profiles_per_prog = 200;  // paper: 2000
+    cost::CostModel model(sim::bluefield2_model().costs, {});
+
+    std::map<int, std::vector<double>> gains;  // entropy pct -> ratios
+    for (int i = 0; i < programs; ++i) {
+        synth::SynthConfig scfg;
+        scfg.pipelets = 12;
+        scfg.min_pipelet_len = 2;
+        scfg.max_pipelet_len = 2;
+        scfg.diamond_fraction = 0.4;
+        scfg.ternary_fraction = 0.3;
+        synth::ProgramSynthesizer gen(scfg, static_cast<std::uint64_t>(i) * 97 + 13);
+        ir::Program prog = gen.generate("esearch");
+        auto pipelets = analysis::form_pipelets(prog);
+
+        std::vector<std::pair<double, profile::RuntimeProfile>> profs;
+        for (int p = 0; p < profiles_per_prog; ++p) {
+            synth::ProfileSynthesizer profgen(
+                synth::heavy_drop_config(),
+                static_cast<std::uint64_t>(i * 4096 + p));
+            profile::RuntimeProfile prof = profgen.generate(prog);
+            profs.emplace_back(
+                synth::pipelet_traffic_entropy(prog, pipelets, prof),
+                std::move(prof));
+        }
+        std::sort(profs.begin(), profs.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+
+        for (int pct : {10, 50, 90}) {
+            std::size_t idx =
+                static_cast<std::size_t>(pct / 100.0 * (profs.size() - 1));
+            const profile::RuntimeProfile& prof = profs[idx].second;
+            search::OptimizerConfig cfg;
+            cfg.top_k_fraction = 1.0;  // ESearch
+            search::Optimizer optimizer(model, cfg);
+            search::OptimizationOutcome out = optimizer.optimize(prog, prof);
+            if (out.predicted_latency > 0.0) {
+                // Throughput ratio = latency ratio (reciprocal rates).
+                gains[pct].push_back(out.baseline_latency / out.predicted_latency);
+            }
+        }
+    }
+
+    for (int pct : {10, 50, 90}) {
+        bench::print_cdf(
+            util::format("%dth entropy: ESearch throughput / original", pct),
+            gains[pct]);
+        std::printf("  mean improvement: %.2fx\n\n", util::mean(gains[pct]));
+    }
+    std::printf("paper shape: similar CDFs across entropy levels; mean\n"
+                "improvements around 1.3x-1.4x.\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+// acl_firewall — the paper's motivating scenario (Fig 2) as an application:
+// a firewall pipeline whose ACL ordering is continuously adapted to traffic.
+//
+// The program starts with four ACL tables (cloud / tenant / subnet / vm),
+// continues with regular processing, and ends with a routing table. Traffic
+// phases shift which ACL does the dropping; the Pipeleon controller observes
+// the per-table drop rates and promotes the heavy dropper to the front,
+// while a static deployment keeps paying for packets that die late.
+//
+// Build & run:  ./build/examples/acl_firewall
+#include <cstdio>
+
+#include "apps/scenarios.h"
+#include "runtime/controller.h"
+#include "sim/nic_model.h"
+#include "util/strings.h"
+
+using namespace pipeleon;
+
+namespace {
+
+struct Phase {
+    const char* name;
+    const char* hot_acl;       // table that should deny this phase's traffic
+    const char* hot_key_field; // the field its entries match
+    double deny_fraction;
+};
+
+}  // namespace
+
+int main() {
+    ir::Program program = apps::acl_routing_program(/*regular_tables=*/4);
+    sim::NicModel nic = sim::bluefield2_model();
+    sim::Emulator emulator(nic, program, {});
+
+    runtime::ControllerConfig cfg;
+    cfg.optimizer.top_k_fraction = 1.0;
+    cfg.optimizer.search.allow_cache = false;  // isolate the reordering story
+    cfg.optimizer.search.allow_merge = false;
+    cfg.detector.threshold = 0.05;
+    cost::CostModel model(nic.costs, {});
+    runtime::Controller controller(emulator, program, model, cfg);
+
+    // Flow universe: each ACL matches a different header field.
+    util::Rng rng(2023);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"cloud_id", 0, 499}, {"tenant_id", 0, 499}, {"subnet_id", 0, 499},
+         {"vm_id", 0, 499}, {"ipv4_dst", 0, 0xFFFF}},
+        500, rng);
+    trafficgen::Workload workload(flows, trafficgen::Locality::Uniform, 0.0, 3);
+
+    // A default route so routed packets actually forward.
+    ir::TableEntry route;
+    route.key = {ir::FieldMatch::lpm(0, 0)};
+    route.action_index = 0;
+    route.action_data = {1};
+    controller.api().insert(emulator, "routing", route);
+
+    const std::vector<Phase> phases = {
+        {"tenant attack", "acl_tenant", "tenant_id", 0.6},
+        {"VM scanning", "acl_vm", "vm_id", 0.7},
+        {"subnet sweep", "acl_subnet", "subnet_id", 0.5},
+    };
+
+    std::printf("== acl_firewall: adapting ACL order to traffic (Fig 2) ==\n\n");
+    std::printf("%-16s %-12s %10s %12s %s\n", "phase", "hot ACL", "drop rate",
+                "cycles/pkt", "pipeline front");
+    std::printf("%s\n", std::string(78, '-').c_str());
+
+    const Phase* previous = nullptr;
+    for (const Phase& phase : phases) {
+        // Re-point the deny rules: clear the previous phase's hot ACL and
+        // install denies covering `deny_fraction` of flows on this one.
+        if (previous != nullptr) {
+            for (std::size_t f = 0; f < flows.size(); ++f) {
+                controller.api().erase(
+                    emulator, previous->hot_acl,
+                    {ir::FieldMatch::exact(
+                        flows.value(f, previous->hot_key_field))});
+            }
+        }
+        std::vector<std::size_t> deny = workload.pick_flows(phase.deny_fraction);
+        for (std::size_t f : deny) {
+            ir::TableEntry e = flows.exact_entry(f, {phase.hot_key_field}, 1);
+            controller.api().insert(emulator, phase.hot_acl, e);
+        }
+        previous = &phase;
+
+        // Drive a profiling window of traffic, then let Pipeleon react.
+        for (int round = 0; round < 2; ++round) {
+            util::RunningStats cycles;
+            std::uint64_t dropped = 0;
+            for (int i = 0; i < 20000; ++i) {
+                sim::Packet pkt = workload.next_packet(emulator.fields());
+                sim::ProcessResult r = emulator.process(pkt);
+                cycles.add(r.cycles);
+                dropped += r.dropped ? 1 : 0;
+            }
+            emulator.advance_time(5.0);
+            controller.tick();
+
+            if (round == 1) {
+                const ir::Node& front =
+                    emulator.program().node(emulator.program().root());
+                std::printf("%-16s %-12s %9.1f%% %12.1f %s\n", phase.name,
+                            phase.hot_acl,
+                            100.0 * static_cast<double>(dropped) / 20000.0,
+                            cycles.mean(), front.table.name.c_str());
+            }
+        }
+    }
+
+    std::printf(
+        "\nThe pipeline front follows the hot ACL: dropped packets now die\n"
+        "after one table lookup instead of traversing the whole pipeline.\n");
+    return 0;
+}

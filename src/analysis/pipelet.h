@@ -1,0 +1,83 @@
+// analysis/pipelet.h — pipelet formation and hot-pipelet detection (§4.1).
+// A pipelet is "a piece of P4 code without control flow branches, akin to a
+// basic block … composed of only MA tables". The program is partitioned at
+// conditional branches and switch-case tables; a switch-case table forms its
+// own pipelet. Long pipelets are split (configurable maximum), and
+// neighboring short pipelets around a common branch can form a pipelet
+// group for joint optimization.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "profile/profile.h"
+
+namespace pipeleon::analysis {
+
+/// A straight-line run of table nodes. `nodes` is in execution order; every
+/// node except possibly the last flows uniformly into its successor.
+struct Pipelet {
+    int id = -1;
+    std::vector<ir::NodeId> nodes;
+    /// Node the pipelet's traffic continues to after the last table
+    /// (kNoNode = pipeline exit; a branch or another pipelet's head
+    /// otherwise). Switch-case pipelets have multiple exits and leave this
+    /// as kNoNode.
+    ir::NodeId exit = ir::kNoNode;
+    /// True when this pipelet is a single switch-case table.
+    bool is_switch_case = false;
+
+    ir::NodeId entry() const { return nodes.empty() ? ir::kNoNode : nodes.front(); }
+    std::size_t length() const { return nodes.size(); }
+};
+
+/// Partitioning knobs.
+struct PipeletOptions {
+    /// Pipelets longer than this are split ("Pipeleon further partitions
+    /// large pipelets into smaller ones"). 0 disables splitting.
+    std::size_t max_length = 8;
+};
+
+/// Partitions the reachable program into pipelets. Branch nodes belong to no
+/// pipelet. Deterministic: pipelets are numbered in topological order of
+/// their entry nodes.
+std::vector<Pipelet> form_pipelets(const ir::Program& program,
+                                   const PipeletOptions& options = {});
+
+/// A pipelet group (§4.1.1): neighboring pipelets around one branch where a
+/// single node receives all incoming traffic and all traffic leaves to the
+/// same node. We realize the diamond shape: an optional preceding pipelet,
+/// the branch, its two arm pipelets, and the join pipelet. Joint
+/// optimization may move branch-independent tables between `pre` and `post`.
+struct PipeletGroup {
+    ir::NodeId branch = ir::kNoNode;
+    int pre = -1;    ///< pipelet id flowing into the branch (-1 if none)
+    int arm_true = -1;
+    int arm_false = -1;
+    int post = -1;   ///< pipelet id both arms join into (-1 if none)
+};
+
+/// Finds all diamond pipelet groups in the program given its pipelets.
+std::vector<PipeletGroup> find_pipelet_groups(const ir::Program& program,
+                                              const std::vector<Pipelet>& pipelets);
+
+/// A pipelet scored by the cost model: latency L(G') weighted by reach
+/// probability P(G') (§4.1.2).
+struct ScoredPipelet {
+    int pipelet_id = -1;
+    double weighted_latency = 0.0;  ///< L(G') * P(G')
+    double reach_probability = 0.0;
+};
+
+/// Selects the top-k hot pipelets by weighted latency. `k_fraction` in
+/// (0, 1]; at least one pipelet is returned when any exist. `latency_fn`
+/// supplies L(G') for a pipelet (the cost module provides it; analysis
+/// stays independent of the cost model's parameterization).
+std::vector<ScoredPipelet> top_k_pipelets(
+    const ir::Program& program, const std::vector<Pipelet>& pipelets,
+    const profile::RuntimeProfile& profile, double k_fraction,
+    const std::function<double(const Pipelet&)>& latency_fn);
+
+}  // namespace pipeleon::analysis

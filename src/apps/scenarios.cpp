@@ -1,0 +1,304 @@
+#include "apps/scenarios.h"
+
+#include "ir/builder.h"
+#include "opt/merge.h"
+#include "util/strings.h"
+
+namespace pipeleon::apps {
+
+using ir::Action;
+using ir::MatchKind;
+using ir::NodeId;
+using ir::Primitive;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::Table;
+using ir::TableSpec;
+
+namespace {
+
+Table acl_table(const std::string& name, const std::string& key_field) {
+    return TableSpec(name)
+        .key(key_field)
+        .noop_action(name + "_allow", 1)
+        .drop_action(name + "_deny")
+        .default_to(name + "_allow")
+        .build();
+}
+
+Table proc_table(const std::string& name, const std::string& key_field,
+                 int primitives = 1, MatchKind kind = MatchKind::Exact) {
+    return TableSpec(name)
+        .key(key_field, kind)
+        .noop_action(name + "_a0", primitives)
+        .noop_action(name + "_a1", primitives)
+        .default_to(name + "_a0")
+        .build();
+}
+
+Table set_meta_table(const std::string& name, const std::string& key_field,
+                     const std::string& meta_field) {
+    Action set;
+    set.name = name + "_set";
+    set.primitives.push_back(Primitive::set_from_arg(meta_field, 0));
+    Action miss;
+    miss.name = name + "_miss";
+    miss.primitives.push_back(Primitive::set_const(meta_field, 0));
+    return TableSpec(name)
+        .key(key_field)
+        .action(set)
+        .action(miss)
+        .default_to(name + "_miss")
+        .size(64)
+        .build();
+}
+
+}  // namespace
+
+Program microbench_program(int n_groups, int group_size, bool acl_last) {
+    ProgramBuilder b(util::format("microbench_N%d", n_groups));
+    for (int g = 0; g < n_groups; ++g) {
+        for (int t = 0; t < group_size; ++t) {
+            std::string name = util::format("g%dt%d", g, t);
+            b.append(proc_table(name, util::format("f_g%dt%d", g, t)));
+        }
+    }
+    if (acl_last) b.append(acl_table("acl", "acl_key"));
+    return b.build();
+}
+
+Program four_table_pipelet(MatchKind kind, int primitives_per_action) {
+    ProgramBuilder b("four_table_pipelet");
+    for (int t = 1; t <= 4; ++t) {
+        std::string name = util::format("t%d", t);
+        b.append(TableSpec(name)
+                     .key(util::format("f%d", t - 1), kind)
+                     .noop_action(name + "_a0", primitives_per_action)
+                     .noop_action(name + "_a1", primitives_per_action)
+                     .default_to(name + "_a0")
+                     .build());
+    }
+    return b.build();
+}
+
+std::vector<std::pair<std::string, std::string>> acl_specs(int n) {
+    static const std::vector<std::pair<std::string, std::string>> named = {
+        {"acl_cloud", "cloud_id"},   {"acl_tenant", "tenant_id"},
+        {"acl_subnet", "subnet_id"}, {"acl_vm", "vm_id"},
+        {"acl_app", "app_id"},       {"acl_zone", "zone_id"},
+        {"acl_service", "service_id"}, {"acl_geo", "geo_id"},
+    };
+    std::vector<std::pair<std::string, std::string>> out;
+    for (int i = 0; i < n; ++i) {
+        if (static_cast<std::size_t>(i) < named.size()) {
+            out.push_back(named[static_cast<std::size_t>(i)]);
+        } else {
+            out.emplace_back(util::format("acl_x%d", i),
+                             util::format("acl_x%d_id", i));
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> acl_table_names() {
+    std::vector<std::string> names;
+    for (auto& [name, key] : acl_specs(4)) names.push_back(name);
+    return names;
+}
+
+Program acl_routing_program(int regular_tables, int n_acls, MatchKind proc_kind) {
+    ProgramBuilder b("acl_routing");
+    for (const auto& [name, key] : acl_specs(n_acls)) {
+        b.append(acl_table(name, key));
+    }
+    for (int i = 0; i < regular_tables; ++i) {
+        b.append(proc_table(util::format("proc%d", i), util::format("meta%d", i),
+                            /*primitives=*/1, proc_kind));
+    }
+    Action fwd;
+    fwd.name = "route_fwd";
+    fwd.primitives.push_back(Primitive::forward_from_arg(0));
+    b.append(TableSpec("routing")
+                 .key("ipv4_dst", MatchKind::Lpm)
+                 .action(fwd)
+                 .build());
+    return b.build();
+}
+
+Program load_balancer_program() {
+    ProgramBuilder b("load_balancer");
+    for (int i = 0; i < 8; ++i) {
+        b.append(proc_table(util::format("proc%d", i), util::format("pf%d", i)));
+    }
+    // Two load-balancing tables: VIP -> backend, backend -> port. The first
+    // writes what the second matches on (a real match dependency), so the
+    // LB pair cannot be reordered or merged — only cached.
+    Action pick_backend;
+    pick_backend.name = "pick_backend";
+    pick_backend.primitives.push_back(Primitive::set_from_arg("backend", 0));
+    b.append(TableSpec("lb_vip").key("vip").action(pick_backend).size(512).build());
+    Action fwd;
+    fwd.name = "to_backend";
+    fwd.primitives.push_back(Primitive::forward_from_arg(0));
+    b.append(TableSpec("lb_backend").key("backend").action(fwd).size(512).build());
+    b.append(acl_table("lb_acl0", "src_ip"));
+    b.append(acl_table("lb_acl1", "dst_ip"));
+    return b.build();
+}
+
+Program dash_routing_program() {
+    ProgramBuilder b("dash_routing");
+    // Direction lookup + metadata setup: small, static tables matching on
+    // independent packet fields and writing independent metadata — the
+    // merge-friendly region of §5.3.2.
+    b.append(set_meta_table("direction_lookup", "direction", "meta_dir"));
+    b.append(set_meta_table("appliance", "appliance_key", "meta_appliance"));
+    b.append(set_meta_table("eni", "eni_mac", "meta_eni"));
+    b.append(set_meta_table("vni", "vni_key", "meta_vni"));
+    // Connection tracking: writes per-flow state on every packet; its state
+    // churn is what breaks whole-program flow caches.
+    Action track;
+    track.name = "track";
+    track.primitives.push_back(Primitive::add_const("conn_packets", 1));
+    track.primitives.push_back(Primitive::set_const("conn_seen", 1));
+    b.append(TableSpec("conntrack")
+                 .key("flow_id")
+                 .action(track)
+                 .noop_action("conntrack_miss", 1)
+                 .default_to("conntrack_miss")
+                 .size(65536)
+                 .build());
+    // Three levels of ACLs.
+    b.append(acl_table("acl_stage1", "src_ip"));
+    b.append(acl_table("acl_stage2", "dst_ip"));
+    b.append(acl_table("acl_stage3", "dst_port"));
+    // Routing.
+    Action fwd;
+    fwd.name = "route_fwd";
+    fwd.primitives.push_back(Primitive::forward_from_arg(0));
+    b.append(TableSpec("routing").key("ipv4_dst", MatchKind::Lpm).action(fwd).build());
+    return b.build();
+}
+
+Program nf_composition_program() {
+    // LB + routing + L2/L3/ACL composed behind branches: nine pipelets.
+    ProgramBuilder b("nf_composition");
+
+    // NF1 — load balancer (pipelets 1-2).
+    NodeId p1a = b.add(proc_table("lb_parse", "lbf0"));
+    NodeId p1b = b.add(proc_table("lb_meta", "lbf1"));
+    b.connect(p1a, p1b);
+    NodeId br1 = b.add_branch({"is_vip_traffic", ir::CmpOp::Eq, 1});
+    b.connect(p1b, br1);
+
+    Action pick;
+    pick.name = "pick_backend";
+    pick.primitives.push_back(Primitive::set_from_arg("backend", 0));
+    NodeId p2a = b.add(TableSpec("lb_vip").key("vip").action(pick).size(512).build());
+    NodeId p2b = b.add(proc_table("lb_stats", "lbf2"));
+    b.connect(p2a, p2b);
+
+    // NF2 — DASH-style routing (pipelets 3-5).
+    NodeId p3a = b.add(set_meta_table("rt_direction", "direction", "meta_dir"));
+    NodeId p3b = b.add(set_meta_table("rt_eni", "eni_mac", "meta_eni"));
+    b.connect(p3a, p3b);
+    b.connect_branch(br1, p2a, p3a);
+    b.connect(p2b, p3a);
+
+    NodeId br2 = b.add_branch({"needs_conntrack", ir::CmpOp::Eq, 1});
+    b.connect(p3b, br2);
+
+    Action track;
+    track.name = "track";
+    track.primitives.push_back(Primitive::add_const("conn_packets", 1));
+    NodeId p4 = b.add(TableSpec("rt_conntrack")
+                          .key("flow_id")
+                          .action(track)
+                          .noop_action("ct_miss", 1)
+                          .default_to("ct_miss")
+                          .build());
+    NodeId p5a = b.add(acl_table("rt_acl1", "src_ip"));
+    NodeId p5b = b.add(acl_table("rt_acl2", "dst_ip"));
+    b.connect(p5a, p5b);
+    b.connect_branch(br2, p4, p5a);
+
+    // NF3 — L2/L3/ACL (pipelets 6-9). The conntrack arm rejoins at the
+    // routing table directly (tracked flows skip the stateless ACLs),
+    // which also makes the routing table its own pipelet.
+    Action route;
+    route.name = "route_fwd";
+    route.primitives.push_back(Primitive::forward_from_arg(0));
+    NodeId p6 = b.add(TableSpec("l3_routing")
+                          .key("ipv4_dst", MatchKind::Lpm)
+                          .action(route)
+                          .build());
+    b.connect(p4, p6);
+    b.connect(p5b, p6);
+
+    NodeId br3 = b.add_branch({"is_l2", ir::CmpOp::Eq, 1});
+    b.connect(p6, br3);
+
+    NodeId p7a = b.add(proc_table("l2_smac", "eth_src"));
+    NodeId p7b = b.add(proc_table("l2_dmac", "eth_dst"));
+    b.connect(p7a, p7b);
+    NodeId p8 = b.add(TableSpec("l3_flowcls")
+                          .key("tuple_hash", MatchKind::Ternary)
+                          .noop_action("cls_a0", 2)
+                          .noop_action("cls_a1", 2)
+                          .default_to("cls_a0")
+                          .build());
+    b.connect_branch(br3, p7a, p8);
+
+    NodeId p9 = b.add(acl_table("egress_acl", "egress_key"));
+    b.connect(p7b, p9);
+    b.connect(p8, p9);
+
+    b.set_root(p1a);
+    return b.build();
+}
+
+void install_acl_denies(sim::Emulator& emulator, const std::string& table,
+                        const trafficgen::FlowSet& flows,
+                        const std::vector<std::size_t>& deny_flows,
+                        const std::string& key_field) {
+    NodeId id = emulator.program().find_table(table);
+    if (id == ir::kNoNode) return;
+    const Table& t = emulator.program().node(id).table;
+    int deny = -1;
+    for (std::size_t a = 0; a < t.actions.size(); ++a) {
+        if (t.actions[a].drops()) deny = static_cast<int>(a);
+    }
+    if (deny < 0) return;
+    for (std::size_t flow : deny_flows) {
+        emulator.insert_entry(table,
+                              flows.exact_entry(flow, {key_field}, deny));
+    }
+}
+
+int install_flow_entries(sim::Emulator& emulator,
+                         const trafficgen::FlowSet& flows) {
+    int installed = 0;
+    for (const ir::Node& n : emulator.program().nodes()) {
+        if (!n.is_table() || n.table.role != ir::TableRole::Original) continue;
+        const Table& t = n.table;
+        if (t.keys.size() != 1 || t.keys[0].kind != MatchKind::Exact) continue;
+        const std::string& field = t.keys[0].field;
+        bool in_tuple = false;
+        for (const trafficgen::FieldRange& fr : flows.fields()) {
+            if (fr.field == field) in_tuple = true;
+        }
+        if (!in_tuple) continue;
+        int args = opt::action_arg_count(t.actions[0]);
+        for (std::size_t flow = 0; flow < flows.size(); ++flow) {
+            std::vector<std::uint64_t> data;
+            for (int a = 0; a < args; ++a) data.push_back(flow % 64);
+            if (emulator.insert_entry(
+                    t.name, flows.exact_entry(flow, {field}, 0, data))) {
+                ++installed;
+            }
+        }
+    }
+    return installed;
+}
+
+}  // namespace pipeleon::apps

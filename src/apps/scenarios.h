@@ -1,0 +1,83 @@
+// apps/scenarios.h — the evaluation programs of §5, reconstructed from the
+// paper's descriptions. Shared by the examples and the figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "sim/emulator.h"
+#include "trafficgen/workload.h"
+
+namespace pipeleon::apps {
+
+// ------------------------------------------------------- §5.2.1 microbench
+
+/// "The microbenchmark programs are constructed using pipelets with four
+/// tables, replicated with a scale factor N": N groups of `group_size`
+/// exact tables; when `acl_last` is set, the final table becomes an ACL
+/// that drops via entries.
+ir::Program microbench_program(int n_groups, int group_size = 4,
+                               bool acl_last = true);
+
+/// Fig 9c/9d microbench: one pipelet of four tables with the given match
+/// kind and distinct keys f0..f3 (the paper "used a different match key for
+/// T1 to T4").
+ir::Program four_table_pipelet(ir::MatchKind kind, int primitives_per_action = 2);
+
+// ------------------------------------------------ Fig 2 motivating example
+
+/// "A P4 program which starts with multiple access control list (ACL)
+/// tables (ACL-Cloud, ACL-Tenant, ACL-Subnet, ACL-VM), then a few regular
+/// packet processing tables, and ends with a routing table." `n_acls`
+/// extends the ACL block beyond the four named ones; `proc_kind` selects
+/// the regular tables' match kind (ternary processing makes the pipeline
+/// expensive enough that ACL ordering decides whether line rate is met).
+ir::Program acl_routing_program(int regular_tables = 4, int n_acls = 4,
+                                ir::MatchKind proc_kind = ir::MatchKind::Exact);
+
+/// (name, key field) of the first `n` ACL tables, in program order.
+std::vector<std::pair<std::string, std::string>> acl_specs(int n = 4);
+
+/// The first four ACL table names, in program order.
+std::vector<std::string> acl_table_names();
+
+// ------------------------------------------------------- Fig 11a scenario
+
+/// Service load balancer (§5.3.1): "a sequence of MA tables starting with
+/// eight tables for regular packet processing, followed by two tables for
+/// load balancing, and ending with two ACL tables."
+ir::Program load_balancer_program();
+
+// ------------------------------------------------------- Fig 11b scenario
+
+/// DASH-style packet routing (§5.3.2): "direction lookup, metadata setup
+/// including appliance ID, ENI, and VNI, connection tracking, three levels
+/// of ACLs, and routing." Connection tracking writes per-flow state, which
+/// is why it defeats whole-program vendor caches.
+ir::Program dash_routing_program();
+
+// ------------------------------------------------------- Fig 11c scenario
+
+/// Network-function composition (§5.3.3): the load balancer + the DASH
+/// routing + an L2/L3/ACL program, glued with branches so the partition
+/// yields nine pipelets.
+ir::Program nf_composition_program();
+
+// --------------------------------------------------------------- utilities
+
+/// Installs one exact allow/deny entry per flow of `flows` drawn from
+/// `deny_flows` into the named ACL table (action 1 = deny); other flows are
+/// left to the default allow.
+void install_acl_denies(sim::Emulator& emulator, const std::string& table,
+                        const trafficgen::FlowSet& flows,
+                        const std::vector<std::size_t>& deny_flows,
+                        const std::string& key_field);
+
+/// Fills every exact table of the program that matches one of the workload
+/// tuple fields with entries for every flow (action 0), so steady-state
+/// traffic hits instead of missing. Returns the number of entries installed.
+int install_flow_entries(sim::Emulator& emulator,
+                         const trafficgen::FlowSet& flows);
+
+}  // namespace pipeleon::apps

@@ -1,0 +1,79 @@
+#include "cost/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipeleon::cost {
+
+namespace {
+
+util::LinearFit fit_points(const std::vector<CalibrationPoint>& points) {
+    std::vector<double> xs, ys;
+    xs.reserve(points.size());
+    ys.reserve(points.size());
+    for (const CalibrationPoint& p : points) {
+        xs.push_back(p.x);
+        ys.push_back(p.latency);
+    }
+    return util::linear_fit(xs, ys);
+}
+
+}  // namespace
+
+util::LinearFit fit_l_mat(const std::vector<CalibrationPoint>& exact_sweep) {
+    return fit_points(exact_sweep);
+}
+
+util::LinearFit fit_l_act(const std::vector<CalibrationPoint>& primitive_sweep) {
+    return fit_points(primitive_sweep);
+}
+
+double estimate_m(const std::vector<CalibrationPoint>& sweep,
+                  const util::LinearFit& exact_fit) {
+    if (sweep.empty() || exact_fit.slope <= 0.0) return 1.0;
+    std::vector<double> estimates;
+    estimates.reserve(sweep.size());
+    for (const CalibrationPoint& p : sweep) {
+        if (p.x <= 0.0) continue;
+        double per_table = (p.latency - exact_fit.intercept) / p.x;
+        estimates.push_back(per_table / exact_fit.slope);
+    }
+    if (estimates.empty()) return 1.0;
+    double sum = 0.0;
+    for (double e : estimates) sum += e;
+    return std::max(1.0, sum / static_cast<double>(estimates.size()));
+}
+
+CalibrationResult calibrate(const std::vector<CalibrationPoint>& exact_sweep,
+                            const std::vector<CalibrationPoint>& primitive_sweep,
+                            const std::vector<CalibrationPoint>& lpm_sweep,
+                            const std::vector<CalibrationPoint>& ternary_sweep) {
+    CalibrationResult r;
+    util::LinearFit mat = fit_l_mat(exact_sweep);
+    r.l_mat = mat.slope;
+    r.l_mat_r2 = mat.r_squared;
+    util::LinearFit act = fit_l_act(primitive_sweep);
+    // The primitive sweep varies primitives per packet at a fixed table
+    // count; its slope is the marginal primitive cost.
+    r.l_act = act.slope;
+    r.l_act_r2 = act.r_squared;
+    r.lpm_m = estimate_m(lpm_sweep, mat);
+    r.ternary_m = estimate_m(ternary_sweep, mat);
+    return r;
+}
+
+CostParams apply_calibration(CostParams params, const CalibrationResult& result) {
+    if (result.l_mat > 0.0) params.l_mat = result.l_mat;
+    if (result.l_act > 0.0) params.l_act = result.l_act;
+    if (result.lpm_m >= 1.0) {
+        params.default_lpm_m =
+            std::max(1, static_cast<int>(std::lround(result.lpm_m)));
+    }
+    if (result.ternary_m >= 1.0) {
+        params.default_ternary_m =
+            std::max(1, static_cast<int>(std::lround(result.ternary_m)));
+    }
+    return params;
+}
+
+}  // namespace pipeleon::cost

@@ -1,0 +1,55 @@
+// cost/calibrate.h — model calibration, reproducing the paper's fitting
+// methodology (§3.1): benchmark a family of programs with varying exact-table
+// counts to fit Y1 = A1*x + B1 (A1 = L_mat), vary action primitive counts to
+// fit Y2 = A2*y + B2 (A2 = L_act), then estimate m for LPM/ternary tables by
+// normalizing their observed performance against the exact-match baseline.
+#pragma once
+
+#include <vector>
+
+#include "cost/params.h"
+#include "util/stats.h"
+
+namespace pipeleon::cost {
+
+/// One benchmark observation: a program characteristic (e.g. table count)
+/// and its measured average per-packet latency.
+struct CalibrationPoint {
+    double x = 0.0;        ///< swept parameter (tables / primitives)
+    double latency = 0.0;  ///< measured average latency (cycles)
+};
+
+/// Result of calibrating against a target.
+struct CalibrationResult {
+    double l_mat = 0.0;       ///< slope of the exact-table sweep (A1)
+    double l_mat_r2 = 0.0;
+    double l_act = 0.0;       ///< slope of the primitive sweep (A2)
+    double l_act_r2 = 0.0;
+    double lpm_m = 0.0;       ///< estimated m for LPM tables
+    double ternary_m = 0.0;   ///< estimated m for ternary tables
+};
+
+/// Fits L_mat from an exact-table-count sweep.
+util::LinearFit fit_l_mat(const std::vector<CalibrationPoint>& exact_sweep);
+
+/// Fits L_act from an action-primitive sweep (fixed table count).
+util::LinearFit fit_l_act(const std::vector<CalibrationPoint>& primitive_sweep);
+
+/// Estimates m for a non-exact match kind: given measured latencies of
+/// programs with `x` tables of that kind and the exact-match baseline fit,
+/// m ≈ mean over points of (latency - B1) / (x * L_mat), i.e. the observed
+/// per-table cost normalized by the exact per-table cost.
+double estimate_m(const std::vector<CalibrationPoint>& sweep,
+                  const util::LinearFit& exact_fit);
+
+/// Runs the full calibration given the three sweeps and returns both the
+/// fitted constants and a CostParams updated with them.
+CalibrationResult calibrate(const std::vector<CalibrationPoint>& exact_sweep,
+                            const std::vector<CalibrationPoint>& primitive_sweep,
+                            const std::vector<CalibrationPoint>& lpm_sweep,
+                            const std::vector<CalibrationPoint>& ternary_sweep);
+
+/// Applies a calibration result onto a params struct.
+CostParams apply_calibration(CostParams params, const CalibrationResult& result);
+
+}  // namespace pipeleon::cost

@@ -1,0 +1,217 @@
+#include "cost/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipeleon::cost {
+
+using ir::Node;
+using ir::NodeId;
+using ir::Program;
+
+CostModel::CostModel(CostParams params,
+                     profile::InstrumentationConfig instrumentation)
+    : params_(std::move(params)), instrumentation_(instrumentation) {}
+
+int CostModel::m_multiplier(const ir::Table& table,
+                            const profile::TableStats& stats) const {
+    int m = 1;
+    switch (table.effective_match_kind()) {
+        case ir::MatchKind::Exact:
+            m = 1;
+            break;
+        case ir::MatchKind::Lpm:
+            m = stats.lpm_prefix_count > 0 ? stats.lpm_prefix_count
+                                           : params_.default_lpm_m;
+            break;
+        case ir::MatchKind::Ternary:
+        case ir::MatchKind::Range:
+            m = stats.ternary_mask_count > 0 ? stats.ternary_mask_count
+                                             : params_.default_ternary_m;
+            break;
+    }
+    return std::clamp(m, 1, params_.max_m);
+}
+
+double CostModel::match_cost(const ir::Table& table,
+                             const profile::TableStats& stats) const {
+    double per_access = table.tier == ir::MemTier::Fast && params_.l_mat_fast > 0.0
+                            ? params_.l_mat_fast
+                            : params_.l_mat;
+    return static_cast<double>(m_multiplier(table, stats)) * per_access;
+}
+
+double CostModel::action_cost(const Node& node,
+                              const profile::RuntimeProfile& profile) const {
+    double cost = 0.0;
+    for (std::size_t a = 0; a < node.table.actions.size(); ++a) {
+        double pa = profile.action_probability(node, static_cast<int>(a));
+        double na = static_cast<double>(node.table.actions[a].primitives.size());
+        cost += pa * na * params_.l_act;
+    }
+    return cost;
+}
+
+double CostModel::node_cost(const Node& node,
+                            const profile::RuntimeProfile& profile) const {
+    double cost;
+    if (node.is_branch()) {
+        cost = params_.l_branch;
+    } else {
+        cost = match_cost(node.table, profile.table(node.id)) +
+               action_cost(node, profile);
+    }
+    if (instrumentation_.enabled) {
+        cost += params_.l_counter * instrumentation_.sampling_rate;
+    }
+    if (node.core == ir::CoreKind::Cpu) cost *= params_.cpu_slowdown;
+    return cost;
+}
+
+double CostModel::expected_latency(const Program& program,
+                                   const profile::RuntimeProfile& profile) const {
+    std::vector<double> reach = profile.reach_probabilities(program);
+    double total = 0.0;
+    for (NodeId id : program.reachable()) {
+        const Node& n = program.node(id);
+        double p = reach[static_cast<std::size_t>(id)];
+        if (p <= 0.0) continue;
+        total += p * node_cost(n, profile);
+        // Migration cost on edges crossing the ASIC/CPU boundary (§3.2.4).
+        for (NodeId s : n.successors()) {
+            if (program.node(s).core != n.core) {
+                total += p * profile.edge_probability(n, s) * params_.l_migration;
+            }
+        }
+    }
+    return total;
+}
+
+std::vector<PathInfo> CostModel::enumerate_paths(
+    const Program& program, const profile::RuntimeProfile& profile,
+    std::size_t max_paths) const {
+    std::vector<PathInfo> paths;
+    if (program.root() == ir::kNoNode) return paths;
+
+    struct Frame {
+        NodeId node;
+        double prob;
+        double latency;
+        std::vector<NodeId> trail;
+    };
+
+    // Per-node fixed part (match + instrumentation), action part added per
+    // executed action so switch-case tables only charge the taken action
+    // (footnote 3 of the paper).
+    auto fixed_cost = [this, &profile](const Node& n) {
+        double c = n.is_branch()
+                       ? params_.l_branch
+                       : match_cost(n.table, profile.table(n.id));
+        if (instrumentation_.enabled) {
+            c += params_.l_counter * instrumentation_.sampling_rate;
+        }
+        return c;
+    };
+    auto core_scale = [this](const Node& n) {
+        return n.core == ir::CoreKind::Cpu ? params_.cpu_slowdown : 1.0;
+    };
+
+    std::vector<Frame> stack;
+    stack.push_back({program.root(), 1.0, 0.0, {}});
+    while (!stack.empty()) {
+        Frame f = std::move(stack.back());
+        stack.pop_back();
+        if (f.prob <= 0.0) continue;
+        const Node& n = program.node(f.node);
+        f.trail.push_back(f.node);
+        double base = f.latency + fixed_cost(n) * core_scale(n);
+
+        auto finish = [&](double prob, double latency) {
+            if (paths.size() >= max_paths) {
+                throw std::runtime_error(
+                    "CostModel::enumerate_paths: path explosion");
+            }
+            paths.push_back({f.trail, prob, latency});
+        };
+        auto follow = [&](NodeId next, double prob, double latency) {
+            if (prob <= 0.0) return;
+            if (next == ir::kNoNode) {
+                finish(prob, latency);
+                return;
+            }
+            double migration = program.node(next).core != n.core
+                                   ? params_.l_migration
+                                   : 0.0;
+            stack.push_back({next, prob, latency + migration, f.trail});
+        };
+
+        if (n.is_branch()) {
+            double pt = profile.branch_true_probability(n.id);
+            follow(n.true_next, f.prob * pt, base);
+            follow(n.false_next, f.prob * (1.0 - pt), base);
+            continue;
+        }
+        for (std::size_t a = 0; a < n.table.actions.size(); ++a) {
+            double pa = profile.action_probability(n, static_cast<int>(a));
+            if (pa <= 0.0) continue;
+            double act = static_cast<double>(n.table.actions[a].primitives.size()) *
+                         params_.l_act * core_scale(n);
+            double lat = base + act;
+            if (n.table.actions[a].drops()) {
+                finish(f.prob * pa, lat);  // drop halts execution
+            } else {
+                follow(n.next_by_action[a], f.prob * pa, lat);
+            }
+        }
+        if (n.table.default_action < 0) {
+            follow(n.miss_next, f.prob * profile.miss_probability(n), base);
+        }
+    }
+    return paths;
+}
+
+double CostModel::expected_latency_by_paths(
+    const Program& program, const profile::RuntimeProfile& profile,
+    std::size_t max_paths) const {
+    double total = 0.0;
+    for (const PathInfo& p : enumerate_paths(program, profile, max_paths)) {
+        total += p.probability * p.latency;
+    }
+    return total;
+}
+
+double CostModel::pipelet_latency(const Program& program,
+                                  const analysis::Pipelet& pipelet,
+                                  const profile::RuntimeProfile& profile) const {
+    double survive = 1.0;
+    double total = 0.0;
+    for (NodeId id : pipelet.nodes) {
+        const Node& n = program.node(id);
+        total += survive * node_cost(n, profile);
+        survive *= 1.0 - profile.drop_probability(n);
+        if (survive <= 0.0) break;
+    }
+    return total;
+}
+
+double CostModel::memory_bytes(const ir::Table& table,
+                               const profile::TableStats& stats) const {
+    double entry_bytes =
+        static_cast<double>(table.key_width_bits()) / 8.0 +
+        static_cast<double>(params_.entry_overhead_bytes);
+    double entries = static_cast<double>(
+        std::max(stats.entry_count, static_cast<std::size_t>(1)));
+    return entries * entry_bytes *
+           static_cast<double>(m_multiplier(table, stats));
+}
+
+double CostModel::throughput_gbps(double avg_latency_cycles,
+                                  double cycles_per_second,
+                                  double line_rate_gbps, double packet_bytes) {
+    if (avg_latency_cycles <= 0.0) return line_rate_gbps;
+    double pps = cycles_per_second / avg_latency_cycles;
+    double gbps = pps * packet_bytes * 8.0 / 1e9;
+    return std::min(gbps, line_rate_gbps);
+}
+
+}  // namespace pipeleon::cost

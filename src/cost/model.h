@@ -1,0 +1,107 @@
+// cost/model.h — the approximate P4 performance model of §3.1.
+//
+//   L(G)  = Σ_π P(π) L(π)                       (Equation 1)
+//   P(π)  = Π  edge probabilities on the path   (Equation 2a)
+//   L(π)  = Σ  node latencies on the path       (Equation 2b)
+//   L(v)  = L_match(v) + L_action(v)            (Equation 3, tables)
+//   L_match(v)  = m_v * L_mat                   (Equation 4a)
+//   L_action(v) = Σ_a P(a) * n_a * L_act        (Equation 4b)
+//
+// L(G) is computed by linearity as Σ_v P(reach v) * L(v), which equals the
+// path sum (expected_latency_by_paths verifies the identity on small
+// graphs and the tests assert it). The model also produces the memory and
+// entry-update-rate estimates that constrain the optimization search (Eq. 5).
+#pragma once
+
+#include <vector>
+
+#include "analysis/pipelet.h"
+#include "cost/params.h"
+#include "ir/program.h"
+#include "profile/profile.h"
+
+namespace pipeleon::cost {
+
+/// One enumerated execution path (for small-program analysis and tests).
+struct PathInfo {
+    std::vector<ir::NodeId> nodes;
+    double probability = 0.0;
+    double latency = 0.0;
+};
+
+class CostModel {
+public:
+    explicit CostModel(CostParams params,
+                       profile::InstrumentationConfig instrumentation = {});
+
+    const CostParams& params() const { return params_; }
+    const profile::InstrumentationConfig& instrumentation() const {
+        return instrumentation_;
+    }
+
+    // ------------------------------------------------------- per-node costs
+
+    /// m_v: number of memory accesses for the table's key match. Exact = 1;
+    /// LPM = distinct prefix lengths among live entries (default when
+    /// unknown); ternary/range = distinct masks (default when unknown).
+    int m_multiplier(const ir::Table& table, const profile::TableStats& stats) const;
+
+    /// L_match(v) = m_v * L_mat.
+    double match_cost(const ir::Table& table, const profile::TableStats& stats) const;
+
+    /// L_action(v) = Σ_a P(a) n_a L_act, with P(a) from the profile.
+    double action_cost(const ir::Node& node,
+                       const profile::RuntimeProfile& profile) const;
+
+    /// Total node cost: table match + action (+ counter instrumentation,
+    /// + CPU slowdown when the node is assigned to CPU cores); branch cost
+    /// for branch nodes.
+    double node_cost(const ir::Node& node,
+                     const profile::RuntimeProfile& profile) const;
+
+    // --------------------------------------------------- program-level cost
+
+    /// Expected program latency L(G) (Equation 1), computed by linearity.
+    /// Includes migration costs for edges crossing ASIC/CPU boundaries.
+    double expected_latency(const ir::Program& program,
+                            const profile::RuntimeProfile& profile) const;
+
+    /// L(G) by explicit path enumeration (Equations 1/2a/2b literally).
+    /// Throws std::runtime_error when the path count exceeds `max_paths`.
+    double expected_latency_by_paths(const ir::Program& program,
+                                     const profile::RuntimeProfile& profile,
+                                     std::size_t max_paths = 100000) const;
+
+    /// Enumerates execution paths with probabilities and latencies.
+    std::vector<PathInfo> enumerate_paths(const ir::Program& program,
+                                          const profile::RuntimeProfile& profile,
+                                          std::size_t max_paths = 100000) const;
+
+    /// L(G') for a pipelet: expected latency per packet *entering* the
+    /// pipelet, with drop-truncation (a dropped packet pays no downstream
+    /// node costs — the SmartNIC halts execution on drop, §3.2.1).
+    double pipelet_latency(const ir::Program& program,
+                           const analysis::Pipelet& pipelet,
+                           const profile::RuntimeProfile& profile) const;
+
+    // -------------------------------------------------- resource estimates
+
+    /// M(v): memory estimate = entries * (key bytes + overhead) * m
+    /// ("Pipeleon multiplies the entry size with the same parameter m").
+    double memory_bytes(const ir::Table& table,
+                        const profile::TableStats& stats) const;
+
+    /// Converts an average per-packet latency (cycles) into throughput in
+    /// Gbps for reporting: rate = cycles_per_second / latency packets/s,
+    /// capped at `line_rate_gbps`. `packet_bytes` defaults to the paper's
+    /// 512-byte workload packets.
+    static double throughput_gbps(double avg_latency_cycles,
+                                  double cycles_per_second, double line_rate_gbps,
+                                  double packet_bytes = 512.0);
+
+private:
+    CostParams params_;
+    profile::InstrumentationConfig instrumentation_;
+};
+
+}  // namespace pipeleon::cost

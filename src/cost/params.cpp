@@ -1,0 +1,52 @@
+#include "cost/params.h"
+
+namespace pipeleon::cost {
+
+CostParams bluefield2_params() {
+    CostParams p;
+    p.target_name = "bluefield2";
+    p.l_mat = 10.0;
+    p.l_act = 2.0;
+    p.l_branch = 0.5;
+    p.l_counter = 0.2;  // hardware counters: cheap (Fig 12c)
+    p.l_migration = 80.0;
+    p.cpu_slowdown = 4.0;  // ARM cores vs ASIC packet engines
+    p.default_lpm_m = 3;
+    p.default_ternary_m = 5;
+    p.default_cache_hit_rate = 0.9;
+    return p;
+}
+
+CostParams agilio_cx_params() {
+    CostParams p;
+    p.target_name = "agilio_cx";
+    p.l_mat = 26.0;   // EMEM accesses dominate on micro-engines
+    p.l_act = 4.0;
+    p.l_branch = 1.0;
+    p.l_counter = 9.0;  // counter updates are expensive (Fig 12a/b)
+    p.l_migration = 120.0;
+    p.cpu_slowdown = 1.0;  // homogeneous CPU cores: no faster tier
+    p.default_lpm_m = 3;
+    p.default_ternary_m = 5;
+    p.default_cache_hit_rate = 0.9;
+    return p;
+}
+
+CostParams emulated_nic_params() {
+    CostParams p;
+    p.target_name = "emulated_nic";
+    p.l_mat = 10.0;
+    p.l_act = 2.0;
+    p.l_branch = 1.0;      // 1/10 the cost of an exact table (l_mat)
+    p.l_counter = 0.5;
+    p.l_migration = 60.0;
+    p.cpu_slowdown = 3.0;
+    // "LPM and ternary matches have the same cost, which is 3x slower than
+    // exact matches" — both default to m = 3.
+    p.default_lpm_m = 3;
+    p.default_ternary_m = 3;
+    p.default_cache_hit_rate = 0.9;
+    return p;
+}
+
+}  // namespace pipeleon::cost

@@ -1,0 +1,78 @@
+// cost/params.h — cost-model parameters (Table 1 of the paper) and per-target
+// presets. The model's unknowns L_mat (latency of one memory access / exact
+// match) and L_act (latency of one action primitive) are obtained by
+// benchmarking each target with sweeps of synthetic programs and fitting a
+// line (§3.1, "Methodology and results"); the presets below carry the values
+// our emulator targets are configured with, and cost/calibrate.h re-derives
+// them from measurements exactly as the paper does.
+//
+// Latency unit: abstract "cycles". Only relative magnitudes matter — the
+// model "estimates relative latency differences across optimization options,
+// instead of their absolute values".
+#pragma once
+
+#include <string>
+
+namespace pipeleon::cost {
+
+/// Target-specific model constants.
+struct CostParams {
+    std::string target_name = "generic";
+
+    double l_mat = 10.0;     ///< one memory access = one exact-match lookup
+    double l_act = 2.0;      ///< one action primitive
+    double l_branch = 0.0;   ///< conditional branch (≈free on most targets)
+    double l_counter = 0.5;  ///< one P4 counter update (profiling overhead)
+    /// One ASIC<->CPU packet migration, including the piggybacked context
+    /// header processing (§3.2.4).
+    double l_migration = 60.0;
+    /// Multiplier applied to table/action costs executed on CPU cores
+    /// relative to ASIC cores.
+    double cpu_slowdown = 3.0;
+
+    /// m multipliers used when live entry statistics are unavailable. The
+    /// paper's measurement methodology used 3 distinct prefixes for LPM and
+    /// 5 distinct masks for ternary tables.
+    int default_lpm_m = 3;
+    int default_ternary_m = 5;
+    /// Cap on m: real implementations bound the number of sub-hashtables.
+    int max_m = 64;
+
+    /// Default estimated hit rate for a not-yet-deployed cache (§3.2.2:
+    /// "uses a default estimated hit rate for calculation but continuously
+    /// monitors its actual performance").
+    double default_cache_hit_rate = 0.9;
+
+    /// Invalidation model for predicting cache hit rates: every covered-
+    /// table entry update invalidates the whole cache, so the predicted hit
+    /// rate decays as h = default / (1 + penalty * update_rate). Once a
+    /// cache is deployed the *measured* hit rate overrides the prediction.
+    double cache_invalidation_penalty = 0.05;
+
+    /// Bytes of overhead per stored entry beyond the key itself (action
+    /// pointer, next-hop metadata); feeds the memory estimate of Eq. 5.
+    std::size_t entry_overhead_bytes = 16;
+
+    /// Hierarchical memory (§6): per-access latency of the Fast (on-chip
+    /// SRAM) tier and the byte budget available for it. 0 disables the
+    /// feature (the P4 memory model of today's compilers: everything in
+    /// external memory).
+    double l_mat_fast = 0.0;
+    double fast_memory_bytes = 0.0;
+};
+
+/// Nvidia BlueField2-like target: dRMT ASIC cores fetching MA entries over a
+/// memory bus; fast counters (Fig 12c: <2% overhead even unsampled).
+CostParams bluefield2_params();
+
+/// Netronome Agilio CX-like target: micro-engine CPU cores with farther
+/// memory (EMEM); slower counter updates (Fig 12a/b: up to ~35% latency
+/// overhead at 40 updates unsampled).
+CostParams agilio_cx_params();
+
+/// The paper's BMv2-based emulated NIC model for §5.3.3: "LPM and ternary
+/// matches have the same cost, which is 3x slower than exact matches;
+/// conditional branches have 1/10 the cost of an exact table".
+CostParams emulated_nic_params();
+
+}  // namespace pipeleon::cost

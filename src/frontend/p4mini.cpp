@@ -1,0 +1,506 @@
+#include "frontend/p4mini.h"
+
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace pipeleon::frontend {
+
+using ir::Action;
+using ir::BranchCond;
+using ir::CmpOp;
+using ir::kNoNode;
+using ir::MatchKind;
+using ir::NodeId;
+using ir::Primitive;
+using ir::Program;
+using ir::Table;
+
+namespace {
+
+// ------------------------------------------------------------------- lexer
+
+enum class Tok {
+    Ident,    // identifiers and keywords
+    Number,   // decimal or 0x hex
+    Symbol,   // punctuation / operators, text in `text`
+    End
+};
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;
+    std::uint64_t number = 0;
+    int line = 1, column = 1;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+    const Token& peek() const { return current_; }
+
+    Token next() {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+private:
+    void advance() {
+        skip_ws_and_comments();
+        current_ = Token{};
+        current_.line = line_;
+        current_.column = column_;
+        if (pos_ >= src_.size()) {
+            current_.kind = Tok::End;
+            current_.text = "<eof>";
+            return;
+        }
+        char c = src_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident;
+            while (pos_ < src_.size()) {
+                char d = src_[pos_];
+                if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+                    d == '.') {
+                    ident += d;
+                    bump();
+                } else {
+                    break;
+                }
+            }
+            current_.kind = Tok::Ident;
+            current_.text = std::move(ident);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string num;
+            bool hex = false;
+            if (c == '0' && pos_ + 1 < src_.size() &&
+                (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+                hex = true;
+                num += src_[pos_];
+                bump();
+                num += src_[pos_];
+                bump();
+            }
+            while (pos_ < src_.size() &&
+                   (std::isxdigit(static_cast<unsigned char>(src_[pos_])))) {
+                num += src_[pos_];
+                bump();
+            }
+            current_.kind = Tok::Number;
+            current_.text = num;
+            current_.number = std::stoull(num, nullptr, hex ? 16 : 10);
+            return;
+        }
+        // Multi-character operators first.
+        static const char* two_char[] = {"==", "!=", "<=", ">=", "+=", "-="};
+        for (const char* op : two_char) {
+            if (src_.compare(pos_, 2, op) == 0) {
+                current_.kind = Tok::Symbol;
+                current_.text = op;
+                bump();
+                bump();
+                return;
+            }
+        }
+        current_.kind = Tok::Symbol;
+        current_.text = std::string(1, c);
+        bump();
+    }
+
+    void skip_ws_and_comments() {
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                bump();
+            } else if (c == '/' && pos_ + 1 < src_.size() &&
+                       src_[pos_ + 1] == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+            } else if (c == '/' && pos_ + 1 < src_.size() &&
+                       src_[pos_ + 1] == '*') {
+                bump();
+                bump();
+                while (pos_ + 1 < src_.size() &&
+                       !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+                    bump();
+                }
+                if (pos_ + 1 < src_.size()) {
+                    bump();
+                    bump();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    void bump() {
+        if (pos_ < src_.size()) {
+            if (src_[pos_] == '\n') {
+                ++line_;
+                column_ = 1;
+            } else {
+                ++column_;
+            }
+            ++pos_;
+        }
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+    int line_ = 1, column_ = 1;
+    Token current_;
+};
+
+// ------------------------------------------------------------------ parser
+
+/// Control-flow item: a table reference or an if/else block.
+struct ControlItem {
+    enum class Kind { TableRef, If } kind = Kind::TableRef;
+    std::string table;
+    // If:
+    BranchCond cond;
+    std::vector<ControlItem> then_items;
+    std::vector<ControlItem> else_items;
+    int line = 0, column = 0;
+};
+
+class Parser {
+public:
+    explicit Parser(const std::string& src) : lex_(src) {}
+
+    Program parse() {
+        expect_ident("program");
+        std::string name = expect(Tok::Ident).text;
+        expect_symbol(";");
+
+        std::map<std::string, Table> tables;
+        std::vector<ControlItem> control;
+        bool saw_control = false;
+        while (lex_.peek().kind != Tok::End) {
+            const Token& t = lex_.peek();
+            if (t.kind == Tok::Ident && t.text == "table") {
+                Table table = parse_table();
+                if (!tables.emplace(table.name, table).second) {
+                    fail("duplicate table '" + table.name + "'", t);
+                }
+            } else if (t.kind == Tok::Ident && t.text == "control") {
+                if (saw_control) fail("multiple control blocks", t);
+                lex_.next();
+                control = parse_control_block();
+                saw_control = true;
+            } else {
+                fail("expected 'table' or 'control'", t);
+            }
+        }
+        if (!saw_control) {
+            Token eof = lex_.peek();
+            fail("missing control block", eof);
+        }
+        return build_program(std::move(name), tables, control);
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what, const Token& at) {
+        throw ParseError(what + " (got '" + at.text + "')", at.line, at.column);
+    }
+
+    Token expect(Tok kind) {
+        if (lex_.peek().kind != kind) {
+            fail(kind == Tok::Ident    ? "expected identifier"
+                 : kind == Tok::Number ? "expected number"
+                                       : "expected symbol",
+                 lex_.peek());
+        }
+        return lex_.next();
+    }
+
+    Token expect_symbol(const std::string& s) {
+        if (lex_.peek().kind != Tok::Symbol || lex_.peek().text != s) {
+            fail("expected '" + s + "'", lex_.peek());
+        }
+        return lex_.next();
+    }
+
+    Token expect_ident(const std::string& s) {
+        if (lex_.peek().kind != Tok::Ident || lex_.peek().text != s) {
+            fail("expected '" + s + "'", lex_.peek());
+        }
+        return lex_.next();
+    }
+
+    bool peek_symbol(const std::string& s) {
+        return lex_.peek().kind == Tok::Symbol && lex_.peek().text == s;
+    }
+
+    bool peek_ident(const std::string& s) {
+        return lex_.peek().kind == Tok::Ident && lex_.peek().text == s;
+    }
+
+    // table IDENT { key {...} actions {...} [default a;] [size N;]
+    //               [cpu_only;] }
+    Table parse_table() {
+        expect_ident("table");
+        Table table;
+        table.name = expect(Tok::Ident).text;
+        expect_symbol("{");
+
+        expect_ident("key");
+        expect_symbol("{");
+        while (!peek_symbol("}")) {
+            ir::MatchKey key;
+            key.field = expect(Tok::Ident).text;
+            expect_symbol(":");
+            Token kind = expect(Tok::Ident);
+            if (kind.text == "exact") {
+                key.kind = MatchKind::Exact;
+            } else if (kind.text == "lpm") {
+                key.kind = MatchKind::Lpm;
+            } else if (kind.text == "ternary") {
+                key.kind = MatchKind::Ternary;
+            } else if (kind.text == "range") {
+                key.kind = MatchKind::Range;
+            } else {
+                fail("unknown match kind", kind);
+            }
+            if (peek_symbol("/")) {
+                lex_.next();
+                key.width_bits = static_cast<int>(expect(Tok::Number).number);
+            }
+            expect_symbol(";");
+            table.keys.push_back(std::move(key));
+        }
+        expect_symbol("}");
+
+        expect_ident("actions");
+        expect_symbol("{");
+        while (!peek_symbol("}")) {
+            table.actions.push_back(parse_action());
+        }
+        expect_symbol("}");
+        if (table.actions.empty()) {
+            fail("table needs at least one action", lex_.peek());
+        }
+
+        while (!peek_symbol("}")) {
+            Token t = expect(Tok::Ident);
+            if (t.text == "default") {
+                std::string name = expect(Tok::Ident).text;
+                int idx = table.action_index(name);
+                if (idx < 0) fail("unknown default action '" + name + "'", t);
+                table.default_action = idx;
+                expect_symbol(";");
+            } else if (t.text == "size") {
+                table.size = expect(Tok::Number).number;
+                expect_symbol(";");
+            } else if (t.text == "cpu_only") {
+                table.asic_supported = false;
+                expect_symbol(";");
+            } else {
+                fail("expected 'default', 'size', or 'cpu_only'", t);
+            }
+        }
+        expect_symbol("}");
+        return table;
+    }
+
+    // IDENT [(params)] { stmts }
+    Action parse_action() {
+        Action action;
+        action.name = expect(Tok::Ident).text;
+        std::vector<std::string> params;
+        if (peek_symbol("(")) {
+            lex_.next();
+            while (!peek_symbol(")")) {
+                params.push_back(expect(Tok::Ident).text);
+                if (peek_symbol(",")) lex_.next();
+            }
+            expect_symbol(")");
+        }
+        auto param_index = [&params](const std::string& name) -> int {
+            for (std::size_t i = 0; i < params.size(); ++i) {
+                if (params[i] == name) return static_cast<int>(i);
+            }
+            return -1;
+        };
+
+        expect_symbol("{");
+        while (!peek_symbol("}")) {
+            Token first = lex_.next();
+            if (first.kind != Tok::Ident) fail("expected statement", first);
+            if (first.text == "drop") {
+                expect_symbol(";");
+                action.primitives.push_back(Primitive::drop());
+            } else if (first.text == "forward") {
+                expect_symbol("(");
+                Token operand = lex_.next();
+                if (operand.kind == Tok::Number) {
+                    action.primitives.push_back(Primitive::forward(operand.number));
+                } else if (operand.kind == Tok::Ident &&
+                           param_index(operand.text) >= 0) {
+                    action.primitives.push_back(
+                        Primitive::forward_from_arg(param_index(operand.text)));
+                } else {
+                    fail("forward() takes a parameter or literal", operand);
+                }
+                expect_symbol(")");
+                expect_symbol(";");
+            } else if (first.text == "noop") {
+                expect_symbol(";");
+                action.primitives.push_back(Primitive::noop());
+            } else {
+                // field = x; | field += N; | field -= N;
+                std::string dst = first.text;
+                Token op = expect(Tok::Symbol);
+                if (op.text == "=") {
+                    Token operand = lex_.next();
+                    if (operand.kind == Tok::Number) {
+                        action.primitives.push_back(
+                            Primitive::set_const(dst, operand.number));
+                    } else if (operand.kind == Tok::Ident) {
+                        int p = param_index(operand.text);
+                        if (p >= 0) {
+                            action.primitives.push_back(
+                                Primitive::set_from_arg(dst, p));
+                        } else {
+                            action.primitives.push_back(
+                                Primitive::copy_field(dst, operand.text));
+                        }
+                    } else {
+                        fail("expected value", operand);
+                    }
+                } else if (op.text == "+=") {
+                    action.primitives.push_back(
+                        Primitive::add_const(dst, expect(Tok::Number).number));
+                } else if (op.text == "-=") {
+                    action.primitives.push_back(
+                        Primitive::sub_const(dst, expect(Tok::Number).number));
+                } else {
+                    fail("expected '=', '+=', or '-='", op);
+                }
+                expect_symbol(";");
+            }
+        }
+        expect_symbol("}");
+        return action;
+    }
+
+    std::vector<ControlItem> parse_control_block() {
+        expect_symbol("{");
+        std::vector<ControlItem> items;
+        while (!peek_symbol("}")) {
+            items.push_back(parse_control_item());
+        }
+        expect_symbol("}");
+        return items;
+    }
+
+    ControlItem parse_control_item() {
+        ControlItem item;
+        const Token& t = lex_.peek();
+        item.line = t.line;
+        item.column = t.column;
+        if (peek_ident("if")) {
+            lex_.next();
+            item.kind = ControlItem::Kind::If;
+            expect_symbol("(");
+            item.cond.field = expect(Tok::Ident).text;
+            Token op = expect(Tok::Symbol);
+            static const std::map<std::string, CmpOp> ops = {
+                {"==", CmpOp::Eq}, {"!=", CmpOp::Ne}, {"<", CmpOp::Lt},
+                {"<=", CmpOp::Le}, {">", CmpOp::Gt},  {">=", CmpOp::Ge}};
+            auto it = ops.find(op.text);
+            if (it == ops.end()) fail("expected comparison operator", op);
+            item.cond.op = it->second;
+            item.cond.value = expect(Tok::Number).number;
+            expect_symbol(")");
+            item.then_items = parse_control_block();
+            if (peek_ident("else")) {
+                lex_.next();
+                item.else_items = parse_control_block();
+            }
+        } else {
+            item.kind = ControlItem::Kind::TableRef;
+            item.table = expect(Tok::Ident).text;
+            expect_symbol(";");
+        }
+        return item;
+    }
+
+    // ------------------------------------------------------------- builder
+
+    Program build_program(std::string name,
+                          const std::map<std::string, Table>& tables,
+                          const std::vector<ControlItem>& control) {
+        Program program(std::move(name));
+        std::map<std::string, NodeId> placed;
+
+        // Recursive: builds the item list so that its tail flows to `next`;
+        // returns the head node.
+        std::function<NodeId(const std::vector<ControlItem>&, NodeId)> build =
+            [&](const std::vector<ControlItem>& items, NodeId next) -> NodeId {
+            NodeId successor = next;
+            for (std::size_t i = items.size(); i-- > 0;) {
+                const ControlItem& item = items[i];
+                if (item.kind == ControlItem::Kind::TableRef) {
+                    auto it = tables.find(item.table);
+                    if (it == tables.end()) {
+                        throw ParseError("unknown table '" + item.table + "'",
+                                         item.line, item.column);
+                    }
+                    if (placed.count(item.table) != 0) {
+                        throw ParseError(
+                            "table '" + item.table + "' used more than once",
+                            item.line, item.column);
+                    }
+                    NodeId id = program.add_table(it->second);
+                    placed[item.table] = id;
+                    program.node(id).set_uniform_next(successor);
+                    successor = id;
+                } else {
+                    NodeId then_head = build(item.then_items, successor);
+                    NodeId else_head = build(item.else_items, successor);
+                    NodeId branch = program.add_branch(item.cond);
+                    program.node(branch).true_next = then_head;
+                    program.node(branch).false_next = else_head;
+                    successor = branch;
+                }
+            }
+            return successor;
+        };
+
+        NodeId root = build(control, kNoNode);
+        if (root == kNoNode) {
+            throw ParseError("control block is empty", 1, 1);
+        }
+        program.set_root(root);
+        program.validate();
+        return program;
+    }
+
+    Lexer lex_;
+};
+
+}  // namespace
+
+Program parse_p4mini(const std::string& source) {
+    return Parser(source).parse();
+}
+
+Program load_p4mini(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw ParseError("cannot open file: " + path, 0, 0);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_p4mini(ss.str());
+}
+
+}  // namespace pipeleon::frontend

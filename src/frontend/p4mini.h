@@ -1,0 +1,61 @@
+// frontend/p4mini.h — a small P4-flavored text frontend. Pipeleon proper
+// consumes compiler IR (JSON); this frontend exists so examples, tests, and
+// users can write match-action pipelines as text without running p4c. The
+// language covers exactly what the IR can express:
+//
+//   program router;
+//
+//   table ipv4_lpm {
+//     key { ipv4.dstAddr : lpm/32; meta.vrf : exact/16; }
+//     actions {
+//       set_nhop(port) { forward(port); meta.nhop = port; }
+//       deny { drop; }
+//       bump { meta.hits += 1; }
+//     }
+//     default deny;
+//     size 1024;
+//     cpu_only;            // optional: table requires CPU cores
+//   }
+//
+//   control {
+//     acl;
+//     if (meta.proto == 6) { tcp_opts; } else { udp_table; }
+//     ipv4_lpm;
+//   }
+//
+// Tables execute in control order; if/else arms re-join at the following
+// statement. Action statements: `drop;`, `forward(x);`, `field = x;`,
+// `field += N;`, `field -= N;` where x is an action parameter, an integer
+// literal (decimal or 0x hex), or another field.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/program.h"
+
+namespace pipeleon::frontend {
+
+/// Parse error with line/column context.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(const std::string& what, int line, int column)
+        : std::runtime_error("p4mini:" + std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + what),
+          line_(line),
+          column_(column) {}
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+private:
+    int line_, column_;
+};
+
+/// Parses a p4mini source text into a validated Program.
+ir::Program parse_p4mini(const std::string& source);
+
+/// Loads and parses a p4mini file.
+ir::Program load_p4mini(const std::string& path);
+
+}  // namespace pipeleon::frontend

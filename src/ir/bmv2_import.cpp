@@ -1,0 +1,367 @@
+#include "ir/bmv2_import.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace pipeleon::ir {
+
+using util::Json;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("bmv2 import: " + what);
+}
+
+std::string field_name(const Json& target) {
+    // ["hdr", "field"] or ["scalars", "metadata.x"].
+    const auto& parts = target.as_array();
+    std::vector<std::string> names;
+    for (const Json& p : parts) names.push_back(p.as_string());
+    return util::join(names, ".");
+}
+
+std::uint64_t parse_hexstr(const std::string& s) {
+    return std::stoull(s, nullptr, 0);
+}
+
+/// Field bit widths, resolved through header_types/headers when present.
+class WidthTable {
+public:
+    explicit WidthTable(const Json& doc) {
+        std::map<std::string, std::map<std::string, int>> type_fields;
+        if (const Json* types = doc.find("header_types")) {
+            for (const Json& t : types->as_array()) {
+                auto& fields = type_fields[t.at("name").as_string()];
+                if (const Json* fs = t.find("fields")) {
+                    for (const Json& f : fs->as_array()) {
+                        const auto& pair = f.as_array();
+                        if (pair.size() >= 2 && pair[1].is_number()) {
+                            fields[pair[0].as_string()] =
+                                static_cast<int>(pair[1].as_int());
+                        }
+                    }
+                }
+            }
+        }
+        if (const Json* headers = doc.find("headers")) {
+            for (const Json& h : headers->as_array()) {
+                std::string inst = h.at("name").as_string();
+                std::string type = h.get_string("header_type", "");
+                auto it = type_fields.find(type);
+                if (it == type_fields.end()) continue;
+                for (const auto& [field, width] : it->second) {
+                    widths_[inst + "." + field] = width;
+                }
+            }
+        }
+    }
+
+    int width_of(const std::string& field) const {
+        auto it = widths_.find(field);
+        return it == widths_.end() ? 32 : std::min(64, it->second);
+    }
+
+private:
+    std::map<std::string, int> widths_;
+};
+
+/// Parses the `actions` array into our Action bodies, indexed by action id.
+std::map<std::int64_t, Action> parse_actions(const Json& doc) {
+    std::map<std::int64_t, Action> out;
+    const Json* actions = doc.find("actions");
+    if (actions == nullptr) return out;
+    for (const Json& a : actions->as_array()) {
+        Action action;
+        action.name = a.at("name").as_string();
+        std::int64_t id = a.get_int("id", -1);
+        if (const Json* prims = a.find("primitives")) {
+            for (const Json& p : prims->as_array()) {
+                std::string op = p.get_string("op", "");
+                const Json* params = p.find("parameters");
+                auto param = [&](std::size_t i) -> const Json* {
+                    if (params == nullptr || i >= params->as_array().size()) {
+                        return nullptr;
+                    }
+                    return &params->as_array()[i];
+                };
+                if (op == "assign" || op == "modify_field") {
+                    const Json* dst = param(0);
+                    const Json* src = param(1);
+                    if (dst == nullptr || src == nullptr ||
+                        dst->get_string("type", "") != "field") {
+                        action.primitives.push_back(Primitive::noop());
+                        continue;
+                    }
+                    std::string dst_field = field_name(dst->at("value"));
+                    std::string src_type = src->get_string("type", "");
+                    if (src_type == "runtime_data") {
+                        action.primitives.push_back(Primitive::set_from_arg(
+                            dst_field,
+                            static_cast<int>(src->at("value").as_int())));
+                    } else if (src_type == "hexstr") {
+                        action.primitives.push_back(Primitive::set_const(
+                            dst_field, parse_hexstr(src->at("value").as_string())));
+                    } else if (src_type == "field") {
+                        action.primitives.push_back(Primitive::copy_field(
+                            dst_field, field_name(src->at("value"))));
+                    } else {
+                        // Expressions etc. — keep the cost, drop the effect.
+                        action.primitives.push_back(Primitive::noop());
+                    }
+                } else if (op == "mark_to_drop" || op == "drop") {
+                    action.primitives.push_back(Primitive::drop());
+                } else {
+                    action.primitives.push_back(Primitive::noop());
+                }
+            }
+        }
+        out.emplace(id, std::move(action));
+    }
+    return out;
+}
+
+MatchKind match_kind(const std::string& s) {
+    if (s == "exact") return MatchKind::Exact;
+    if (s == "lpm") return MatchKind::Lpm;
+    if (s == "ternary") return MatchKind::Ternary;
+    if (s == "range") return MatchKind::Range;
+    // valid_union / optional etc. degrade to ternary (multi-probe).
+    return MatchKind::Ternary;
+}
+
+/// Extracts a field-vs-constant comparison from a BMv2 conditional
+/// expression; falls back to `first_field != 0`.
+BranchCond parse_condition(const Json& expr_wrapper) {
+    BranchCond cond;
+    cond.op = CmpOp::Ne;
+    cond.value = 0;
+
+    // Recursively find the first field reference as the fallback.
+    std::function<const Json*(const Json&)> find_field =
+        [&](const Json& node) -> const Json* {
+        if (node.is_object()) {
+            if (node.get_string("type", "") == "field") return &node;
+            for (const auto& [k, v] : node.as_object()) {
+                if (const Json* f = find_field(v)) return f;
+            }
+        } else if (node.is_array()) {
+            for (const Json& v : node.as_array()) {
+                if (const Json* f = find_field(v)) return f;
+            }
+        }
+        return nullptr;
+    };
+
+    const Json* field = find_field(expr_wrapper);
+    if (field == nullptr) fail("conditional without any field reference");
+    cond.field = field_name(field->at("value"));
+
+    // Try the direct shape {op, left: field, right: hexstr} (possibly under
+    // "expression" wrappers and d2b conversions).
+    std::function<const Json*(const Json&)> unwrap = [&](const Json& node) -> const Json* {
+        if (!node.is_object()) return nullptr;
+        std::string type = node.get_string("type", "");
+        if (type == "expression") return unwrap(node.at("value"));
+        if (node.find("op") != nullptr) return &node;
+        return nullptr;
+    };
+    const Json* cmp = unwrap(expr_wrapper);
+    if (cmp == nullptr && expr_wrapper.find("expression") != nullptr) {
+        cmp = unwrap(expr_wrapper.at("expression"));
+    }
+    if (cmp != nullptr) {
+        std::string op = cmp->get_string("op", "");
+        static const std::map<std::string, CmpOp> ops = {
+            {"==", CmpOp::Eq}, {"!=", CmpOp::Ne}, {"<", CmpOp::Lt},
+            {"<=", CmpOp::Le}, {">", CmpOp::Gt},  {">=", CmpOp::Ge}};
+        auto oit = ops.find(op);
+        const Json* left = cmp->find("left");
+        const Json* right = cmp->find("right");
+        if (oit != ops.end() && left != nullptr && right != nullptr) {
+            const Json* lf = unwrap(*left) == nullptr ? left : unwrap(*left);
+            const Json* rf = unwrap(*right) == nullptr ? right : unwrap(*right);
+            if (lf->get_string("type", "") == "field" &&
+                rf->get_string("type", "") == "hexstr") {
+                cond.field = field_name(lf->at("value"));
+                cond.op = oit->second;
+                cond.value = parse_hexstr(rf->at("value").as_string());
+            }
+        }
+    }
+    return cond;
+}
+
+}  // namespace
+
+Program import_bmv2(const Json& doc, const Bmv2ImportOptions& options) {
+    const Json* pipelines = doc.find("pipelines");
+    if (pipelines == nullptr) fail("document has no 'pipelines'");
+    const Json* pipeline = nullptr;
+    for (const Json& p : pipelines->as_array()) {
+        if (p.get_string("name", "") == options.pipeline) pipeline = &p;
+    }
+    if (pipeline == nullptr) {
+        fail("pipeline '" + options.pipeline + "' not found");
+    }
+
+    WidthTable widths(doc);
+    std::map<std::int64_t, Action> actions_by_id = parse_actions(doc);
+
+    Program program(doc.get_string("program", options.pipeline));
+    std::map<std::string, NodeId> node_by_name;
+
+    // Pass 1: create nodes.
+    struct PendingTable {
+        NodeId node;
+        std::vector<std::string> next_by_action_name;  // parallel to actions
+        std::string miss_next;
+        bool has_base_default = false;
+    };
+    std::vector<PendingTable> pending_tables;
+
+    if (const Json* tables = pipeline->find("tables")) {
+        for (const Json& t : tables->as_array()) {
+            Table table;
+            table.name = t.at("name").as_string();
+            table.size = static_cast<std::size_t>(t.get_int("max_size", 1024));
+            if (const Json* key = t.find("key")) {
+                for (const Json& k : key->as_array()) {
+                    MatchKey mk;
+                    mk.kind = match_kind(k.get_string("match_type", "exact"));
+                    mk.field = field_name(k.at("target"));
+                    mk.width_bits = widths.width_of(mk.field);
+                    table.keys.push_back(std::move(mk));
+                }
+            }
+            if (table.keys.empty()) {
+                // Keyless tables (default-action only) still occupy a node;
+                // give them a synthetic always-miss key.
+                table.keys.push_back(
+                    MatchKey{"$keyless", MatchKind::Exact, 1});
+            }
+
+            PendingTable pt;
+            const Json* action_ids = t.find("action_ids");
+            const Json* action_names = t.find("actions");
+            std::size_t n_actions =
+                action_names != nullptr ? action_names->as_array().size() : 0;
+            for (std::size_t i = 0; i < n_actions; ++i) {
+                std::string name = action_names->as_array()[i].as_string();
+                Action body;
+                if (action_ids != nullptr &&
+                    i < action_ids->as_array().size()) {
+                    auto it = actions_by_id.find(
+                        action_ids->as_array()[i].as_int());
+                    if (it != actions_by_id.end()) body = it->second;
+                }
+                body.name = name;
+                table.actions.push_back(std::move(body));
+            }
+            if (table.actions.empty()) {
+                Action nop;
+                nop.name = "NoAction";
+                table.actions.push_back(std::move(nop));
+            }
+
+            // Default action: match by name against default_entry.action_id.
+            if (const Json* dflt = t.find("default_entry")) {
+                std::int64_t id = dflt->get_int("action_id", -1);
+                auto it = actions_by_id.find(id);
+                if (it != actions_by_id.end()) {
+                    int idx = table.action_index(it->second.name);
+                    if (idx >= 0) table.default_action = idx;
+                }
+            }
+
+            // Next hops per action name. BMv2 distinguishes an explicit
+            // null ("this action ends the pipeline") from an absent entry
+            // (fall back to base_default_next); encode the former with a
+            // sentinel the resolver maps to kNoNode.
+            static const char* kExplicitEnd = "\x01end";
+            if (const Json* next = t.find("next_tables")) {
+                for (const Action& a : table.actions) {
+                    const Json* target = next->find(a.name);
+                    if (target == nullptr) {
+                        pt.next_by_action_name.emplace_back("");
+                    } else if (target->is_string()) {
+                        pt.next_by_action_name.push_back(target->as_string());
+                    } else {
+                        pt.next_by_action_name.emplace_back(kExplicitEnd);
+                    }
+                }
+            } else {
+                pt.next_by_action_name.assign(table.actions.size(), "");
+            }
+            if (const Json* base = t.find("base_default_next")) {
+                if (base->is_string()) {
+                    pt.miss_next = base->as_string();
+                    pt.has_base_default = true;
+                }
+            }
+
+            pt.node = program.add_table(std::move(table));
+            node_by_name[program.node(pt.node).table.name] = pt.node;
+            pending_tables.push_back(std::move(pt));
+        }
+    }
+
+    struct PendingBranch {
+        NodeId node;
+        std::string true_next, false_next;
+    };
+    std::vector<PendingBranch> pending_branches;
+    if (const Json* conds = pipeline->find("conditionals")) {
+        for (const Json& c : conds->as_array()) {
+            BranchCond cond = parse_condition(c.at("expression"));
+            PendingBranch pb;
+            pb.node = program.add_branch(cond);
+            node_by_name[c.at("name").as_string()] = pb.node;
+            if (const Json* t = c.find("true_next")) {
+                if (t->is_string()) pb.true_next = t->as_string();
+            }
+            if (const Json* f = c.find("false_next")) {
+                if (f->is_string()) pb.false_next = f->as_string();
+            }
+            pending_branches.push_back(std::move(pb));
+        }
+    }
+
+    // Pass 2: wire edges.
+    auto resolve = [&](const std::string& name) -> NodeId {
+        if (name.empty() || name == "\x01end") return kNoNode;
+        auto it = node_by_name.find(name);
+        if (it == node_by_name.end()) fail("unknown next node '" + name + "'");
+        return it->second;
+    };
+    for (PendingTable& pt : pending_tables) {
+        Node& n = program.node(pt.node);
+        for (std::size_t i = 0; i < n.next_by_action.size(); ++i) {
+            std::string target = pt.next_by_action_name[i];
+            n.next_by_action[i] =
+                target.empty() ? resolve(pt.miss_next) : resolve(target);
+        }
+        n.miss_next = resolve(pt.miss_next);
+    }
+    for (PendingBranch& pb : pending_branches) {
+        Node& n = program.node(pb.node);
+        n.true_next = resolve(pb.true_next);
+        n.false_next = resolve(pb.false_next);
+    }
+
+    std::string init = pipeline->get_string("init_table", "");
+    if (init.empty()) fail("pipeline has no init_table");
+    program.set_root(resolve(init));
+    program.validate();
+    return program;
+}
+
+Program load_bmv2(const std::string& path, const Bmv2ImportOptions& options) {
+    return import_bmv2(util::load_json_file(path), options);
+}
+
+}  // namespace pipeleon::ir

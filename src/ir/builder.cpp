@@ -1,0 +1,181 @@
+#include "ir/builder.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace pipeleon::ir {
+
+TableSpec::TableSpec(std::string name) { table_.name = std::move(name); }
+
+TableSpec& TableSpec::key(std::string field, MatchKind kind, int width_bits) {
+    table_.keys.push_back(MatchKey{std::move(field), kind, width_bits});
+    return *this;
+}
+
+TableSpec& TableSpec::action(Action a) {
+    table_.actions.push_back(std::move(a));
+    return *this;
+}
+
+TableSpec& TableSpec::noop_action(std::string name, int n_primitives) {
+    Action a;
+    a.name = std::move(name);
+    for (int i = 0; i < n_primitives; ++i) a.primitives.push_back(Primitive::noop());
+    table_.actions.push_back(std::move(a));
+    return *this;
+}
+
+TableSpec& TableSpec::drop_action(std::string name) {
+    Action a;
+    a.name = std::move(name);
+    a.primitives.push_back(Primitive::drop());
+    table_.actions.push_back(std::move(a));
+    return *this;
+}
+
+TableSpec& TableSpec::forward_action(std::string name) {
+    Action a;
+    a.name = std::move(name);
+    a.primitives.push_back(Primitive::forward_from_arg(0));
+    table_.actions.push_back(std::move(a));
+    return *this;
+}
+
+TableSpec& TableSpec::set_field_action(std::string name, std::string field) {
+    Action a;
+    a.name = std::move(name);
+    a.primitives.push_back(Primitive::set_from_arg(std::move(field), 0));
+    table_.actions.push_back(std::move(a));
+    return *this;
+}
+
+TableSpec& TableSpec::default_to(const std::string& action_name) {
+    int idx = table_.action_index(action_name);
+    if (idx < 0) {
+        throw std::invalid_argument("TableSpec::default_to: unknown action '" +
+                                    action_name + "'");
+    }
+    table_.default_action = idx;
+    return *this;
+}
+
+TableSpec& TableSpec::size(std::size_t capacity) {
+    table_.size = capacity;
+    return *this;
+}
+
+TableSpec& TableSpec::cpu_only() {
+    table_.asic_supported = false;
+    return *this;
+}
+
+TableSpec& TableSpec::role(TableRole r) {
+    table_.role = r;
+    return *this;
+}
+
+Table TableSpec::build() const { return table_; }
+
+ProgramBuilder::ProgramBuilder(std::string name) : program_(std::move(name)) {}
+
+NodeId ProgramBuilder::add(Table table) {
+    NodeId id = program_.add_table(std::move(table));
+    last_ = id;
+    return id;
+}
+
+NodeId ProgramBuilder::add(const TableSpec& spec) { return add(spec.build()); }
+
+NodeId ProgramBuilder::add_branch(BranchCond cond) {
+    NodeId id = program_.add_branch(cond);
+    last_ = id;
+    return id;
+}
+
+NodeId ProgramBuilder::append(Table table) {
+    NodeId prev = last_;
+    NodeId id = add(std::move(table));
+    if (prev != kNoNode && prev != id) {
+        Node& p = program_.node(prev);
+        if (p.is_table()) {
+            p.set_uniform_next(id);
+        } else {
+            if (p.true_next == kNoNode) p.true_next = id;
+            if (p.false_next == kNoNode) p.false_next = id;
+        }
+    }
+    return id;
+}
+
+NodeId ProgramBuilder::append(const TableSpec& spec) { return append(spec.build()); }
+
+ProgramBuilder& ProgramBuilder::connect(NodeId from, NodeId to) {
+    Node& n = program_.node(from);
+    if (!n.is_table()) {
+        throw std::invalid_argument("connect: node is not a table; use connect_branch");
+    }
+    n.set_uniform_next(to);
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::connect_action(NodeId from, int action_idx,
+                                               NodeId to) {
+    Node& n = program_.node(from);
+    if (!n.is_table() || action_idx < 0 ||
+        static_cast<std::size_t>(action_idx) >= n.next_by_action.size()) {
+        throw std::invalid_argument("connect_action: invalid table/action");
+    }
+    n.next_by_action[static_cast<std::size_t>(action_idx)] = to;
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::connect_miss(NodeId from, NodeId to) {
+    Node& n = program_.node(from);
+    if (!n.is_table()) throw std::invalid_argument("connect_miss: not a table");
+    n.miss_next = to;
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::connect_branch(NodeId branch, NodeId on_true,
+                                               NodeId on_false) {
+    Node& n = program_.node(branch);
+    if (!n.is_branch()) throw std::invalid_argument("connect_branch: not a branch");
+    n.true_next = on_true;
+    n.false_next = on_false;
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::set_root(NodeId id) {
+    program_.set_root(id);
+    return *this;
+}
+
+Program ProgramBuilder::build() const {
+    program_.validate();
+    return program_;
+}
+
+Program linear_program(std::string name, std::vector<Table> tables) {
+    ProgramBuilder b(std::move(name));
+    for (Table& t : tables) b.append(std::move(t));
+    return b.build();
+}
+
+Program chain_of_exact_tables(std::string name, int n, int actions_per_table,
+                              int primitives_per_action) {
+    std::vector<Table> tables;
+    tables.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        TableSpec spec(util::format("t%d", i));
+        spec.key(util::format("f%d", i));
+        for (int a = 0; a < actions_per_table; ++a) {
+            spec.noop_action(util::format("t%d_a%d", i, a), primitives_per_action);
+        }
+        spec.default_to(util::format("t%d_a0", i));
+        tables.push_back(spec.build());
+    }
+    return linear_program(std::move(name), std::move(tables));
+}
+
+}  // namespace pipeleon::ir

@@ -1,0 +1,90 @@
+// ir/builder.h — fluent construction helpers. The microbenchmarks in the
+// paper build families of programs ("pipelets with four tables, replicated
+// with a scale factor N", §5.2.1); TableSpec/ProgramBuilder make those
+// one-liners in tests, benches, and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace pipeleon::ir {
+
+/// Fluent specification of a Table.
+class TableSpec {
+public:
+    explicit TableSpec(std::string name);
+
+    TableSpec& key(std::string field, MatchKind kind = MatchKind::Exact,
+                   int width_bits = 32);
+    /// Adds a fully-specified action.
+    TableSpec& action(Action a);
+    /// Adds an action of `n` NoOp primitives (cost-model padding).
+    TableSpec& noop_action(std::string name, int n_primitives = 1);
+    /// Adds an action that drops the packet.
+    TableSpec& drop_action(std::string name = "deny");
+    /// Adds an action that forwards to a port taken from entry action data.
+    TableSpec& forward_action(std::string name = "fwd");
+    /// Adds an action that sets `field` from entry action data slot 0.
+    TableSpec& set_field_action(std::string name, std::string field);
+    /// Marks the named action as the default (miss) action.
+    TableSpec& default_to(const std::string& action_name);
+    TableSpec& size(std::size_t capacity);
+    /// Marks the table as requiring CPU cores (§3.2.4).
+    TableSpec& cpu_only();
+    TableSpec& role(TableRole r);
+
+    Table build() const;
+
+private:
+    Table table_;
+};
+
+/// Incremental program construction with explicit wiring.
+class ProgramBuilder {
+public:
+    explicit ProgramBuilder(std::string name);
+
+    /// Adds a node without wiring. Edges default to kNoNode (pipeline exit).
+    NodeId add(Table table);
+    NodeId add(const TableSpec& spec);
+    NodeId add_branch(BranchCond cond);
+
+    /// Adds and chains after the previously appended node: the previous
+    /// node's uniform next (or dangling branch edges) points here.
+    NodeId append(Table table);
+    NodeId append(const TableSpec& spec);
+
+    /// Wires all of `from`'s action edges and miss edge to `to`.
+    ProgramBuilder& connect(NodeId from, NodeId to);
+    /// Wires a single action edge (switch-case tables).
+    ProgramBuilder& connect_action(NodeId from, int action_idx, NodeId to);
+    /// Wires a table's miss edge.
+    ProgramBuilder& connect_miss(NodeId from, NodeId to);
+    /// Wires a branch's outcomes.
+    ProgramBuilder& connect_branch(NodeId branch, NodeId on_true,
+                                   NodeId on_false);
+
+    ProgramBuilder& set_root(NodeId id);
+
+    /// Validates and returns the program. Throws on structural errors.
+    Program build() const;
+
+private:
+    Program program_;
+    NodeId last_ = kNoNode;
+};
+
+/// Builds a straight-line program from a list of tables (each table's every
+/// action continues to the next table; the last exits).
+Program linear_program(std::string name, std::vector<Table> tables);
+
+/// Builds the recurring microbenchmark family used throughout §5.2: `n`
+/// exact-match tables in sequence, each with `actions_per_table` actions of
+/// `primitives_per_action` NoOp primitives, matching on per-table fields
+/// f0..f{n-1}.
+Program chain_of_exact_tables(std::string name, int n, int actions_per_table = 2,
+                              int primitives_per_action = 1);
+
+}  // namespace pipeleon::ir

@@ -1,0 +1,93 @@
+#include "ir/dot.h"
+
+#include "util/strings.h"
+
+namespace pipeleon::ir {
+
+namespace {
+
+std::string table_label(const Table& t, bool show_match_kinds) {
+    std::string label = t.name;
+    if (show_match_kinds) {
+        label += "\\n";
+        std::vector<std::string> kinds;
+        for (const MatchKey& k : t.keys) {
+            kinds.push_back(k.field + ":" + to_string(k.kind));
+        }
+        label += util::join(kinds, ", ");
+    }
+    if (t.role != TableRole::Original) {
+        label += util::format("\\n[%s]", to_string(t.role));
+    }
+    return label;
+}
+
+}  // namespace
+
+std::string to_dot(const Program& program, const DotOptions& options) {
+    std::string out = "digraph \"" + program.name() + "\" {\n";
+    out += "  rankdir=LR;\n  node [fontsize=10];\n";
+
+    auto edge_label = [&options](NodeId from, NodeId to,
+                                 const std::string& tag) -> std::string {
+        std::string label = tag;
+        auto it = options.edge_probability.find({from, to});
+        if (it != options.edge_probability.end()) {
+            if (!label.empty()) label += " ";
+            label += util::format("p=%.2f", it->second);
+        }
+        return label;
+    };
+
+    auto emit_edge = [&](NodeId from, NodeId to, const std::string& tag) {
+        std::string target =
+            to == kNoNode ? "sink" : util::format("n%d", to);
+        std::string label = edge_label(from, to, tag);
+        out += util::format("  n%d -> %s", from, target.c_str());
+        if (!label.empty()) out += util::format(" [label=\"%s\"]", label.c_str());
+        out += ";\n";
+    };
+
+    bool has_sink = false;
+    for (NodeId id : program.reachable()) {
+        const Node& n = program.node(id);
+        if (n.is_table()) {
+            std::string attrs = util::format(
+                "shape=box,label=\"%s\"",
+                table_label(n.table, options.show_match_kinds).c_str());
+            if (options.show_core) {
+                attrs += n.core == CoreKind::Asic ? ",style=filled,fillcolor=lightblue"
+                                                  : ",style=filled,fillcolor=lightyellow";
+            }
+            out += util::format("  n%d [%s];\n", id, attrs.c_str());
+            if (n.is_switch_case()) {
+                for (std::size_t a = 0; a < n.next_by_action.size(); ++a) {
+                    emit_edge(id, n.next_by_action[a], n.table.actions[a].name);
+                    if (n.next_by_action[a] == kNoNode) has_sink = true;
+                }
+                if (n.table.default_action < 0) {
+                    emit_edge(id, n.miss_next, "miss");
+                    if (n.miss_next == kNoNode) has_sink = true;
+                }
+            } else {
+                NodeId next = n.next_by_action.empty() ? n.next_for_miss()
+                                                       : n.next_by_action[0];
+                emit_edge(id, next, "");
+                if (next == kNoNode) has_sink = true;
+            }
+        } else {
+            out += util::format(
+                "  n%d [shape=diamond,label=\"%s %s %llu\"];\n", id,
+                n.cond.field.c_str(), to_string(n.cond.op),
+                static_cast<unsigned long long>(n.cond.value));
+            emit_edge(id, n.true_next, "T");
+            emit_edge(id, n.false_next, "F");
+            if (n.true_next == kNoNode || n.false_next == kNoNode) has_sink = true;
+        }
+    }
+    if (has_sink) out += "  sink [shape=doublecircle,label=\"out\"];\n";
+    out += "}\n";
+    return out;
+}
+
+}  // namespace pipeleon::ir

@@ -1,0 +1,25 @@
+// ir/dot.h — Graphviz DOT export of the program DAG, optionally annotated
+// with a runtime profile's edge probabilities (like Fig 4 in the paper).
+// Useful for debugging transformations and for documentation.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/program.h"
+
+namespace pipeleon::ir {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+    bool show_match_kinds = true;   ///< annotate tables with key kinds
+    bool show_core = false;         ///< color nodes by ASIC/CPU assignment
+    /// Optional edge probabilities keyed by (from-node, to-node); rendered
+    /// as edge labels when present.
+    std::map<std::pair<NodeId, NodeId>, double> edge_probability;
+};
+
+/// Renders the reachable subgraph as a DOT digraph.
+std::string to_dot(const Program& program, const DotOptions& options = {});
+
+}  // namespace pipeleon::ir

@@ -1,0 +1,296 @@
+#include "ir/json_io.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace pipeleon::ir {
+
+using util::Json;
+using util::JsonObject;
+
+namespace {
+
+Json key_to_json(const MatchKey& key) {
+    JsonObject o;
+    o.set("field", Json(key.field));
+    o.set("match_kind", Json(std::string(to_string(key.kind))));
+    o.set("width_bits", Json(key.width_bits));
+    return Json(std::move(o));
+}
+
+MatchKey key_from_json(const Json& j) {
+    MatchKey key;
+    key.field = j.at("field").as_string();
+    key.kind = match_kind_from_string(j.at("match_kind").as_string());
+    key.width_bits = static_cast<int>(j.get_int("width_bits", 32));
+    return key;
+}
+
+Json primitive_to_json(const Primitive& p) {
+    JsonObject o;
+    o.set("op", Json(std::string(to_string(p.kind))));
+    if (!p.dst_field.empty()) o.set("dst", Json(p.dst_field));
+    if (!p.src_field.empty()) o.set("src", Json(p.src_field));
+    if (p.value != 0) o.set("value", Json(p.value));
+    if (p.arg_index >= 0) o.set("arg_index", Json(p.arg_index));
+    return Json(std::move(o));
+}
+
+Primitive primitive_from_json(const Json& j) {
+    Primitive p;
+    p.kind = primitive_kind_from_string(j.at("op").as_string());
+    p.dst_field = j.get_string("dst", "");
+    p.src_field = j.get_string("src", "");
+    p.value = static_cast<std::uint64_t>(j.get_int("value", 0));
+    p.arg_index = static_cast<int>(j.get_int("arg_index", -1));
+    return p;
+}
+
+Json action_to_json(const Action& a) {
+    JsonObject o;
+    o.set("name", Json(a.name));
+    Json prims = Json::array();
+    for (const Primitive& p : a.primitives) prims.push_back(primitive_to_json(p));
+    o.set("primitives", std::move(prims));
+    return Json(std::move(o));
+}
+
+Action action_from_json(const Json& j) {
+    Action a;
+    a.name = j.at("name").as_string();
+    for (const Json& p : j.at("primitives").as_array()) {
+        a.primitives.push_back(primitive_from_json(p));
+    }
+    return a;
+}
+
+Json table_to_json(const Table& t) {
+    JsonObject o;
+    o.set("name", Json(t.name));
+    Json keys = Json::array();
+    for (const MatchKey& k : t.keys) keys.push_back(key_to_json(k));
+    o.set("keys", std::move(keys));
+    Json actions = Json::array();
+    for (const Action& a : t.actions) actions.push_back(action_to_json(a));
+    o.set("actions", std::move(actions));
+    o.set("default_action", Json(t.default_action));
+    o.set("size", Json(t.size));
+    o.set("asic_supported", Json(t.asic_supported));
+    if (t.tier != MemTier::Default) {
+        o.set("mem_tier", Json(std::string(to_string(t.tier))));
+    }
+    o.set("role", Json(std::string(to_string(t.role))));
+    if (!t.origin_tables.empty()) {
+        Json origins = Json::array();
+        for (const std::string& name : t.origin_tables) origins.push_back(Json(name));
+        o.set("origin_tables", std::move(origins));
+    }
+    if (t.role == TableRole::Cache || t.role == TableRole::MergedCache) {
+        JsonObject c;
+        c.set("capacity", Json(t.cache.capacity));
+        c.set("max_insert_per_sec", Json(t.cache.max_insert_per_sec));
+        o.set("cache", Json(std::move(c)));
+    }
+    return Json(std::move(o));
+}
+
+Table table_from_json(const Json& j) {
+    Table t;
+    t.name = j.at("name").as_string();
+    for (const Json& k : j.at("keys").as_array()) t.keys.push_back(key_from_json(k));
+    for (const Json& a : j.at("actions").as_array()) {
+        t.actions.push_back(action_from_json(a));
+    }
+    t.default_action = static_cast<int>(j.get_int("default_action", -1));
+    t.size = static_cast<std::size_t>(j.get_int("size", 1024));
+    t.asic_supported = j.get_bool("asic_supported", true);
+    t.tier = mem_tier_from_string(j.get_string("mem_tier", "default"));
+    t.role = table_role_from_string(j.get_string("role", "original"));
+    if (const Json* origins = j.find("origin_tables")) {
+        for (const Json& name : origins->as_array()) {
+            t.origin_tables.push_back(name.as_string());
+        }
+    }
+    if (const Json* c = j.find("cache")) {
+        t.cache.capacity = static_cast<std::size_t>(c->get_int("capacity", 4096));
+        t.cache.max_insert_per_sec = c->get_double("max_insert_per_sec", 10000.0);
+    }
+    return t;
+}
+
+Json node_to_json(const Node& n) {
+    JsonObject o;
+    o.set("id", Json(n.id));
+    o.set("core", Json(std::string(to_string(n.core))));
+    if (n.is_table()) {
+        o.set("kind", Json("table"));
+        o.set("table", table_to_json(n.table));
+        Json next = Json::array();
+        for (NodeId t : n.next_by_action) next.push_back(Json(t));
+        o.set("next_by_action", std::move(next));
+        o.set("miss_next", Json(n.miss_next));
+    } else {
+        o.set("kind", Json("branch"));
+        JsonObject cond;
+        cond.set("field", Json(n.cond.field));
+        cond.set("op", Json(std::string(to_string(n.cond.op))));
+        cond.set("value", Json(n.cond.value));
+        o.set("cond", Json(std::move(cond)));
+        o.set("true_next", Json(n.true_next));
+        o.set("false_next", Json(n.false_next));
+    }
+    return Json(std::move(o));
+}
+
+Node node_from_json(const Json& j) {
+    Node n;
+    n.id = static_cast<NodeId>(j.at("id").as_int());
+    n.core = core_kind_from_string(j.get_string("core", "asic"));
+    const std::string kind = j.at("kind").as_string();
+    if (kind == "table") {
+        n.kind = Node::Kind::Table;
+        n.table = table_from_json(j.at("table"));
+        for (const Json& t : j.at("next_by_action").as_array()) {
+            n.next_by_action.push_back(static_cast<NodeId>(t.as_int()));
+        }
+        n.miss_next = static_cast<NodeId>(j.get_int("miss_next", kNoNode));
+    } else if (kind == "branch") {
+        n.kind = Node::Kind::Branch;
+        const Json& cond = j.at("cond");
+        n.cond.field = cond.at("field").as_string();
+        n.cond.op = cmp_op_from_string(cond.at("op").as_string());
+        n.cond.value = cond.at("value").as_uint();
+        n.true_next = static_cast<NodeId>(j.get_int("true_next", kNoNode));
+        n.false_next = static_cast<NodeId>(j.get_int("false_next", kNoNode));
+    } else {
+        throw std::runtime_error("unknown node kind: " + kind);
+    }
+    return n;
+}
+
+}  // namespace
+
+Json program_to_json(const Program& program) {
+    JsonObject o;
+    o.set("format", Json("pipeleon-ir"));
+    o.set("version", Json(1));
+    o.set("name", Json(program.name()));
+    o.set("root", Json(program.root()));
+    Json nodes = Json::array();
+    for (const Node& n : program.nodes()) nodes.push_back(node_to_json(n));
+    o.set("nodes", std::move(nodes));
+    return Json(std::move(o));
+}
+
+Program program_from_json(const Json& json) {
+    if (json.get_string("format", "") != "pipeleon-ir") {
+        throw std::runtime_error("not a pipeleon-ir JSON document");
+    }
+    Program program(json.get_string("name", "unnamed"));
+    const auto& node_list = json.at("nodes").as_array();
+    // Two-phase load: create all nodes first so ids resolve, then wire edges.
+    std::vector<Node> parsed;
+    parsed.reserve(node_list.size());
+    for (const Json& j : node_list) parsed.push_back(node_from_json(j));
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        if (parsed[i].id != static_cast<NodeId>(i)) {
+            throw std::runtime_error("node ids must be dense and ordered");
+        }
+        if (parsed[i].is_table()) {
+            NodeId id = program.add_table(parsed[i].table);
+            Node& n = program.node(id);
+            n.next_by_action = parsed[i].next_by_action;
+            n.miss_next = parsed[i].miss_next;
+            n.core = parsed[i].core;
+        } else {
+            NodeId id = program.add_branch(parsed[i].cond);
+            Node& n = program.node(id);
+            n.true_next = parsed[i].true_next;
+            n.false_next = parsed[i].false_next;
+            n.core = parsed[i].core;
+        }
+    }
+    program.set_root(static_cast<NodeId>(json.get_int("root", 0)));
+    program.validate();
+    return program;
+}
+
+Program load_program(const std::string& path) {
+    return program_from_json(util::load_json_file(path));
+}
+
+void save_program(const std::string& path, const Program& program) {
+    util::save_json_file(path, program_to_json(program));
+}
+
+namespace {
+
+// 64-bit values are serialized as hex strings: JSON numbers are doubles and
+// cannot represent full-width masks exactly.
+Json u64_to_json(std::uint64_t v) { return Json(util::format("0x%llx", static_cast<unsigned long long>(v))); }
+
+std::uint64_t u64_from_json(const Json& j) {
+    if (j.is_number()) return j.as_uint();
+    return std::stoull(j.as_string(), nullptr, 0);
+}
+
+}  // namespace
+
+Json entry_to_json(const TableEntry& entry) {
+    JsonObject o;
+    Json key = Json::array();
+    for (const FieldMatch& m : entry.key) {
+        JsonObject k;
+        k.set("kind", Json(std::string(to_string(m.kind))));
+        k.set("value", u64_to_json(m.value));
+        switch (m.kind) {
+            case MatchKind::Lpm: k.set("prefix_len", Json(m.prefix_len)); break;
+            case MatchKind::Ternary: k.set("mask", u64_to_json(m.mask)); break;
+            case MatchKind::Range: k.set("hi", u64_to_json(m.mask)); break;
+            case MatchKind::Exact: break;
+        }
+        key.push_back(Json(std::move(k)));
+    }
+    o.set("key", std::move(key));
+    o.set("action_index", Json(entry.action_index));
+    if (!entry.action_data.empty()) {
+        Json data = Json::array();
+        for (std::uint64_t v : entry.action_data) data.push_back(u64_to_json(v));
+        o.set("action_data", std::move(data));
+    }
+    o.set("priority", Json(entry.priority));
+    return Json(std::move(o));
+}
+
+TableEntry entry_from_json(const Json& json) {
+    TableEntry e;
+    for (const Json& k : json.at("key").as_array()) {
+        FieldMatch m;
+        m.kind = match_kind_from_string(k.at("kind").as_string());
+        m.value = u64_from_json(k.at("value"));
+        switch (m.kind) {
+            case MatchKind::Lpm:
+                m.prefix_len = static_cast<int>(k.get_int("prefix_len", 0));
+                break;
+            case MatchKind::Ternary:
+                if (const Json* mask = k.find("mask")) m.mask = u64_from_json(*mask);
+                break;
+            case MatchKind::Range:
+                if (const Json* hi = k.find("hi")) m.mask = u64_from_json(*hi);
+                break;
+            case MatchKind::Exact: break;
+        }
+        e.key.push_back(m);
+    }
+    e.action_index = static_cast<int>(json.get_int("action_index", 0));
+    if (const Json* data = json.find("action_data")) {
+        for (const Json& v : data->as_array()) {
+            e.action_data.push_back(u64_from_json(v));
+        }
+    }
+    e.priority = static_cast<int>(json.get_int("priority", 0));
+    return e;
+}
+
+}  // namespace pipeleon::ir

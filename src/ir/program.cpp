@@ -1,0 +1,263 @@
+#include "ir/program.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pipeleon::ir {
+
+const char* to_string(CoreKind core) {
+    switch (core) {
+        case CoreKind::Asic: return "asic";
+        case CoreKind::Cpu: return "cpu";
+    }
+    return "?";
+}
+
+CoreKind core_kind_from_string(const std::string& s) {
+    if (s == "asic") return CoreKind::Asic;
+    if (s == "cpu") return CoreKind::Cpu;
+    throw std::invalid_argument("unknown core kind: " + s);
+}
+
+NodeId Node::next_for_action(int action_idx) const {
+    if (action_idx < 0 ||
+        static_cast<std::size_t>(action_idx) >= next_by_action.size()) {
+        return kNoNode;
+    }
+    return next_by_action[static_cast<std::size_t>(action_idx)];
+}
+
+NodeId Node::next_for_miss() const {
+    if (table.default_action >= 0) return next_for_action(table.default_action);
+    return miss_next;
+}
+
+bool Node::is_switch_case() const {
+    if (!is_table()) return false;
+    std::set<NodeId> targets;
+    for (NodeId n : next_by_action) targets.insert(n);
+    targets.insert(next_for_miss());
+    return targets.size() > 1;
+}
+
+std::vector<NodeId> Node::successors() const {
+    std::vector<NodeId> out;
+    auto push = [&out](NodeId n) {
+        if (n != kNoNode && std::find(out.begin(), out.end(), n) == out.end()) {
+            out.push_back(n);
+        }
+    };
+    if (is_branch()) {
+        push(true_next);
+        push(false_next);
+    } else {
+        for (NodeId n : next_by_action) push(n);
+        push(next_for_miss());
+    }
+    return out;
+}
+
+void Node::set_uniform_next(NodeId next) {
+    next_by_action.assign(table.actions.size(), next);
+    miss_next = next;
+}
+
+NodeId Program::add_table(Table table) {
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.kind = Node::Kind::Table;
+    n.table = std::move(table);
+    n.next_by_action.assign(n.table.actions.size(), kNoNode);
+    nodes_.push_back(std::move(n));
+    if (root_ == kNoNode) root_ = nodes_.back().id;
+    return nodes_.back().id;
+}
+
+NodeId Program::add_branch(BranchCond cond) {
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.kind = Node::Kind::Branch;
+    n.cond = cond;
+    nodes_.push_back(std::move(n));
+    if (root_ == kNoNode) root_ = nodes_.back().id;
+    return nodes_.back().id;
+}
+
+const Node& Program::node(NodeId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+        throw std::out_of_range("Program::node: invalid node id " +
+                                std::to_string(id));
+    }
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Program::node(NodeId id) {
+    return const_cast<Node&>(static_cast<const Program*>(this)->node(id));
+}
+
+NodeId Program::find_table(const std::string& table_name) const {
+    for (const Node& n : nodes_) {
+        if (n.is_table() && n.table.name == table_name) return n.id;
+    }
+    return kNoNode;
+}
+
+std::vector<NodeId> Program::reachable() const {
+    std::vector<NodeId> order;
+    if (root_ == kNoNode) return order;
+    std::vector<bool> seen(nodes_.size(), false);
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+        NodeId id = stack.back();
+        stack.pop_back();
+        if (id == kNoNode || seen[static_cast<std::size_t>(id)]) continue;
+        seen[static_cast<std::size_t>(id)] = true;
+        order.push_back(id);
+        for (NodeId s : node(id).successors()) stack.push_back(s);
+    }
+    return order;
+}
+
+std::vector<NodeId> Program::topo_order() const {
+    std::vector<NodeId> reach = reachable();
+    std::vector<int> indeg(nodes_.size(), 0);
+    std::vector<bool> in_reach(nodes_.size(), false);
+    for (NodeId id : reach) in_reach[static_cast<std::size_t>(id)] = true;
+    for (NodeId id : reach) {
+        for (NodeId s : node(id).successors()) {
+            if (s != kNoNode && in_reach[static_cast<std::size_t>(s)]) {
+                ++indeg[static_cast<std::size_t>(s)];
+            }
+        }
+    }
+    std::vector<NodeId> queue;
+    for (NodeId id : reach) {
+        if (indeg[static_cast<std::size_t>(id)] == 0) queue.push_back(id);
+    }
+    std::vector<NodeId> order;
+    while (!queue.empty()) {
+        // Stable pop: take the smallest id so the order is deterministic.
+        auto it = std::min_element(queue.begin(), queue.end());
+        NodeId id = *it;
+        queue.erase(it);
+        order.push_back(id);
+        for (NodeId s : node(id).successors()) {
+            if (s == kNoNode || !in_reach[static_cast<std::size_t>(s)]) continue;
+            if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+        }
+    }
+    if (order.size() != reach.size()) {
+        throw std::runtime_error("Program::topo_order: cycle detected in '" +
+                                 name_ + "'");
+    }
+    return order;
+}
+
+std::vector<std::vector<NodeId>> Program::predecessors() const {
+    std::vector<std::vector<NodeId>> preds(nodes_.size());
+    for (NodeId id : reachable()) {
+        for (NodeId s : node(id).successors()) {
+            if (s == kNoNode) continue;
+            auto& v = preds[static_cast<std::size_t>(s)];
+            if (std::find(v.begin(), v.end(), id) == v.end()) v.push_back(id);
+        }
+    }
+    return preds;
+}
+
+void Program::validate() const {
+    if (nodes_.empty()) throw std::runtime_error("program has no nodes");
+    if (root_ < 0 || static_cast<std::size_t>(root_) >= nodes_.size()) {
+        throw std::runtime_error("program root is invalid");
+    }
+    std::set<std::string> names;
+    for (const Node& n : nodes_) {
+        auto check_edge = [&](NodeId target, const char* what) {
+            if (target != kNoNode &&
+                (target < 0 || static_cast<std::size_t>(target) >= nodes_.size())) {
+                throw std::runtime_error("node " + std::to_string(n.id) + " " +
+                                         what + " points outside the program");
+            }
+            if (target == n.id) {
+                throw std::runtime_error("node " + std::to_string(n.id) + " " +
+                                         what + " forms a self-loop");
+            }
+        };
+        if (n.is_table()) {
+            if (n.table.name.empty()) {
+                throw std::runtime_error("table node " + std::to_string(n.id) +
+                                         " has an empty name");
+            }
+            if (!names.insert(n.table.name).second) {
+                throw std::runtime_error("duplicate table name '" +
+                                         n.table.name + "'");
+            }
+            if (n.table.actions.empty()) {
+                throw std::runtime_error("table '" + n.table.name +
+                                         "' has no actions");
+            }
+            if (n.next_by_action.size() != n.table.actions.size()) {
+                throw std::runtime_error(
+                    "table '" + n.table.name +
+                    "': next_by_action size does not match action count");
+            }
+            if (n.table.default_action >= 0 &&
+                static_cast<std::size_t>(n.table.default_action) >=
+                    n.table.actions.size()) {
+                throw std::runtime_error("table '" + n.table.name +
+                                         "': default action out of range");
+            }
+            if (n.table.keys.empty()) {
+                throw std::runtime_error("table '" + n.table.name +
+                                         "' has no match keys");
+            }
+            for (NodeId t : n.next_by_action) check_edge(t, "action edge");
+            check_edge(n.miss_next, "miss edge");
+        } else {
+            if (n.cond.field.empty()) {
+                throw std::runtime_error("branch node " + std::to_string(n.id) +
+                                         " has an empty condition field");
+            }
+            check_edge(n.true_next, "true edge");
+            check_edge(n.false_next, "false edge");
+        }
+    }
+    topo_order();  // throws on cycles
+}
+
+std::vector<NodeId> Program::compact() {
+    std::vector<NodeId> remap(nodes_.size(), kNoNode);
+    std::vector<NodeId> reach = reachable();
+    std::sort(reach.begin(), reach.end());
+    NodeId next_id = 0;
+    for (NodeId id : reach) remap[static_cast<std::size_t>(id)] = next_id++;
+
+    auto translate = [&remap](NodeId id) {
+        return id == kNoNode ? kNoNode : remap[static_cast<std::size_t>(id)];
+    };
+
+    std::vector<Node> new_nodes(reach.size());
+    for (NodeId old_id : reach) {
+        Node n = nodes_[static_cast<std::size_t>(old_id)];
+        n.id = translate(old_id);
+        for (NodeId& t : n.next_by_action) t = translate(t);
+        n.miss_next = translate(n.miss_next);
+        n.true_next = translate(n.true_next);
+        n.false_next = translate(n.false_next);
+        new_nodes[static_cast<std::size_t>(n.id)] = std::move(n);
+    }
+    nodes_ = std::move(new_nodes);
+    root_ = translate(root_);
+    return remap;
+}
+
+std::size_t Program::table_count() const {
+    std::size_t count = 0;
+    for (NodeId id : reachable()) {
+        if (node(id).is_table()) ++count;
+    }
+    return count;
+}
+
+}  // namespace pipeleon::ir

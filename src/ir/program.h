@@ -1,0 +1,128 @@
+// ir/program.h — the program DAG (§3.1, Fig 4). Nodes are MA tables or
+// conditional branches; every packet traverses exactly one root-to-sink path
+// (run-to-completion). Edges are labelled: a table's out-edges are selected
+// by the executed action (a "switch-case table" when actions lead to
+// different successors) plus a miss edge; a branch has true/false edges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/entry.h"
+#include "ir/table.h"
+#include "ir/types.h"
+
+namespace pipeleon::ir {
+
+/// Which SmartNIC core class a node is assigned to when the program is
+/// partitioned across heterogeneous targets (§3.2.4). Single-target programs
+/// leave everything on Asic.
+enum class CoreKind : std::uint8_t { Asic, Cpu };
+
+const char* to_string(CoreKind core);
+CoreKind core_kind_from_string(const std::string& s);
+
+/// A node of the program DAG.
+struct Node {
+    enum class Kind : std::uint8_t { Table, Branch };
+
+    NodeId id = kNoNode;
+    Kind kind = Kind::Table;
+    CoreKind core = CoreKind::Asic;
+
+    // -- Table nodes ---------------------------------------------------
+    Table table;
+    /// Successor per action index; must have table.actions.size() elements
+    /// for table nodes. kNoNode means "exit the pipeline".
+    std::vector<NodeId> next_by_action;
+    /// Successor on a miss when the table has no default action
+    /// (default_action == -1). With a default action, the miss follows
+    /// next_by_action[default_action].
+    NodeId miss_next = kNoNode;
+
+    // -- Branch nodes ----------------------------------------------------
+    BranchCond cond;
+    NodeId true_next = kNoNode;
+    NodeId false_next = kNoNode;
+
+    bool is_table() const { return kind == Kind::Table; }
+    bool is_branch() const { return kind == Kind::Branch; }
+
+    /// The successor taken when the table hits with `action_idx`.
+    NodeId next_for_action(int action_idx) const;
+    /// The successor taken when the table misses.
+    NodeId next_for_miss() const;
+
+    /// True when different actions (or the miss) lead to different
+    /// successors — the "switch-case table" of §4.1.1, which forms its own
+    /// pipelet because it creates multiple dataflows.
+    bool is_switch_case() const;
+
+    /// De-duplicated successor list (excluding kNoNode).
+    std::vector<NodeId> successors() const;
+
+    /// Points every action edge and the miss edge at `next`.
+    void set_uniform_next(NodeId next);
+
+    bool operator==(const Node&) const = default;
+};
+
+/// A P4 program as a rooted DAG. Node ids are dense indices; transformations
+/// may leave unreachable nodes behind, which `compact()` removes.
+class Program {
+public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /// Adds a table node and returns its id. Edges start as kNoNode.
+    NodeId add_table(Table table);
+    /// Adds a branch node and returns its id.
+    NodeId add_branch(BranchCond cond);
+
+    NodeId root() const { return root_; }
+    void set_root(NodeId id) { root_ = id; }
+
+    std::size_t node_count() const { return nodes_.size(); }
+    const Node& node(NodeId id) const;
+    Node& node(NodeId id);
+    const std::vector<Node>& nodes() const { return nodes_; }
+
+    /// Finds the node id of the table with the given name; kNoNode if absent.
+    NodeId find_table(const std::string& table_name) const;
+
+    /// All node ids reachable from the root, in discovery order.
+    std::vector<NodeId> reachable() const;
+
+    /// Reachable nodes in topological order (root first). Throws
+    /// std::runtime_error if the reachable subgraph has a cycle.
+    std::vector<NodeId> topo_order() const;
+
+    /// predecessors()[id] lists nodes with an edge into `id` (reachable
+    /// subgraph only; duplicate parallel edges collapsed).
+    std::vector<std::vector<NodeId>> predecessors() const;
+
+    /// Structural sanity checks: root validity, edge targets in range,
+    /// next_by_action sized to the action list, acyclicity, distinct table
+    /// names. Throws std::runtime_error with a description on failure.
+    void validate() const;
+
+    /// Removes unreachable nodes and renumbers ids densely, preserving
+    /// reachable-subgraph structure. Returns old-id -> new-id map (kNoNode
+    /// for removed nodes).
+    std::vector<NodeId> compact();
+
+    /// Number of reachable table nodes.
+    std::size_t table_count() const;
+
+    bool operator==(const Program&) const = default;
+
+private:
+    std::string name_;
+    std::vector<Node> nodes_;
+    NodeId root_ = kNoNode;
+};
+
+}  // namespace pipeleon::ir

@@ -1,0 +1,81 @@
+#include "ir/table.h"
+
+#include <stdexcept>
+
+namespace pipeleon::ir {
+
+const char* to_string(TableRole role) {
+    switch (role) {
+        case TableRole::Original: return "original";
+        case TableRole::Cache: return "cache";
+        case TableRole::Merged: return "merged";
+        case TableRole::MergedCache: return "merged_cache";
+        case TableRole::Navigation: return "navigation";
+        case TableRole::Migration: return "migration";
+    }
+    return "?";
+}
+
+TableRole table_role_from_string(const std::string& s) {
+    if (s == "original") return TableRole::Original;
+    if (s == "cache") return TableRole::Cache;
+    if (s == "merged") return TableRole::Merged;
+    if (s == "merged_cache") return TableRole::MergedCache;
+    if (s == "navigation") return TableRole::Navigation;
+    if (s == "migration") return TableRole::Migration;
+    throw std::invalid_argument("unknown table role: " + s);
+}
+
+const char* to_string(MemTier tier) {
+    switch (tier) {
+        case MemTier::Default: return "default";
+        case MemTier::Fast: return "fast";
+    }
+    return "?";
+}
+
+MemTier mem_tier_from_string(const std::string& s) {
+    if (s == "default") return MemTier::Default;
+    if (s == "fast") return MemTier::Fast;
+    throw std::invalid_argument("unknown memory tier: " + s);
+}
+
+MatchKind Table::effective_match_kind() const {
+    bool has_lpm = false;
+    for (const MatchKey& k : keys) {
+        if (k.kind == MatchKind::Ternary || k.kind == MatchKind::Range) {
+            return MatchKind::Ternary;
+        }
+        if (k.kind == MatchKind::Lpm) has_lpm = true;
+    }
+    return has_lpm ? MatchKind::Lpm : MatchKind::Exact;
+}
+
+bool Table::has_match_kind(MatchKind kind) const {
+    for (const MatchKey& k : keys) {
+        if (k.kind == kind) return true;
+    }
+    return false;
+}
+
+int Table::key_width_bits() const {
+    int total = 0;
+    for (const MatchKey& k : keys) total += k.width_bits;
+    return total;
+}
+
+bool Table::can_drop() const {
+    for (const Action& a : actions) {
+        if (a.drops()) return true;
+    }
+    return false;
+}
+
+int Table::action_index(const std::string& action_name) const {
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (actions[i].name == action_name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+}  // namespace pipeleon::ir

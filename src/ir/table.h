@@ -1,0 +1,96 @@
+// ir/table.h — the match-action table, Pipeleon's central object. Tables
+// carry optimization provenance (cache/merged/navigation/migration roles) so
+// that the runtime can map control-plane API calls on the *original* program
+// onto the optimized layout (§2.3: "Pipeleon ensures the same program
+// management APIs by mapping the API calls to the original program to the
+// optimized version").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace pipeleon::ir {
+
+/// Why a table exists in the (possibly optimized) program.
+enum class TableRole : std::uint8_t {
+    Original,    ///< present in the input program
+    Cache,       ///< flow cache inserted by table caching (§3.2.2)
+    Merged,      ///< product table from table merging (§3.2.3)
+    MergedCache, ///< merged exact table used as a cache with fallback (§3.2.3)
+    Navigation,  ///< next_tab_id dispatch table at a partition entry (§3.2.4)
+    Migration    ///< next_tab_id update table at a partition exit (§3.2.4)
+};
+
+const char* to_string(TableRole role);
+TableRole table_role_from_string(const std::string& s);
+
+/// Memory tier a table's entries live in (§6 "Hierarchical memory support").
+/// Most SmartNIC compilers place every table in external memory; targets
+/// that expose placement can host hot tables in on-chip SRAM with a lower
+/// per-access latency.
+enum class MemTier : std::uint8_t {
+    Default,  ///< external memory (EMEM/DRAM)
+    Fast      ///< on-chip SRAM
+};
+
+const char* to_string(MemTier tier);
+MemTier mem_tier_from_string(const std::string& s);
+
+/// Per-cache-table knobs (§3.2.2): a fixed memory budget with LRU eviction
+/// and an insertion rate limit ("insertions beyond the limit will be
+/// dropped").
+struct CacheConfig {
+    std::size_t capacity = 4096;          ///< max cached entries (LRU beyond)
+    double max_insert_per_sec = 10000.0;  ///< insertion rate limit
+    bool operator==(const CacheConfig&) const = default;
+};
+
+/// A match-action table.
+struct Table {
+    std::string name;
+    std::vector<MatchKey> keys;
+    std::vector<Action> actions;
+    /// Index into `actions` executed on a miss; -1 means "no-op on miss".
+    int default_action = -1;
+    /// Capacity in entries; the optimizer's memory estimate multiplies the
+    /// live entry count by entry size and the match multiplier m (§4, Eq. 5).
+    std::size_t size = 1024;
+
+    /// False when any action uses operations the ASIC cores cannot run, in
+    /// which case the table must execute on CPU cores (§3.2.4).
+    bool asic_supported = true;
+
+    /// Memory tier; assigned by opt::assign_memory_tiers on targets that
+    /// support placement, Default otherwise.
+    MemTier tier = MemTier::Default;
+
+    TableRole role = TableRole::Original;
+    /// For Cache/Merged/MergedCache tables: names of covered source tables,
+    /// in pipeline order. Used by the counter map and the API mapping.
+    std::vector<std::string> origin_tables;
+    CacheConfig cache;
+
+    /// Dominant (most expensive) match kind across the key: a table with any
+    /// ternary/range key behaves like a ternary table for the cost model; a
+    /// LPM key makes it LPM; otherwise exact.
+    MatchKind effective_match_kind() const;
+
+    /// True if any key component uses the given kind.
+    bool has_match_kind(MatchKind kind) const;
+
+    /// Total key width in bits (used for memory estimates).
+    int key_width_bits() const;
+
+    /// True when the table has an action containing a Drop primitive.
+    bool can_drop() const;
+
+    /// Looks up an action index by name; -1 when absent.
+    int action_index(const std::string& action_name) const;
+
+    bool operator==(const Table&) const = default;
+};
+
+}  // namespace pipeleon::ir

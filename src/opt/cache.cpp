@@ -1,0 +1,69 @@
+#include "opt/cache.h"
+
+#include <algorithm>
+
+#include "analysis/dependency.h"
+#include "util/strings.h"
+
+namespace pipeleon::opt {
+
+using ir::MatchKey;
+using ir::MatchKind;
+using ir::Table;
+
+bool cacheable(const std::vector<const Table*>& covered) {
+    if (covered.empty()) return false;
+    for (const Table* t : covered) {
+        if (t == nullptr || t->role != ir::TableRole::Original) return false;
+    }
+    // No earlier table may write a later table's match key: the cache looks
+    // every key field up before any covered action runs.
+    for (std::size_t i = 0; i < covered.size(); ++i) {
+        for (std::size_t j = i + 1; j < covered.size(); ++j) {
+            if (analysis::classify_dependency(*covered[i], *covered[j]) ==
+                analysis::DependencyKind::Match) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+Table build_cache_table(const std::vector<const Table*>& covered,
+                        const ir::CacheConfig& config, const std::string& name) {
+    Table cache;
+    cache.role = ir::TableRole::Cache;
+    cache.cache = config;
+    cache.size = config.capacity;
+
+    std::vector<std::string> names;
+    for (const Table* t : covered) {
+        names.push_back(t->name);
+        cache.origin_tables.push_back(t->name);
+        for (const MatchKey& k : t->keys) {
+            bool present = std::any_of(
+                cache.keys.begin(), cache.keys.end(),
+                [&k](const MatchKey& existing) { return existing.field == k.field; });
+            if (!present) {
+                // Flow caches match exactly on the raw field values.
+                cache.keys.push_back(MatchKey{k.field, MatchKind::Exact,
+                                              k.width_bits});
+            }
+        }
+    }
+    cache.name = name.empty() ? "cache_" + util::join(names, "_") : name;
+
+    ir::Action hit;
+    hit.name = "cache_hit";  // replay is performed by the cache engine
+    cache.actions.push_back(std::move(hit));
+    cache.default_action = -1;  // miss falls through to the covered tables
+    return cache;
+}
+
+double cache_key_space(const std::vector<double>& covered_entry_counts) {
+    double product = 1.0;
+    for (double n : covered_entry_counts) product *= std::max(1.0, n);
+    return product;
+}
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,37 @@
+// opt/cache.h — table caching (§3.2.2). A flow cache is a fast exact-match
+// table placed in front of one or more covered tables: it records the match
+// *result* of the covered tables for a flow and replays it for subsequent
+// packets, skipping the complex (LPM/ternary) matches entirely. Pipeleon
+// supports an adjustable number of caches, each covering a program region,
+// to avoid the cache-key cross-product and whole-cache invalidation problems
+// of single-program-cache designs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/table.h"
+
+namespace pipeleon::opt {
+
+/// True when the given table run can be covered by one flow cache:
+/// all Original-role tables, and no earlier table writes a field a later
+/// table matches on (the cache key must be readable at cache-lookup time).
+bool cacheable(const std::vector<const ir::Table*>& covered);
+
+/// Builds the cache table definition: exact keys = de-duplicated union of
+/// the covered tables' key fields, one "hit" action (the emulator replays
+/// the recorded per-table actions on a hit; the IR-level action itself
+/// carries no primitives), no default action (miss falls through to the
+/// covered tables). Role = Cache; origin_tables = covered names.
+ir::Table build_cache_table(const std::vector<const ir::Table*>& covered,
+                            const ir::CacheConfig& config,
+                            const std::string& name = "");
+
+/// The cross-product blowup factor of caching `covered` together: the
+/// number of distinct cache keys is up to Π S_i over the covered key
+/// fields' value spaces (§3.2.2); as a practical proxy we return the
+/// product of the covered tables' live entry counts.
+double cache_key_space(const std::vector<double>& covered_entry_counts);
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,44 @@
+#include "opt/candidate.h"
+
+#include "util/strings.h"
+
+namespace pipeleon::opt {
+
+bool CandidateLayout::is_identity() const {
+    if (!caches.empty() || !merges.empty()) return false;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (order[i] != i) return false;
+    }
+    return true;
+}
+
+bool CandidateLayout::segments_valid(std::size_t n) const {
+    std::vector<Segment> all = caches;
+    for (const MergeSpec& m : merges) all.push_back(m.seg);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i].first > all[i].last || all[i].last >= n) return false;
+        for (std::size_t j = i + 1; j < all.size(); ++j) {
+            if (all[i].overlaps(all[j])) return false;
+        }
+    }
+    return true;
+}
+
+std::string CandidateLayout::to_string() const {
+    std::string out = "order=[";
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(order[i]);
+    }
+    out += "]";
+    for (const Segment& s : caches) {
+        out += util::format(" cache=[%zu-%zu]", s.first, s.last);
+    }
+    for (const MergeSpec& m : merges) {
+        out += util::format(" merge=[%zu-%zu]%s", m.seg.first, m.seg.last,
+                            m.as_cache ? "*" : "");
+    }
+    return out;
+}
+
+}  // namespace pipeleon::opt

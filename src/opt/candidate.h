@@ -1,0 +1,75 @@
+// opt/candidate.h — optimization candidates over one pipelet (§4.2). A
+// candidate combines (a) a dependency-respecting table order, (b) a set of
+// disjoint contiguous cache segments, and (c) a set of disjoint contiguous
+// merge segments; caching and merging never apply to the same table ("the
+// merging candidate cannot co-exist with other caching candidates" on the
+// same tables). Candidates carry the cost-model-evaluated performance gain
+// and resource overheads consumed by the global knapsack search.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/table.h"
+
+namespace pipeleon::opt {
+
+/// A contiguous run of positions [first, last] (inclusive) in the
+/// candidate's *new* table order.
+struct Segment {
+    std::size_t first = 0;
+    std::size_t last = 0;
+
+    std::size_t length() const { return last - first + 1; }
+    bool contains(std::size_t p) const { return p >= first && p <= last; }
+    bool overlaps(const Segment& other) const {
+        return first <= other.last && other.first <= last;
+    }
+    bool operator==(const Segment&) const = default;
+};
+
+/// A merge segment plus the fallback flavor: `as_cache` merges into an
+/// exact-match table whose misses fall back to the original tables
+/// (§3.2.3's answer to the exact→ternary blowup of Fig 6).
+struct MergeSpec {
+    Segment seg;
+    bool as_cache = false;
+
+    bool operator==(const MergeSpec&) const = default;
+};
+
+/// The structural part of a candidate: what the transformed pipelet looks
+/// like, independent of its evaluation.
+struct CandidateLayout {
+    /// Permutation of the pipelet's original positions; order[i] is the
+    /// original position of the table now at position i. Identity = no
+    /// reordering.
+    std::vector<std::size_t> order;
+    std::vector<Segment> caches;
+    std::vector<MergeSpec> merges;
+    /// Cache sizing/limits applied to every cache this candidate creates.
+    ir::CacheConfig cache_config;
+
+    bool is_identity() const;
+    /// True when no segment pair overlaps and all segments are in range for
+    /// `n` tables.
+    bool segments_valid(std::size_t n) const;
+
+    /// Human-readable form, e.g. "order=[2,0,1] cache=[0-1] merge=[2-2]*".
+    std::string to_string() const;
+};
+
+/// A fully evaluated candidate: layout + cost-model verdict. `gain` is the
+/// expected reduction in program latency contributed by this pipelet
+/// (ΔL(G') · P(G')); overheads are the *additional* memory and entry-update
+/// bandwidth relative to the unoptimized pipelet (Eq. 5 budget terms).
+struct Candidate {
+    int pipelet_id = -1;
+    CandidateLayout layout;
+    double gain = 0.0;
+    double memory_cost = 0.0;   ///< extra bytes
+    double update_cost = 0.0;   ///< extra entry updates per second
+};
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,60 @@
+#include "opt/memory_tiers.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pipeleon::opt {
+
+using ir::NodeId;
+
+TierAssignment assign_memory_tiers(const ir::Program& program,
+                                   const profile::RuntimeProfile& profile,
+                                   const cost::CostModel& model) {
+    TierAssignment result;
+    result.program = program;
+    const cost::CostParams& params = model.params();
+    if (params.l_mat_fast <= 0.0 || params.fast_memory_bytes <= 0.0 ||
+        params.l_mat_fast >= params.l_mat) {
+        return result;  // no fast tier on this target
+    }
+
+    struct Candidate {
+        NodeId node;
+        double benefit;  // expected cycles saved per packet
+        double bytes;
+    };
+    std::vector<double> reach = profile.reach_probabilities(result.program);
+    std::vector<Candidate> candidates;
+    for (NodeId id : result.program.reachable()) {
+        const ir::Node& n = result.program.node(id);
+        if (!n.is_table()) continue;
+        const profile::TableStats& stats = profile.table(id);
+        double m = static_cast<double>(model.m_multiplier(n.table, stats));
+        double benefit = reach[static_cast<std::size_t>(id)] * m *
+                         (params.l_mat - params.l_mat_fast);
+        double bytes = model.memory_bytes(n.table, stats);
+        if (benefit > 0.0 && bytes > 0.0) {
+            candidates.push_back({id, benefit, bytes});
+        }
+    }
+    // Density greedy: best saved-cycles-per-byte first; deterministic ties.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  double da = a.benefit / a.bytes, db = b.benefit / b.bytes;
+                  if (da != db) return da > db;
+                  return a.node < b.node;
+              });
+
+    double budget = params.fast_memory_bytes;
+    for (const Candidate& c : candidates) {
+        if (c.bytes > budget) continue;
+        result.program.node(c.node).table.tier = ir::MemTier::Fast;
+        budget -= c.bytes;
+        result.fast_bytes_used += c.bytes;
+        result.predicted_gain += c.benefit;
+        ++result.tables_in_fast;
+    }
+    return result;
+}
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,34 @@
+// opt/memory_tiers.h — hierarchical-memory placement (§6 "Hierarchical
+// memory support"). When a target exposes table placement (CostParams with
+// l_mat_fast > 0 and a fast_memory_bytes budget), Pipeleon can host the
+// hottest tables in on-chip SRAM. Placement is a knapsack in disguise; the
+// classic density greedy (benefit per byte) is within a single table of
+// optimal and fast enough to run every profiling round:
+//
+//   benefit(v) = P(reach v) · traffic_rate · m_v · (L_mat − L_mat_fast)
+//   weight(v)  = M(v)   (the Eq. 5 memory estimate)
+#pragma once
+
+#include "cost/model.h"
+#include "ir/program.h"
+#include "profile/profile.h"
+
+namespace pipeleon::opt {
+
+/// Outcome of a placement pass.
+struct TierAssignment {
+    ir::Program program;           ///< copy with Table::tier set
+    std::size_t tables_in_fast = 0;
+    double fast_bytes_used = 0.0;
+    /// Predicted expected-latency reduction (cycles) from the placement.
+    double predicted_gain = 0.0;
+};
+
+/// Greedily assigns tables to the Fast tier within
+/// `model.params().fast_memory_bytes`. Returns the input unchanged when the
+/// target has no fast tier configured (l_mat_fast <= 0 or budget <= 0).
+TierAssignment assign_memory_tiers(const ir::Program& program,
+                                   const profile::RuntimeProfile& profile,
+                                   const cost::CostModel& model);
+
+}  // namespace pipeleon::opt

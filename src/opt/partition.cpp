@@ -1,0 +1,153 @@
+#include "opt/partition.h"
+
+#include <algorithm>
+
+#include "opt/transform.h"
+#include "util/strings.h"
+
+namespace pipeleon::opt {
+
+using ir::CoreKind;
+using ir::kNoNode;
+using ir::Node;
+using ir::NodeId;
+using ir::Program;
+
+Program partition_by_support(const Program& program) {
+    Program work = program;
+    for (std::size_t i = 0; i < work.node_count(); ++i) {
+        Node& n = work.node(static_cast<NodeId>(i));
+        if (n.is_table()) {
+            n.core = n.table.asic_supported ? CoreKind::Asic : CoreKind::Cpu;
+        }
+    }
+    // Branches inherit the core of their (first) predecessor so that a
+    // branch inside a CPU region does not force two extra migrations.
+    auto preds = work.predecessors();
+    for (NodeId id : work.topo_order()) {
+        Node& n = work.node(id);
+        if (!n.is_branch()) continue;
+        const auto& p = preds[static_cast<std::size_t>(id)];
+        if (!p.empty()) n.core = work.node(p[0]).core;
+    }
+    return work;
+}
+
+namespace {
+
+ir::Table make_context_table(const std::string& name, ir::TableRole role) {
+    ir::Table t;
+    t.name = name;
+    t.role = role;
+    t.keys.push_back(ir::MatchKey{kNextTabIdField, ir::MatchKind::Exact, 16});
+    ir::Action resume;
+    resume.name = role == ir::TableRole::Navigation ? "resume" : "save_context";
+    if (role == ir::TableRole::Migration) {
+        resume.primitives.push_back(
+            ir::Primitive::set_const(kNextTabIdField, 0));
+    }
+    t.actions.push_back(std::move(resume));
+    t.default_action = 0;
+    t.size = 64;
+    return t;
+}
+
+}  // namespace
+
+Program insert_migration_tables(const Program& program) {
+    Program work = program;
+    // For every edge u -> v crossing cores, splice in:
+    //   u -> migration(u.core) -> navigation(v.core) -> v
+    // One navigation table per region entry and one migration table per
+    // region exit suffices; we key them by the boundary node ids.
+    int counter = 0;
+    std::vector<std::pair<NodeId, NodeId>> crossings;
+    for (NodeId id : work.reachable()) {
+        const Node& n = work.node(id);
+        for (NodeId s : n.successors()) {
+            if (work.node(s).core != n.core) crossings.emplace_back(id, s);
+        }
+    }
+    for (auto [u, v] : crossings) {
+        CoreKind from_core = work.node(u).core;
+        CoreKind to_core = work.node(v).core;
+        NodeId mig = work.add_table(make_context_table(
+            util::format("migrate_%d", counter), ir::TableRole::Migration));
+        NodeId nav = work.add_table(make_context_table(
+            util::format("navigate_%d", counter), ir::TableRole::Navigation));
+        ++counter;
+        work.node(mig).core = from_core;
+        work.node(nav).core = to_core;
+        work.node(mig).set_uniform_next(nav);
+        work.node(nav).set_uniform_next(v);
+        // Point only the u->v edges at the migration table.
+        Node& un = work.node(u);
+        for (NodeId& t : un.next_by_action) {
+            if (t == v) t = mig;
+        }
+        if (un.miss_next == v) un.miss_next = mig;
+        if (un.true_next == v) un.true_next = mig;
+        if (un.false_next == v) un.false_next = mig;
+    }
+    work.compact();
+    work.validate();
+    return work;
+}
+
+double expected_migrations(const Program& program,
+                           const profile::RuntimeProfile& profile) {
+    std::vector<double> reach = profile.reach_probabilities(program);
+    double total = 0.0;
+    for (NodeId id : program.reachable()) {
+        const Node& n = program.node(id);
+        for (NodeId s : n.successors()) {
+            if (program.node(s).core != n.core) {
+                total += reach[static_cast<std::size_t>(id)] *
+                         profile.edge_probability(n, s);
+            }
+        }
+    }
+    return total;
+}
+
+NodeId duplicate_table_for_core(Program& program, const std::string& table_name,
+                                CoreKind core) {
+    NodeId id = program.find_table(table_name);
+    if (id == kNoNode) return kNoNode;
+    ir::Table copy = program.node(id).table;
+    copy.name += core == CoreKind::Cpu ? "_cpu" : "_asic";
+    NodeId clone = program.add_table(std::move(copy));
+    program.node(clone).core = core;
+    return clone;
+}
+
+Program optimize_copies(const Program& program,
+                        const profile::RuntimeProfile& profile,
+                        const cost::CostModel& model, int max_copies) {
+    Program best = program;
+    double best_cost = model.expected_latency(best, profile);
+    for (int round = 0; round < max_copies; ++round) {
+        Program round_best = best;
+        double round_cost = best_cost;
+        bool improved = false;
+        for (NodeId id : best.reachable()) {
+            const Node& n = best.node(id);
+            if (!n.is_table() || n.core != CoreKind::Asic) continue;
+            if (!n.table.asic_supported) continue;  // already forced off ASIC
+            Program trial = best;
+            trial.node(id).core = CoreKind::Cpu;
+            double cost = model.expected_latency(trial, profile);
+            if (cost < round_cost - 1e-12) {
+                round_cost = cost;
+                round_best = std::move(trial);
+                improved = true;
+            }
+        }
+        if (!improved) break;
+        best = std::move(round_best);
+        best_cost = round_cost;
+    }
+    return best;
+}
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,57 @@
+// opt/partition.h — heterogeneous-target extensions (§3.2.4). SmartNICs like
+// BlueField2 mix ASIC packet engines with CPU cores; tables whose actions
+// the ASIC cannot run must execute on CPU cores, and packets migrate between
+// the two with the processing context piggybacked (next_tab_id metadata).
+// Pipeleon inserts a navigation table at the front and a migration table at
+// the end of each program component assigned to a core, and minimizes
+// migration overhead by reordering, caching, and *table copying* (Fig 7):
+// duplicating an ASIC-resident table onto the CPU so software-bound packets
+// need not bounce back for it.
+#pragma once
+
+#include "cost/model.h"
+#include "ir/program.h"
+#include "profile/profile.h"
+
+namespace pipeleon::profile {
+class RuntimeProfile;
+}
+
+namespace pipeleon::opt {
+
+/// Metadata field carrying the resume point across migrations.
+inline constexpr const char* kNextTabIdField = "meta.next_tab_id";
+
+/// Assigns each table node to ASIC or CPU cores by its `asic_supported`
+/// flag (the naive partition: "ASIC-unsupported operations should run on
+/// CPU cores"). Branches stay on the core of their predecessor region.
+ir::Program partition_by_support(const ir::Program& program);
+
+/// Inserts a Navigation table at the entry and a Migration table at the
+/// exit of every maximal same-core region whose boundary is crossed by an
+/// edge. Both are exact-match tables on next_tab_id with a no-op default,
+/// so they model the context save/restore cost without needing entries.
+ir::Program insert_migration_tables(const ir::Program& program);
+
+/// Expected number of ASIC<->CPU migrations per packet under `profile`.
+double expected_migrations(const ir::Program& program,
+                           const profile::RuntimeProfile& profile);
+
+/// Duplicates the named table for the given core: the clone (name suffixed
+/// "_cpu"/"_asic") is added unreachable, for the caller to wire into the
+/// desired path. Returns the clone's node id.
+ir::NodeId duplicate_table_for_core(ir::Program& program,
+                                    const std::string& table_name,
+                                    ir::CoreKind core);
+
+/// Greedy table-copy optimization: while it lowers the cost model's expected
+/// latency (CPU slowdown traded against saved migrations), reassigns the
+/// single best ASIC table to CPU cores, up to `max_copies` tables. Matches
+/// the paper's observation that copying one table can be useless ("copying
+/// only one table does not reduce the needed migration") — the greedy step
+/// simply finds no improving move in that case.
+ir::Program optimize_copies(const ir::Program& program,
+                            const profile::RuntimeProfile& profile,
+                            const cost::CostModel& model, int max_copies);
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,232 @@
+#include "opt/transform.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "opt/cache.h"
+#include "opt/merge.h"
+#include "util/strings.h"
+
+namespace pipeleon::opt {
+
+using ir::kNoNode;
+using ir::Node;
+using ir::NodeId;
+using ir::Program;
+
+void repoint_edges(Program& program, NodeId from, NodeId to) {
+    for (std::size_t i = 0; i < program.node_count(); ++i) {
+        Node& n = program.node(static_cast<NodeId>(i));
+        for (NodeId& t : n.next_by_action) {
+            if (t == from) t = to;
+        }
+        if (n.miss_next == from) n.miss_next = to;
+        if (n.true_next == from) n.true_next = to;
+        if (n.false_next == from) n.false_next = to;
+    }
+    if (program.root() == from) program.set_root(to);
+}
+
+namespace {
+
+/// One element of the rewritten pipelet chain: a head node that receives
+/// the traffic and a function of "what every exit of this element should
+/// point to".
+struct Element {
+    NodeId head = kNoNode;
+    /// Nodes whose uniform next must point at the following element (the
+    /// plain/merged node itself, or the last covered fall-through table).
+    std::vector<NodeId> uniform_tails;
+    /// Cache-style heads: action edges point to the following element while
+    /// the miss edge enters the fall-through chain (already wired).
+    std::vector<NodeId> action_edge_tails;
+};
+
+}  // namespace
+
+Program apply_plans(const Program& program,
+                    const std::vector<analysis::Pipelet>& pipelets,
+                    const std::vector<PipeletPlan>& plans) {
+    Program work = program;
+
+    for (const PipeletPlan& plan : plans) {
+        if (plan.pipelet_id < 0 ||
+            static_cast<std::size_t>(plan.pipelet_id) >= pipelets.size()) {
+            throw std::runtime_error("apply_plans: bad pipelet id");
+        }
+        const analysis::Pipelet& pipelet =
+            pipelets[static_cast<std::size_t>(plan.pipelet_id)];
+        const CandidateLayout& layout = plan.layout;
+        const std::size_t n = pipelet.nodes.size();
+        if (layout.is_identity()) continue;
+        if (layout.order.size() != n || !layout.segments_valid(n)) {
+            throw std::runtime_error("apply_plans: malformed layout for pipelet " +
+                                     std::to_string(plan.pipelet_id));
+        }
+        if (pipelet.is_switch_case) {
+            throw std::runtime_error(
+                "apply_plans: switch-case pipelets are not transformable");
+        }
+
+        // Ordered node ids after reordering.
+        std::vector<NodeId> ordered(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            ordered[i] = pipelet.nodes[layout.order[i]];
+        }
+
+        // Capture the incoming edges of the pipelet entry *before* internal
+        // rewiring: new fall-through edges created below may legitimately
+        // point at the old entry and must not be redirected.
+        NodeId old_entry = pipelet.nodes.front();
+        struct EdgeRef {
+            NodeId node;
+            enum class Slot { Action, Miss, True, False } slot;
+            std::size_t index = 0;
+        };
+        std::vector<EdgeRef> incoming;
+        bool entry_is_root = work.root() == old_entry;
+        for (std::size_t i = 0; i < work.node_count(); ++i) {
+            Node& nd = work.node(static_cast<NodeId>(i));
+            for (std::size_t a = 0; a < nd.next_by_action.size(); ++a) {
+                if (nd.next_by_action[a] == old_entry) {
+                    incoming.push_back({nd.id, EdgeRef::Slot::Action, a});
+                }
+            }
+            if (nd.miss_next == old_entry) {
+                incoming.push_back({nd.id, EdgeRef::Slot::Miss, 0});
+            }
+            if (nd.true_next == old_entry) {
+                incoming.push_back({nd.id, EdgeRef::Slot::True, 0});
+            }
+            if (nd.false_next == old_entry) {
+                incoming.push_back({nd.id, EdgeRef::Slot::False, 0});
+            }
+        }
+
+        // Build the element sequence. New nodes are appended to `work`;
+        // existing ids remain valid.
+        std::vector<Element> elements;
+        std::size_t p = 0;
+        while (p < n) {
+            const Segment* cache_seg = nullptr;
+            const MergeSpec* merge_spec = nullptr;
+            for (const Segment& s : layout.caches) {
+                if (s.first == p) cache_seg = &s;
+            }
+            for (const MergeSpec& m : layout.merges) {
+                if (m.seg.first == p) merge_spec = &m;
+            }
+
+            if (cache_seg != nullptr) {
+                std::vector<const ir::Table*> covered;
+                for (std::size_t q = cache_seg->first; q <= cache_seg->last; ++q) {
+                    covered.push_back(&work.node(ordered[q]).table);
+                }
+                if (!cacheable(covered)) {
+                    throw std::runtime_error("apply_plans: segment not cacheable");
+                }
+                ir::Table cache_table =
+                    build_cache_table(covered, layout.cache_config);
+                NodeId cache_id = work.add_table(std::move(cache_table));
+
+                Element e;
+                e.head = cache_id;
+                e.action_edge_tails.push_back(cache_id);
+                // Miss falls through the covered chain.
+                work.node(cache_id).miss_next = ordered[cache_seg->first];
+                for (std::size_t q = cache_seg->first; q < cache_seg->last; ++q) {
+                    work.node(ordered[q]).set_uniform_next(ordered[q + 1]);
+                }
+                e.uniform_tails.push_back(ordered[cache_seg->last]);
+                elements.push_back(std::move(e));
+                p = cache_seg->last + 1;
+                continue;
+            }
+
+            if (merge_spec != nullptr) {
+                std::vector<const ir::Table*> sources;
+                for (std::size_t q = merge_spec->seg.first;
+                     q <= merge_spec->seg.last; ++q) {
+                    sources.push_back(&work.node(ordered[q]).table);
+                }
+                auto merged =
+                    build_merged_table(sources, merge_spec->as_cache);
+                if (!merged.has_value()) {
+                    throw std::runtime_error("apply_plans: segment not mergeable");
+                }
+                NodeId merged_id = work.add_table(std::move(*merged));
+
+                Element e;
+                e.head = merged_id;
+                if (merge_spec->as_cache) {
+                    // Hit actions bypass the originals; a miss falls through
+                    // the original covered chain.
+                    e.action_edge_tails.push_back(merged_id);
+                    work.node(merged_id).miss_next = ordered[merge_spec->seg.first];
+                    for (std::size_t q = merge_spec->seg.first;
+                         q < merge_spec->seg.last; ++q) {
+                        work.node(ordered[q]).set_uniform_next(ordered[q + 1]);
+                    }
+                    e.uniform_tails.push_back(ordered[merge_spec->seg.last]);
+                } else {
+                    // Full merge: the originals drop out of the pipeline.
+                    e.uniform_tails.push_back(merged_id);
+                }
+                elements.push_back(std::move(e));
+                p = merge_spec->seg.last + 1;
+                continue;
+            }
+
+            Element e;
+            e.head = ordered[p];
+            e.uniform_tails.push_back(ordered[p]);
+            elements.push_back(std::move(e));
+            ++p;
+        }
+
+        // Splice the chain into the program: the captured incoming edges go
+        // to the first element; each element's tails point to the next; the
+        // final element exits to the pipelet's original exit.
+        NodeId new_entry = elements.front().head;
+        if (old_entry != new_entry) {
+            for (const EdgeRef& ref : incoming) {
+                Node& nd = work.node(ref.node);
+                switch (ref.slot) {
+                    case EdgeRef::Slot::Action:
+                        nd.next_by_action[ref.index] = new_entry;
+                        break;
+                    case EdgeRef::Slot::Miss: nd.miss_next = new_entry; break;
+                    case EdgeRef::Slot::True: nd.true_next = new_entry; break;
+                    case EdgeRef::Slot::False: nd.false_next = new_entry; break;
+                }
+            }
+            if (entry_is_root) work.set_root(new_entry);
+        }
+
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            NodeId next =
+                i + 1 < elements.size() ? elements[i + 1].head : pipelet.exit;
+            for (NodeId tail : elements[i].uniform_tails) {
+                work.node(tail).set_uniform_next(next);
+            }
+            for (NodeId tail : elements[i].action_edge_tails) {
+                Node& t = work.node(tail);
+                NodeId keep_miss = t.miss_next;
+                for (NodeId& a : t.next_by_action) a = next;
+                t.miss_next = keep_miss;
+            }
+        }
+    }
+
+    work.compact();
+    work.validate();
+    return work;
+}
+
+Program apply_plan(const Program& program,
+                   const std::vector<analysis::Pipelet>& pipelets,
+                   const PipeletPlan& plan) {
+    return apply_plans(program, pipelets, {plan});
+}
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,43 @@
+// opt/transform.h — source-to-source application of optimization plans.
+// Pipeleon "performs source-to-source compilation": the input program graph
+// is rewritten — tables reordered, cache nodes inserted in front of covered
+// runs, merged tables spliced in — and the result is handed to the target
+// (our emulator, or serialized back to JSON for a vendor toolchain).
+// Transformations only add nodes and rewire edges; superseded nodes become
+// unreachable and are dropped by the final compaction, which keeps node ids
+// stable while the rewrite is in progress.
+#pragma once
+
+#include <vector>
+
+#include "analysis/pipelet.h"
+#include "ir/program.h"
+#include "opt/candidate.h"
+
+namespace pipeleon::opt {
+
+/// A chosen layout for one pipelet.
+struct PipeletPlan {
+    int pipelet_id = -1;
+    CandidateLayout layout;
+};
+
+/// Applies the plans to (a copy of) `program`. `pipelets` must be the
+/// partition of `program` the plan ids refer to. Returns the optimized,
+/// compacted, validated program. Throws std::runtime_error when a plan is
+/// structurally inapplicable (the search should have filtered it).
+ir::Program apply_plans(const ir::Program& program,
+                        const std::vector<analysis::Pipelet>& pipelets,
+                        const std::vector<PipeletPlan>& plans);
+
+/// Convenience: applies a single plan.
+ir::Program apply_plan(const ir::Program& program,
+                       const std::vector<analysis::Pipelet>& pipelets,
+                       const PipeletPlan& plan);
+
+/// Repoints every edge in `program` that targets `from` to `to` (action
+/// edges, miss edges, branch edges, and the root). Exposed for the
+/// partitioning pass and for tests.
+void repoint_edges(ir::Program& program, ir::NodeId from, ir::NodeId to);
+
+}  // namespace pipeleon::opt

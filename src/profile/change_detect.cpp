@@ -1,0 +1,52 @@
+#include "profile/change_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipeleon::profile {
+
+double ProfileDelta::max_shift() const {
+    return std::max({max_action_shift, max_branch_shift, max_update_rate_shift,
+                     max_entry_count_shift});
+}
+
+ProfileDelta profile_delta(const ir::Program& program, const RuntimeProfile& old_p,
+                           const RuntimeProfile& new_p) {
+    ProfileDelta d;
+    auto rel_change = [](double a, double b) {
+        double hi = std::max(std::fabs(a), std::fabs(b));
+        if (hi <= 0.0) return 0.0;
+        return std::min(1.0, std::fabs(a - b) / hi);
+    };
+    for (ir::NodeId id : program.reachable()) {
+        const ir::Node& n = program.node(id);
+        if (n.is_branch()) {
+            d.max_branch_shift = std::max(
+                d.max_branch_shift, std::fabs(old_p.branch_true_probability(id) -
+                                              new_p.branch_true_probability(id)));
+            continue;
+        }
+        double tv = 0.0;
+        for (std::size_t a = 0; a < n.table.actions.size(); ++a) {
+            tv += std::fabs(old_p.action_probability(n, static_cast<int>(a)) -
+                            new_p.action_probability(n, static_cast<int>(a)));
+        }
+        d.max_action_shift = std::max(d.max_action_shift, 0.5 * tv);
+        d.max_update_rate_shift =
+            std::max(d.max_update_rate_shift,
+                     rel_change(old_p.update_rate(id), new_p.update_rate(id)));
+        d.max_entry_count_shift = std::max(
+            d.max_entry_count_shift,
+            rel_change(static_cast<double>(old_p.table(id).entry_count),
+                       static_cast<double>(new_p.table(id).entry_count)));
+    }
+    return d;
+}
+
+bool ChangeDetector::changed(const ir::Program& program,
+                             const RuntimeProfile& old_p,
+                             const RuntimeProfile& new_p) const {
+    return profile_delta(program, old_p, new_p).max_shift() >= threshold;
+}
+
+}  // namespace pipeleon::profile

@@ -1,0 +1,41 @@
+// profile/change_detect.h — profile-change detection (§2.3: "Pipeleon
+// constantly monitors the profile; when it varies, a new round of
+// optimization will be triggered"). Change is quantified as a distance
+// between two profiles of the same program: the maximum L1 shift of any
+// table's action-probability vector, the branch probability shift, and the
+// relative change of entry update rates.
+#pragma once
+
+#include "ir/program.h"
+#include "profile/profile.h"
+
+namespace pipeleon::profile {
+
+/// Per-aspect distances between two profiles of the same program.
+struct ProfileDelta {
+    /// Max over tables of 0.5 * Σ_a |P_new(a) - P_old(a)| (total variation).
+    double max_action_shift = 0.0;
+    /// Max over branches of |P_new(true) - P_old(true)|.
+    double max_branch_shift = 0.0;
+    /// Max over tables of relative update-rate change, capped at 1.0.
+    double max_update_rate_shift = 0.0;
+    /// Max over tables of relative entry-count change, capped at 1.0.
+    double max_entry_count_shift = 0.0;
+
+    double max_shift() const;
+};
+
+/// Computes the delta; both profiles must be sized for `program`.
+ProfileDelta profile_delta(const ir::Program& program, const RuntimeProfile& old_p,
+                           const RuntimeProfile& new_p);
+
+/// Reoptimization trigger policy: fire when any aspect moves by at least
+/// `threshold` (default 10%).
+struct ChangeDetector {
+    double threshold = 0.10;
+
+    bool changed(const ir::Program& program, const RuntimeProfile& old_p,
+                 const RuntimeProfile& new_p) const;
+};
+
+}  // namespace pipeleon::profile

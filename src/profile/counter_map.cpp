@@ -1,0 +1,228 @@
+#include "profile/counter_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace pipeleon::profile {
+
+using ir::Node;
+using ir::NodeId;
+using ir::Program;
+using ir::TableRole;
+
+void RawCounters::reset_for(const Program& program, double window) {
+    std::size_t n = program.node_count();
+    action_hits.assign(n, {});
+    misses.assign(n, 0);
+    branch_true.assign(n, 0);
+    branch_false.assign(n, 0);
+    cache_hits.assign(n, 0);
+    cache_misses.assign(n, 0);
+    inserts_dropped.assign(n, 0);
+    replays.clear();
+    entries.clear();
+    window_seconds = window;
+    for (const Node& node : program.nodes()) {
+        if (node.is_table()) {
+            action_hits[static_cast<std::size_t>(node.id)].assign(
+                node.table.actions.size(), 0);
+        }
+    }
+}
+
+CounterMap CounterMap::build(const Program& original, const Program& optimized) {
+    CounterMap map;
+
+    // Index original tables by name.
+    std::map<std::string, NodeId> orig_by_name;
+    std::vector<NodeId> orig_branches;
+    for (NodeId id : original.topo_order()) {
+        const Node& n = original.node(id);
+        if (n.is_table()) {
+            orig_by_name[n.table.name] = id;
+        } else {
+            orig_branches.push_back(id);
+        }
+    }
+
+    std::vector<NodeId> opt_branches;
+    for (NodeId id : optimized.topo_order()) {
+        const Node& n = optimized.node(id);
+        if (n.is_branch()) {
+            opt_branches.push_back(id);
+            continue;
+        }
+        const ir::Table& t = n.table;
+        switch (t.role) {
+            case TableRole::Original: {
+                auto it = orig_by_name.find(t.name);
+                if (it == orig_by_name.end()) break;  // new infra table
+                NodeId orig_id = it->second;
+                const Node& orig = original.node(orig_id);
+                for (std::size_t a = 0; a < t.actions.size(); ++a) {
+                    int orig_a = orig.table.action_index(t.actions[a].name);
+                    if (orig_a < 0) continue;
+                    map.action_sources_[{orig_id, orig_a}].push_back(
+                        {id, static_cast<int>(a)});
+                }
+                map.miss_sources_[orig_id].push_back(id);
+                break;
+            }
+            case TableRole::Merged:
+            case TableRole::MergedCache: {
+                // Action names are "<a_of_first>+<a_of_second>+..."; the i-th
+                // component belongs to origin_tables[i].
+                for (std::size_t a = 0; a < t.actions.size(); ++a) {
+                    std::vector<std::string> parts =
+                        util::split(t.actions[a].name, kMergedActionSep);
+                    if (parts.size() != t.origin_tables.size()) continue;
+                    for (std::size_t i = 0; i < parts.size(); ++i) {
+                        auto it = orig_by_name.find(t.origin_tables[i]);
+                        if (it == orig_by_name.end()) continue;
+                        NodeId orig_id = it->second;
+                        int orig_a =
+                            original.node(orig_id).table.action_index(parts[i]);
+                        if (orig_a < 0) continue;
+                        map.action_sources_[{orig_id, orig_a}].push_back(
+                            {id, static_cast<int>(a)});
+                    }
+                }
+                if (t.role == TableRole::MergedCache) {
+                    map.cache_origins_[id] = t.origin_tables;
+                    for (const std::string& origin : t.origin_tables) {
+                        auto it = orig_by_name.find(origin);
+                        if (it != orig_by_name.end()) {
+                            map.cache_stat_sources_[it->second].push_back(id);
+                        }
+                    }
+                }
+                break;
+            }
+            case TableRole::Cache: {
+                map.cache_origins_[id] = t.origin_tables;
+                for (const std::string& origin : t.origin_tables) {
+                    auto it = orig_by_name.find(origin);
+                    if (it == orig_by_name.end()) continue;
+                    map.replay_sources_[it->second].push_back(id);
+                    map.cache_stat_sources_[it->second].push_back(id);
+                }
+                break;
+            }
+            case TableRole::Navigation:
+            case TableRole::Migration:
+                break;  // infrastructure; not mapped
+        }
+    }
+
+    // Pair branches in topological order. Transformations keep branch order
+    // stable; verify conditions agree to catch violations early.
+    if (opt_branches.size() != orig_branches.size()) {
+        throw std::runtime_error(
+            "CounterMap::build: branch count differs between original and "
+            "optimized programs");
+    }
+    for (std::size_t i = 0; i < orig_branches.size(); ++i) {
+        const Node& a = original.node(orig_branches[i]);
+        const Node& b = optimized.node(opt_branches[i]);
+        if (!(a.cond == b.cond)) {
+            throw std::runtime_error(
+                "CounterMap::build: branch conditions do not line up");
+        }
+        map.branch_map_[orig_branches[i]] = opt_branches[i];
+    }
+    return map;
+}
+
+RuntimeProfile CounterMap::translate(const Program& original,
+                                     const RawCounters& raw) const {
+    RuntimeProfile prof;
+    prof.reset_for(original, raw.window_seconds);
+
+    auto raw_at = [&raw](const std::vector<std::uint64_t>& v,
+                         NodeId id) -> std::uint64_t {
+        if (id < 0 || static_cast<std::size_t>(id) >= v.size()) return 0;
+        return v[static_cast<std::size_t>(id)];
+    };
+
+    for (NodeId id : original.reachable()) {
+        const Node& n = original.node(id);
+        if (n.is_branch()) {
+            auto it = branch_map_.find(id);
+            if (it != branch_map_.end()) {
+                prof.branch(id).taken_true = raw_at(raw.branch_true, it->second);
+                prof.branch(id).taken_false = raw_at(raw.branch_false, it->second);
+            }
+            continue;
+        }
+        TableStats& st = prof.table(id);
+
+        for (std::size_t a = 0; a < n.table.actions.size(); ++a) {
+            std::uint64_t total = 0;
+            auto sit = action_sources_.find({id, static_cast<int>(a)});
+            if (sit != action_sources_.end()) {
+                for (const ActionSource& src : sit->second) {
+                    const auto idx = static_cast<std::size_t>(src.opt_node);
+                    if (idx < raw.action_hits.size() &&
+                        static_cast<std::size_t>(src.opt_action) <
+                            raw.action_hits[idx].size()) {
+                        total += raw.action_hits[idx]
+                                     [static_cast<std::size_t>(src.opt_action)];
+                    }
+                }
+            }
+            // Cache replays for this original action.
+            auto rit = replay_sources_.find(id);
+            if (rit != replay_sources_.end()) {
+                for (NodeId cache_node : rit->second) {
+                    auto key = std::make_tuple(cache_node, n.table.name,
+                                               n.table.actions[a].name);
+                    auto cit = raw.replays.find(key);
+                    if (cit != raw.replays.end()) total += cit->second;
+                }
+            }
+            st.action_hits[a] = total;
+        }
+
+        auto mit = miss_sources_.find(id);
+        if (mit != miss_sources_.end()) {
+            for (NodeId src : mit->second) st.misses += raw_at(raw.misses, src);
+        }
+
+        auto cit = cache_stat_sources_.find(id);
+        if (cit != cache_stat_sources_.end()) {
+            for (NodeId src : cit->second) {
+                st.cache_hits += raw_at(raw.cache_hits, src);
+                st.cache_misses += raw_at(raw.cache_misses, src);
+                st.inserts_dropped += raw_at(raw.inserts_dropped, src);
+                // Churn-contamination signal: total update rate across the
+                // covering cache's whole origin set.
+                auto oit = cache_origins_.find(src);
+                if (oit != cache_origins_.end() && raw.window_seconds > 0.0) {
+                    double rate = 0.0;
+                    for (const std::string& origin : oit->second) {
+                        auto eit = raw.entries.find(origin);
+                        if (eit != raw.entries.end()) {
+                            rate += static_cast<double>(eit->second.entry_updates) /
+                                    raw.window_seconds;
+                        }
+                    }
+                    st.covering_update_rate =
+                        std::max(st.covering_update_rate, rate);
+                }
+            }
+        }
+
+        auto eit = raw.entries.find(n.table.name);
+        if (eit != raw.entries.end()) {
+            st.entry_count = eit->second.entry_count;
+            st.entry_updates = eit->second.entry_updates;
+            st.lpm_prefix_count = eit->second.lpm_prefix_count;
+            st.ternary_mask_count = eit->second.ternary_mask_count;
+        }
+    }
+    return prof;
+}
+
+}  // namespace pipeleon::profile

@@ -1,0 +1,101 @@
+// profile/counter_map.h — the counter map of §4.1.2. Pipeleon's optimizer
+// always starts from the *original* program, but measurements come from the
+// *optimized* program running on the NIC. "To obtain the counter values for
+// the original program, Pipeleon maintains a counter map that links the
+// optimized program to its original counterpart" — e.g. after table caching,
+// a table's traffic splits into cache hits plus fall-through hits, and the
+// original counter value is their sum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ir/program.h"
+#include "profile/profile.h"
+
+namespace pipeleon::profile {
+
+/// Snapshot of a table's control-plane entry state over a window.
+struct EntrySnapshot {
+    std::size_t entry_count = 0;
+    std::uint64_t entry_updates = 0;
+    int lpm_prefix_count = 0;
+    int ternary_mask_count = 0;
+};
+
+/// Raw measurements read off the deployed (optimized) program: P4 counters
+/// per node/action, cache statistics, and per-original-table entry state.
+struct RawCounters {
+    double window_seconds = 1.0;
+
+    // Indexed by *optimized-program* node id.
+    std::vector<std::vector<std::uint64_t>> action_hits;
+    std::vector<std::uint64_t> misses;
+    std::vector<std::uint64_t> branch_true;
+    std::vector<std::uint64_t> branch_false;
+    std::vector<std::uint64_t> cache_hits;
+    std::vector<std::uint64_t> cache_misses;
+    std::vector<std::uint64_t> inserts_dropped;
+
+    /// Cache replay counters: how many cache hits replayed a given original
+    /// table's action. Key: (cache node id, original table, original action).
+    std::map<std::tuple<ir::NodeId, std::string, std::string>, std::uint64_t>
+        replays;
+
+    /// Entry state keyed by *original* table name (control-plane API calls
+    /// are made against original names; §2.3).
+    std::map<std::string, EntrySnapshot> entries;
+
+    /// Sizes all per-node vectors for a program.
+    void reset_for(const ir::Program& program, double window_seconds = 1.0);
+};
+
+/// Separator used in merged-table action names: merging tables A and B turns
+/// actions a of A and b of B into an action named "a+b" (Fig 6's a1b1 etc.).
+inline constexpr char kMergedActionSep = '+';
+
+/// Translates raw optimized-program counters into a RuntimeProfile expressed
+/// over the original program's node ids.
+class CounterMap {
+public:
+    /// Builds the map by inspecting the optimized program's provenance
+    /// metadata (table roles, origin_tables, merged action names). Branches
+    /// are paired between the programs in topological order — Pipeleon's
+    /// transformations never reorder or duplicate branches.
+    static CounterMap build(const ir::Program& original,
+                            const ir::Program& optimized);
+
+    /// Produces a profile in original-program space. Cache-served traffic is
+    /// attributed to the original table's action hits (it did match there);
+    /// merged-table wildcard rows are attributed to the component's default
+    /// action, which leaves P(a) — the value the cost model consumes — exact.
+    RuntimeProfile translate(const ir::Program& original,
+                             const RawCounters& raw) const;
+
+private:
+    struct ActionSource {
+        ir::NodeId opt_node = ir::kNoNode;
+        int opt_action = -1;
+    };
+
+    // Keyed by (original node id, original action index).
+    std::map<std::pair<ir::NodeId, int>, std::vector<ActionSource>> action_sources_;
+    // Original node id -> optimized nodes whose miss counter contributes.
+    std::map<ir::NodeId, std::vector<ir::NodeId>> miss_sources_;
+    // Original node id -> cache node ids that may hold replays for it.
+    std::map<ir::NodeId, std::vector<ir::NodeId>> replay_sources_;
+    // Original branch node id -> optimized branch node id.
+    std::map<ir::NodeId, ir::NodeId> branch_map_;
+    // Original node id -> optimized cache nodes implementing it (for
+    // cache_hits/cache_misses/inserts_dropped pass-through onto caches that
+    // the optimizer itself created for this node).
+    std::map<ir::NodeId, std::vector<ir::NodeId>> cache_stat_sources_;
+    // Optimized cache/merged-cache node -> the original tables it covers
+    // (for the churn-contamination signal, covering_update_rate).
+    std::map<ir::NodeId, std::vector<std::string>> cache_origins_;
+};
+
+}  // namespace pipeleon::profile

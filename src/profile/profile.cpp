@@ -1,0 +1,155 @@
+#include "profile/profile.h"
+
+#include <stdexcept>
+
+namespace pipeleon::profile {
+
+RuntimeProfile::RuntimeProfile(std::size_t node_count, double window_seconds)
+    : tables_(node_count), branches_(node_count), window_seconds_(window_seconds) {}
+
+void RuntimeProfile::reset_for(const ir::Program& program, double window_seconds) {
+    tables_.assign(program.node_count(), TableStats{});
+    branches_.assign(program.node_count(), BranchStats{});
+    window_seconds_ = window_seconds;
+    for (const ir::Node& n : program.nodes()) {
+        if (n.is_table()) {
+            tables_[static_cast<std::size_t>(n.id)].action_hits.assign(
+                n.table.actions.size(), 0);
+        }
+    }
+}
+
+void RuntimeProfile::check(ir::NodeId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= tables_.size()) {
+        throw std::out_of_range("RuntimeProfile: node id " + std::to_string(id) +
+                                " out of range");
+    }
+}
+
+TableStats& RuntimeProfile::table(ir::NodeId id) {
+    check(id);
+    return tables_[static_cast<std::size_t>(id)];
+}
+
+const TableStats& RuntimeProfile::table(ir::NodeId id) const {
+    check(id);
+    return tables_[static_cast<std::size_t>(id)];
+}
+
+BranchStats& RuntimeProfile::branch(ir::NodeId id) {
+    check(id);
+    return branches_[static_cast<std::size_t>(id)];
+}
+
+const BranchStats& RuntimeProfile::branch(ir::NodeId id) const {
+    check(id);
+    return branches_[static_cast<std::size_t>(id)];
+}
+
+double RuntimeProfile::action_probability(const ir::Node& node,
+                                          int action_idx) const {
+    const TableStats& st = table(node.id);
+    std::uint64_t total = st.lookups();
+    std::size_t n_actions = node.table.actions.size();
+    if (action_idx < 0 || static_cast<std::size_t>(action_idx) >= n_actions) {
+        return 0.0;
+    }
+    if (total == 0) {
+        // Uniform fallback so the cost model stays defined pre-traffic.
+        return 1.0 / static_cast<double>(n_actions);
+    }
+    std::uint64_t c = 0;
+    if (static_cast<std::size_t>(action_idx) < st.action_hits.size()) {
+        c = st.action_hits[static_cast<std::size_t>(action_idx)];
+    }
+    if (action_idx == node.table.default_action) c += st.misses;
+    return static_cast<double>(c) / static_cast<double>(total);
+}
+
+double RuntimeProfile::miss_probability(const ir::Node& node) const {
+    const TableStats& st = table(node.id);
+    std::uint64_t total = st.lookups();
+    if (total == 0) return 0.0;
+    return static_cast<double>(st.misses) / static_cast<double>(total);
+}
+
+double RuntimeProfile::drop_probability(const ir::Node& node) const {
+    if (!node.is_table()) return 0.0;
+    double p = 0.0;
+    for (std::size_t a = 0; a < node.table.actions.size(); ++a) {
+        if (node.table.actions[a].drops()) {
+            p += action_probability(node, static_cast<int>(a));
+        }
+    }
+    return p;
+}
+
+double RuntimeProfile::branch_true_probability(ir::NodeId id) const {
+    const BranchStats& st = branch(id);
+    if (st.total() == 0) return 0.5;
+    return static_cast<double>(st.taken_true) / static_cast<double>(st.total());
+}
+
+double RuntimeProfile::edge_probability(const ir::Node& node,
+                                        ir::NodeId successor) const {
+    if (node.is_branch()) {
+        double p_true = branch_true_probability(node.id);
+        double p = 0.0;
+        if (node.true_next == successor) p += p_true;
+        if (node.false_next == successor) p += 1.0 - p_true;
+        return p;
+    }
+    // Table: sum the probabilities of non-dropping actions whose edge leads
+    // to `successor`, plus the miss edge when the table has no default.
+    double p = 0.0;
+    const ir::Table& t = node.table;
+    for (std::size_t a = 0; a < t.actions.size(); ++a) {
+        if (t.actions[a].drops()) continue;  // drop halts execution (§3.2.1)
+        if (node.next_by_action[a] == successor) {
+            double pa = action_probability(node, static_cast<int>(a));
+            // The default action's probability already includes misses.
+            p += pa;
+        }
+    }
+    if (t.default_action < 0 && node.miss_next == successor) {
+        p += miss_probability(node);
+    }
+    return p;
+}
+
+std::vector<double> RuntimeProfile::reach_probabilities(
+    const ir::Program& program) const {
+    if (program.node_count() != node_count()) {
+        throw std::invalid_argument(
+            "RuntimeProfile::reach_probabilities: profile sized for a "
+            "different program");
+    }
+    std::vector<double> reach(program.node_count(), 0.0);
+    if (program.root() == ir::kNoNode) return reach;
+    reach[static_cast<std::size_t>(program.root())] = 1.0;
+    for (ir::NodeId id : program.topo_order()) {
+        const ir::Node& n = program.node(id);
+        double p_here = reach[static_cast<std::size_t>(id)];
+        if (p_here <= 0.0) continue;
+        for (ir::NodeId s : n.successors()) {
+            reach[static_cast<std::size_t>(s)] +=
+                p_here * edge_probability(n, s);
+        }
+    }
+    return reach;
+}
+
+double RuntimeProfile::update_rate(ir::NodeId id) const {
+    const TableStats& st = table(id);
+    if (window_seconds_ <= 0.0) return 0.0;
+    return static_cast<double>(st.entry_updates) / window_seconds_;
+}
+
+double RuntimeProfile::cache_hit_rate(ir::NodeId id, double fallback) const {
+    const TableStats& st = table(id);
+    std::uint64_t total = st.cache_hits + st.cache_misses;
+    if (total == 0) return fallback;
+    return static_cast<double>(st.cache_hits) / static_cast<double>(total);
+}
+
+}  // namespace pipeleon::profile

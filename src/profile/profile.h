@@ -1,0 +1,128 @@
+// profile/profile.h — runtime profiles (§2.3, §4.1.2). A profile captures how
+// traffic interacts with a program over a measurement window: per-action and
+// per-branch counters (from P4 counter instrumentation), entry counts, and
+// entry update rates (from control-plane API monitoring). All of Pipeleon's
+// profile-guided decisions — edge probabilities, drop rates, hot pipelets —
+// derive from this data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace pipeleon::profile {
+
+/// Counters and control-plane statistics for one MA table over a window.
+struct TableStats {
+    /// Matched-entry executions per action index (misses excluded).
+    std::vector<std::uint64_t> action_hits;
+    /// Lookups that missed every entry (the default action, if any, ran).
+    std::uint64_t misses = 0;
+    /// Live entries at the end of the window.
+    std::size_t entry_count = 0;
+    /// Control-plane entry insert/delete/modify calls during the window.
+    std::uint64_t entry_updates = 0;
+    /// Distinct LPM prefix lengths among live entries (m for LPM tables).
+    int lpm_prefix_count = 0;
+    /// Distinct ternary mask combinations among live entries (m for ternary).
+    int ternary_mask_count = 0;
+    /// For cache tables: hits/misses observed on the cache itself.
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    /// For cache tables: insertions dropped by the rate limiter.
+    std::uint64_t inserts_dropped = 0;
+    /// Total entry-update rate (per second) across ALL tables covered by
+    /// the cache currently covering this table. When high, the measured
+    /// cache_hits/cache_misses are churn-contaminated and say nothing about
+    /// this table's own cacheability.
+    double covering_update_rate = 0.0;
+
+    std::uint64_t lookups() const {
+        std::uint64_t total = misses;
+        for (std::uint64_t h : action_hits) total += h;
+        return total;
+    }
+};
+
+/// Counters for one conditional branch over a window.
+struct BranchStats {
+    std::uint64_t taken_true = 0;
+    std::uint64_t taken_false = 0;
+
+    std::uint64_t total() const { return taken_true + taken_false; }
+};
+
+/// Configuration of the P4-counter instrumentation the profiler relies on.
+/// Sampling reduces the per-packet overhead without changing the measured
+/// probabilities (§5.4.1: "sampling 1/1024 traffic" costs only 4-5%).
+struct InstrumentationConfig {
+    bool enabled = true;
+    /// Fraction of packets that update counters (1.0 = every packet,
+    /// 1.0/1024 = the paper's sampled configuration).
+    double sampling_rate = 1.0;
+};
+
+/// A complete runtime profile of a program: one slot per node id, plus the
+/// window length used to turn counts into rates.
+class RuntimeProfile {
+public:
+    RuntimeProfile() = default;
+    explicit RuntimeProfile(std::size_t node_count, double window_seconds = 1.0);
+
+    /// Sizes the profile to a program, zeroing all counters and sizing each
+    /// table's action_hits to the action count.
+    void reset_for(const ir::Program& program, double window_seconds = 1.0);
+
+    double window_seconds() const { return window_seconds_; }
+    void set_window_seconds(double s) { window_seconds_ = s; }
+
+    std::size_t node_count() const { return tables_.size(); }
+
+    TableStats& table(ir::NodeId id);
+    const TableStats& table(ir::NodeId id) const;
+    BranchStats& branch(ir::NodeId id);
+    const BranchStats& branch(ir::NodeId id) const;
+
+    // ------------------------------------------------------- derived values
+
+    /// P(a): probability that a lookup of this table executes action `a`
+    /// (counting default-action executions on misses). Uniform fallback when
+    /// the table saw no traffic.
+    double action_probability(const ir::Node& node, int action_idx) const;
+
+    /// Probability that a lookup misses all entries.
+    double miss_probability(const ir::Node& node) const;
+
+    /// Fraction of lookups that executed a dropping action — the signal the
+    /// table-reordering optimization sorts by (§3.2.1).
+    double drop_probability(const ir::Node& node) const;
+
+    /// P(true edge) for a branch node; 0.5 fallback with no traffic.
+    double branch_true_probability(ir::NodeId id) const;
+
+    /// Probability that execution leaving `node` continues to `successor`
+    /// (drops terminate paths, so dropping actions contribute to no
+    /// successor).
+    double edge_probability(const ir::Node& node, ir::NodeId successor) const;
+
+    /// P(G') for every node: the probability a packet reaches it, computed by
+    /// forward propagation from the root (root = 1.0). Vector indexed by
+    /// NodeId. Requires `program.node_count() == node_count()`.
+    std::vector<double> reach_probabilities(const ir::Program& program) const;
+
+    /// Entry updates per second over the window.
+    double update_rate(ir::NodeId id) const;
+
+    /// Cache hit rate for cache-role tables; `fallback` when no traffic.
+    double cache_hit_rate(ir::NodeId id, double fallback = 0.0) const;
+
+private:
+    void check(ir::NodeId id) const;
+
+    std::vector<TableStats> tables_;
+    std::vector<BranchStats> branches_;
+    double window_seconds_ = 1.0;
+};
+
+}  // namespace pipeleon::profile

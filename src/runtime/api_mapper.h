@@ -1,0 +1,69 @@
+// runtime/api_mapper.h — control-plane API mapping (§2.3): "Pipeleon ensures
+// the same program management APIs (e.g., entry insertion) by mapping the
+// API calls to the original program to the optimized version." Operators
+// keep inserting/deleting entries against original table names; the mapper
+// owns the authoritative original-space entry store, pushes the entries to
+// whatever deployed tables implement each original one (including rebuilding
+// merged tables' Cartesian entries), invalidates covering caches, and
+// tracks per-table update rates for the profiler.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "profile/counter_map.h"
+#include "sim/emulator.h"
+
+namespace pipeleon::runtime {
+
+class ApiMapper {
+public:
+    explicit ApiMapper(const ir::Program& original);
+
+    // ---------------------------------------------- operator-facing API
+
+    /// Inserts an entry into an original table; propagated to the deployed
+    /// program in `emulator`. Returns false for unknown tables or
+    /// incompatible entries.
+    bool insert(sim::Emulator& emulator, const std::string& table,
+                const ir::TableEntry& entry);
+    bool erase(sim::Emulator& emulator, const std::string& table,
+               const std::vector<ir::FieldMatch>& key);
+    bool modify(sim::Emulator& emulator, const std::string& table,
+                const ir::TableEntry& entry);
+
+    /// The original-space entries of a table (empty vector for unknown).
+    const std::vector<ir::TableEntry>& entries(const std::string& table) const;
+
+    // ------------------------------------------------- deployment support
+
+    /// Installs the full original-space store into a freshly deployed
+    /// program: direct tables get their entries, merged tables get the
+    /// rebuilt cross products.
+    void deploy_entries(sim::Emulator& emulator) const;
+
+    // ------------------------------------------------------- profiling
+
+    /// Per-original-table entry snapshots for the current window (counts,
+    /// update totals, prefix/mask diversity). Merged-away tables are
+    /// included — the emulator cannot know them.
+    std::map<std::string, profile::EntrySnapshot> snapshots() const;
+
+    /// Zeroes the window update counters.
+    void begin_window();
+
+private:
+    /// Re-pushes the original table's state into every deployed table that
+    /// implements it and invalidates covering caches.
+    void propagate(sim::Emulator& emulator, const std::string& table);
+
+    ir::Program original_;
+    std::map<std::string, ir::Table> tables_;
+    std::map<std::string, std::vector<ir::TableEntry>> store_;
+    std::map<std::string, std::uint64_t> window_updates_;
+};
+
+}  // namespace pipeleon::runtime

@@ -1,0 +1,107 @@
+#include "runtime/controller.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace pipeleon::runtime {
+
+Controller::Controller(sim::Emulator& emulator, ir::Program original,
+                       cost::CostModel model, ControllerConfig config)
+    : emulator_(emulator),
+      original_(std::move(original)),
+      model_(std::move(model)),
+      config_(std::move(config)),
+      api_(original_) {
+    original_.validate();
+}
+
+profile::RuntimeProfile Controller::collect_profile() {
+    profile::RawCounters raw = emulator_.read_counters();
+    // The emulator only knows deployed tables; the API mapper supplies the
+    // authoritative original-space entry snapshots (including merged-away
+    // tables) and control-plane update counts.
+    for (auto& [name, snap] : api_.snapshots()) {
+        raw.entries[name] = snap;
+    }
+    profile::CounterMap map =
+        profile::CounterMap::build(original_, emulator_.program());
+    return map.translate(original_, raw);
+}
+
+TickResult Controller::tick() {
+    TickResult result;
+
+    profile::RuntimeProfile current = collect_profile();
+    result.profiled = true;
+
+    bool should_search = true;
+    if (have_profile_ && config_.reoptimize_on_change_only) {
+        profile::ProfileDelta delta =
+            profile::profile_delta(original_, last_profile_, current);
+        result.profile_shift = delta.max_shift();
+        should_search = delta.max_shift() >= config_.detector.threshold;
+    }
+
+    if (should_search) {
+        search::Optimizer optimizer(model_, config_.optimizer);
+        search::OptimizationOutcome outcome = optimizer.optimize(original_, current);
+        result.searched = true;
+
+        bool worthwhile =
+            outcome.baseline_latency > 0.0 &&
+            outcome.predicted_gain >=
+                config_.min_relative_gain * outcome.baseline_latency;
+        bool differs = !(outcome.optimized == emulator_.program());
+        // Hysteresis: a new layout must also beat what is *measured* on the
+        // currently deployed program, or reconfiguration (which may cost
+        // downtime on reflash targets) would flap between near-equal plans.
+        if (differs && emulator_.latency_stats().count() > 0) {
+            double measured = emulator_.latency_stats().mean();
+            worthwhile = worthwhile &&
+                         outcome.predicted_latency <
+                             measured * (1.0 - config_.min_relative_gain);
+        }
+        if (worthwhile && differs) {
+            util::log_info(util::format(
+                "controller: deploying new layout (predicted %.1f -> %.1f "
+                "cycles, %zu plans)",
+                outcome.baseline_latency, outcome.predicted_latency,
+                outcome.plans.size()));
+            if (config_.incremental_deployment) {
+                sim::Emulator::ReconfigureStats stats =
+                    emulator_.reconfigure_incremental(outcome.optimized);
+                result.downtime_s = stats.downtime_s;
+                result.caches_kept_warm = stats.caches_kept_warm;
+            } else {
+                result.downtime_s = emulator_.reconfigure(outcome.optimized);
+            }
+            api_.deploy_entries(emulator_);
+            result.deployed = true;
+        } else if (!worthwhile && differs &&
+                   !(original_ == emulator_.program())) {
+            // The best found plan is not worth deploying. Keep what is
+            // running unless it *measures* worse than the plain original
+            // would be — then revert (e.g. a cache whose hit rate collapsed,
+            // §3.2.2/§3.2.3 reversal).
+            bool deployed_is_harmful =
+                emulator_.latency_stats().count() > 0 &&
+                emulator_.latency_stats().mean() >
+                    outcome.baseline_latency * (1.0 + config_.min_relative_gain);
+            if (deployed_is_harmful) {
+                util::log_info("controller: reverting to the original layout");
+                result.downtime_s = emulator_.reconfigure(original_);
+                api_.deploy_entries(emulator_);
+                result.deployed = true;
+            }
+        }
+        result.outcome = std::move(outcome);
+    }
+
+    last_profile_ = std::move(current);
+    have_profile_ = true;
+    api_.begin_window();
+    if (!result.deployed) emulator_.begin_window();
+    return result;
+}
+
+}  // namespace pipeleon::runtime

@@ -1,0 +1,78 @@
+// runtime/controller.h — the Pipeleon runtime loop (Fig 3): profile the
+// deployed program, translate counters back to the original program via the
+// counter map, detect profile changes, recompute the optimization plan from
+// the original program, and deploy when it beats what is running. Because
+// every round recomputes from the original program, bad decisions revert
+// automatically — a merge whose tables grew is simply not chosen again
+// (§3.2.3), and a cache whose measured hit rate collapsed loses to the
+// cache-free layout (§3.2.2, the Fig 11a scenario).
+#pragma once
+
+#include <optional>
+
+#include "profile/change_detect.h"
+#include "runtime/api_mapper.h"
+#include "search/optimizer.h"
+#include "sim/emulator.h"
+
+namespace pipeleon::runtime {
+
+struct ControllerConfig {
+    /// How often the harness is expected to call tick() (virtual seconds);
+    /// informational, used for logging only.
+    double profile_interval_s = 5.0;
+    search::OptimizerConfig optimizer;
+    profile::ChangeDetector detector;
+    /// When true, skip the search unless the profile moved; the first tick
+    /// always optimizes.
+    bool reoptimize_on_change_only = true;
+    /// Minimum predicted relative gain (fraction of baseline latency) to
+    /// deploy a new layout.
+    double min_relative_gain = 0.01;
+    /// Use incremental deployment (§6): unchanged flow caches stay warm and
+    /// reflash downtime scales with the changed-table fraction.
+    bool incremental_deployment = false;
+};
+
+/// Result of one controller tick.
+struct TickResult {
+    bool profiled = false;
+    bool searched = false;
+    bool deployed = false;
+    double downtime_s = 0.0;
+    double profile_shift = 0.0;
+    /// Incremental deployments only: how many caches survived warm.
+    std::size_t caches_kept_warm = 0;
+    std::optional<search::OptimizationOutcome> outcome;
+};
+
+class Controller {
+public:
+    Controller(sim::Emulator& emulator, ir::Program original,
+               cost::CostModel model, ControllerConfig config);
+
+    ApiMapper& api() { return api_; }
+    const ir::Program& original() const { return original_; }
+    const profile::RuntimeProfile& last_profile() const { return last_profile_; }
+    const ControllerConfig& config() const { return config_; }
+    ControllerConfig& config() { return config_; }
+
+    /// One profiling/optimization round against the emulator's current
+    /// window. The harness decides the cadence (virtual time).
+    TickResult tick();
+
+private:
+    /// Reads the emulator window, augments entry snapshots from the API
+    /// mapper, and translates to original-program space.
+    profile::RuntimeProfile collect_profile();
+
+    sim::Emulator& emulator_;
+    ir::Program original_;
+    cost::CostModel model_;
+    ControllerConfig config_;
+    ApiMapper api_;
+    profile::RuntimeProfile last_profile_;
+    bool have_profile_ = false;
+};
+
+}  // namespace pipeleon::runtime

@@ -1,0 +1,126 @@
+#include "search/group.h"
+
+#include <algorithm>
+
+#include "analysis/dependency.h"
+
+namespace pipeleon::search {
+
+using analysis::Pipelet;
+using analysis::PipeletGroup;
+using ir::NodeId;
+using ir::Program;
+
+namespace {
+
+/// Best achievable latency gain (unweighted) for a pipelet, by enumeration.
+double best_latency_gain(const opt::PipeletEvaluator& evaluator,
+                         const SearchOptions& options) {
+    std::vector<opt::Candidate> cands =
+        enumerate_candidates(evaluator, /*pipelet_id=*/0,
+                             /*reach_probability=*/1.0, options);
+    double best = 0.0;
+    for (const opt::Candidate& c : cands) best = std::max(best, c.gain);
+    return best;
+}
+
+/// True when every table of `nodes` commutes with the branch and with every
+/// table of both arms, so pre/post tables may be interleaved freely.
+bool movable_across(const Program& program, const std::vector<NodeId>& nodes,
+                    const std::string& branch_field,
+                    const std::vector<NodeId>& arm_nodes) {
+    for (NodeId id : nodes) {
+        const ir::Table& t = program.node(id).table;
+        analysis::FieldSets fs = analysis::field_sets(t);
+        if (fs.writes.count(branch_field) != 0) return false;
+        for (NodeId arm : arm_nodes) {
+            if (!analysis::independent(t, program.node(arm).table)) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::vector<GroupOpportunity> evaluate_groups(
+    const Program& program, const std::vector<Pipelet>& pipelets,
+    const std::vector<PipeletGroup>& groups,
+    const std::vector<int>& selected_pipelet_ids,
+    const profile::RuntimeProfile& profile, const cost::CostModel& model,
+    const SearchOptions& options) {
+    std::vector<GroupOpportunity> out;
+    std::vector<double> reach = profile.reach_probabilities(program);
+
+    auto selected = [&selected_pipelet_ids](int id) {
+        return std::find(selected_pipelet_ids.begin(), selected_pipelet_ids.end(),
+                         id) != selected_pipelet_ids.end();
+    };
+
+    for (const PipeletGroup& g : groups) {
+        if (g.pre < 0 || g.post < 0) continue;
+        if (!selected(g.pre) || !selected(g.post)) continue;
+
+        const Pipelet& pre = pipelets[static_cast<std::size_t>(g.pre)];
+        const Pipelet& post = pipelets[static_cast<std::size_t>(g.post)];
+
+        std::vector<NodeId> arm_nodes;
+        for (int arm : {g.arm_true, g.arm_false}) {
+            if (arm < 0) continue;
+            const Pipelet& ap = pipelets[static_cast<std::size_t>(arm)];
+            arm_nodes.insert(arm_nodes.end(), ap.nodes.begin(), ap.nodes.end());
+        }
+        const std::string& branch_field = program.node(g.branch).cond.field;
+        if (!movable_across(program, pre.nodes, branch_field, arm_nodes) ||
+            !movable_across(program, post.nodes, branch_field, arm_nodes)) {
+            continue;
+        }
+
+        // Joint virtual pipelet: pre tables followed by post tables.
+        Pipelet joint;
+        joint.id = -1;
+        joint.nodes = pre.nodes;
+        joint.nodes.insert(joint.nodes.end(), post.nodes.begin(),
+                           post.nodes.end());
+
+        opt::PipeletEvaluator joint_eval(program, joint, profile, model);
+        opt::PipeletEvaluator pre_eval(program, pre, profile, model);
+        opt::PipeletEvaluator post_eval(program, post, profile, model);
+
+        double reach_pre =
+            pre.entry() == ir::kNoNode
+                ? 0.0
+                : reach[static_cast<std::size_t>(pre.entry())];
+        double reach_post =
+            post.entry() == ir::kNoNode
+                ? 0.0
+                : reach[static_cast<std::size_t>(post.entry())];
+
+        std::vector<opt::Candidate> joint_cands =
+            enumerate_candidates(joint_eval, /*pipelet_id=*/-1, 1.0, options);
+        double joint_gain = 0.0;
+        opt::CandidateLayout best_layout;
+        for (const opt::Candidate& c : joint_cands) {
+            if (c.gain > joint_gain) {
+                joint_gain = c.gain;
+                best_layout = c.layout;
+            }
+        }
+        // Weight: the joint block sees the pre pipelet's traffic; post-side
+        // tables actually see slightly less when arms drop, so this is the
+        // optimistic end of the paper's approximation.
+        joint_gain *= reach_pre;
+
+        double separate_gain = best_latency_gain(pre_eval, options) * reach_pre +
+                               best_latency_gain(post_eval, options) * reach_post;
+
+        GroupOpportunity opp;
+        opp.group = g;
+        opp.extra_gain = joint_gain - separate_gain;
+        opp.joint_layout = best_layout;
+        opp.viable = opp.extra_gain > 0.0;
+        if (opp.viable) out.push_back(std::move(opp));
+    }
+    return out;
+}
+
+}  // namespace pipeleon::search

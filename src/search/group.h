@@ -1,0 +1,41 @@
+// search/group.h — cross-pipelet (pipelet group) optimization (§4.1.1,
+// §5.4.4). When a program is branch-heavy its pipelets are short (often one
+// table), which starves reordering and merging of opportunities. Pipeleon
+// then treats neighboring pipelets around a common branch as one group and
+// optimizes them jointly. We realize the diamond shape: the pipelet feeding
+// the branch (`pre`) and the pipelet after the join (`post`) are jointly
+// optimizable when their tables are independent of the branch condition and
+// of both arms — the combined sequence is then evaluated like a single
+// larger pipelet, and the group gain is whatever the joint candidate saves
+// beyond optimizing the pieces separately.
+#pragma once
+
+#include <vector>
+
+#include "analysis/pipelet.h"
+#include "cost/model.h"
+#include "search/enumerate.h"
+
+namespace pipeleon::search {
+
+/// Evaluation of one pipelet group opportunity.
+struct GroupOpportunity {
+    analysis::PipeletGroup group;
+    /// Best joint latency gain (weighted by reach probability), counting
+    /// only the improvement beyond per-pipelet optimization.
+    double extra_gain = 0.0;
+    /// The joint candidate realizing it (over the virtual pre+post pipelet).
+    opt::CandidateLayout joint_layout;
+    bool viable = false;
+};
+
+/// Evaluates all diamond groups whose pre/post pipelets both appear in
+/// `selected` (the top-k set). Returns one opportunity per viable group.
+std::vector<GroupOpportunity> evaluate_groups(
+    const ir::Program& program, const std::vector<analysis::Pipelet>& pipelets,
+    const std::vector<analysis::PipeletGroup>& groups,
+    const std::vector<int>& selected_pipelet_ids,
+    const profile::RuntimeProfile& profile, const cost::CostModel& model,
+    const SearchOptions& options);
+
+}  // namespace pipeleon::search

@@ -1,0 +1,54 @@
+// search/knapsack.h — the global search of §4.2 / Appendix A.1 (Fig 16):
+// "Pipeleon computes the best global optimization plan by modeling the
+// problem as a group-based knapsack problem. Each pipelet is a group, and it
+// has several options with various gains and costs. Our goal is to find the
+// best way of selecting at most one option from each pipelet to maximize
+// the total gain while ensuring the total cost is within the resource
+// constraints." The two resources are memory and entry-update bandwidth
+// (Eq. 5); the DP runs over a discretized (memory, update-rate) grid.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "opt/candidate.h"
+
+namespace pipeleon::search {
+
+/// The resource constraints M and E of Eq. 5.
+struct ResourceLimits {
+    double memory_bytes = std::numeric_limits<double>::infinity();
+    double updates_per_sec = std::numeric_limits<double>::infinity();
+
+    bool unconstrained() const {
+        return !std::isfinite(memory_bytes) && !std::isfinite(updates_per_sec);
+    }
+};
+
+/// The selected global plan: at most one candidate per pipelet.
+struct GlobalPlan {
+    /// Indices into the per-group candidate lists; -1 = no optimization for
+    /// that group.
+    std::vector<int> chosen;
+    double total_gain = 0.0;
+    double memory_used = 0.0;
+    double updates_used = 0.0;
+};
+
+/// Knapsack discretization granularity (cells per resource axis).
+struct KnapsackOptions {
+    std::size_t memory_grid = 64;
+    std::size_t update_grid = 64;
+};
+
+/// Solves the group knapsack. `groups[g]` lists the candidates for pipelet
+/// group g. Without finite limits this reduces to picking each group's best
+/// candidate ("Without resource limits, the best global plan can be
+/// determined by selecting the candidate with the highest performance gain
+/// for each pipelet").
+GlobalPlan global_optimize(const std::vector<std::vector<opt::Candidate>>& groups,
+                           const ResourceLimits& limits,
+                           const KnapsackOptions& options = {});
+
+}  // namespace pipeleon::search

@@ -1,0 +1,71 @@
+// search/optimizer.h — the end-to-end Pipeleon optimizer (Fig 3): partition
+// the program into pipelets, detect the top-k hot pipelets from the runtime
+// profile, enumerate candidates locally, solve the global knapsack, and
+// apply the chosen plans to produce the optimized program. ESearch (the
+// exhaustive baseline of §5.4.2) is this optimizer with k = 100%.
+#pragma once
+
+#include <vector>
+
+#include "analysis/pipelet.h"
+#include "cost/model.h"
+#include "opt/transform.h"
+#include "search/enumerate.h"
+#include "search/group.h"
+#include "search/knapsack.h"
+
+namespace pipeleon::search {
+
+/// All optimizer knobs in one place.
+struct OptimizerConfig {
+    /// Fraction of pipelets optimized per round; "k being adjustable based
+    /// on the available time budget and program size" (§4.1.2).
+    double top_k_fraction = 0.2;
+    SearchOptions search;
+    ResourceLimits limits;
+    KnapsackOptions knapsack;
+    analysis::PipeletOptions pipelet;
+    /// Also look for cross-pipelet group opportunities (§4.1.1, Fig 15).
+    bool enable_groups = false;
+};
+
+/// The result of one optimization round.
+struct OptimizationOutcome {
+    ir::Program optimized;
+    std::vector<opt::PipeletPlan> plans;
+    /// Cost-model verdicts (cycles, original-program profile).
+    double baseline_latency = 0.0;
+    double predicted_latency = 0.0;
+    double predicted_gain = 0.0;  ///< baseline - predicted
+    /// Resource budget the plan consumes.
+    double memory_used = 0.0;
+    double updates_used = 0.0;
+    /// The hot pipelets that were considered this round.
+    std::vector<analysis::ScoredPipelet> hot_pipelets;
+    std::size_t pipelet_count = 0;
+    std::size_t candidates_evaluated = 0;
+    /// Extra group-level gain found (informational; Fig 15).
+    double group_extra_gain = 0.0;
+    /// Wall-clock search time in seconds (the Fig 13 metric).
+    double search_seconds = 0.0;
+};
+
+class Optimizer {
+public:
+    Optimizer(cost::CostModel model, OptimizerConfig config);
+
+    const OptimizerConfig& config() const { return config_; }
+    OptimizerConfig& config() { return config_; }
+    const cost::CostModel& model() const { return model_; }
+
+    /// Runs one optimization round against the original program and its
+    /// (original-space) runtime profile.
+    OptimizationOutcome optimize(const ir::Program& original,
+                                 const profile::RuntimeProfile& profile) const;
+
+private:
+    cost::CostModel model_;
+    OptimizerConfig config_;
+};
+
+}  // namespace pipeleon::search

@@ -1,0 +1,555 @@
+#include "sim/emulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipeleon::sim {
+
+using ir::kNoNode;
+using ir::Node;
+using ir::NodeId;
+using ir::TableRole;
+
+Emulator::Emulator(NicModel model, ir::Program program,
+                   profile::InstrumentationConfig instrumentation)
+    : model_(std::move(model)),
+      program_(std::move(program)),
+      instrumentation_(instrumentation) {
+    program_.validate();
+    compile();
+    begin_window();
+}
+
+void Emulator::compile() {
+    const std::size_t n = program_.node_count();
+    compiled_.assign(n, {});
+    tables_.clear();
+    caches_.clear();
+    tables_.resize(n);
+    caches_.resize(n);
+
+    auto compile_action = [this](const ir::Action& a) {
+        CompiledAction ca;
+        ca.drops = a.drops();
+        for (const ir::Primitive& p : a.primitives) {
+            CompiledPrimitive cp;
+            cp.kind = p.kind;
+            cp.value = p.value;
+            cp.arg_index = p.arg_index;
+            if (!p.dst_field.empty()) cp.dst = fields_.intern(p.dst_field);
+            if (!p.src_field.empty()) cp.src = fields_.intern(p.src_field);
+            ca.primitives.push_back(cp);
+        }
+        return ca;
+    };
+
+    for (const Node& node : program_.nodes()) {
+        CompiledNode& cn = compiled_[static_cast<std::size_t>(node.id)];
+        if (node.is_branch()) {
+            cn.branch_field = fields_.intern(node.cond.field);
+            continue;
+        }
+        for (const ir::MatchKey& k : node.table.keys) {
+            cn.key_fields.push_back(fields_.intern(k.field));
+        }
+        for (const ir::Action& a : node.table.actions) {
+            cn.actions.push_back(compile_action(a));
+        }
+        if (node.table.role == TableRole::Cache) {
+            caches_[static_cast<std::size_t>(node.id)] =
+                std::make_unique<CacheStore>(node.table.cache);
+        } else {
+            tables_[static_cast<std::size_t>(node.id)] =
+                std::make_unique<TableState>(node.table);
+        }
+    }
+
+    // Resolve which cache covers which deployed table.
+    for (const Node& node : program_.nodes()) {
+        if (!node.is_table() || node.table.role != TableRole::Cache) continue;
+        for (const std::string& origin : node.table.origin_tables) {
+            NodeId covered = program_.find_table(origin);
+            if (covered != kNoNode) {
+                compiled_[static_cast<std::size_t>(covered)].covered_by.push_back(
+                    node.id);
+            }
+        }
+    }
+}
+
+bool Emulator::insert_entry(const std::string& table, const ir::TableEntry& entry) {
+    NodeId id = program_.find_table(table);
+    if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
+    return tables_[static_cast<std::size_t>(id)]->insert(entry);
+}
+
+bool Emulator::delete_entry(const std::string& table,
+                            const std::vector<ir::FieldMatch>& key) {
+    NodeId id = program_.find_table(table);
+    if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
+    return tables_[static_cast<std::size_t>(id)]->erase(key);
+}
+
+bool Emulator::modify_entry(const std::string& table, const ir::TableEntry& entry) {
+    NodeId id = program_.find_table(table);
+    if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
+    return tables_[static_cast<std::size_t>(id)]->modify(entry);
+}
+
+bool Emulator::set_entries(const std::string& table,
+                           std::vector<ir::TableEntry> entries) {
+    NodeId id = program_.find_table(table);
+    if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
+    tables_[static_cast<std::size_t>(id)]->set_entries(std::move(entries));
+    return true;
+}
+
+std::size_t Emulator::entry_count(const std::string& table) const {
+    NodeId id = program_.find_table(table);
+    if (id == kNoNode) return 0;
+    if (tables_[static_cast<std::size_t>(id)]) {
+        return tables_[static_cast<std::size_t>(id)]->entries().size();
+    }
+    if (caches_[static_cast<std::size_t>(id)]) {
+        return caches_[static_cast<std::size_t>(id)]->size();
+    }
+    return 0;
+}
+
+const std::vector<ir::TableEntry>* Emulator::entries(
+    const std::string& table) const {
+    NodeId id = program_.find_table(table);
+    if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return nullptr;
+    return &tables_[static_cast<std::size_t>(id)]->entries();
+}
+
+int Emulator::invalidate_caches_covering(const std::string& origin_table) {
+    int cleared = 0;
+    for (const Node& node : program_.nodes()) {
+        if (!node.is_table() || node.table.role != TableRole::Cache) continue;
+        const auto& origins = node.table.origin_tables;
+        if (std::find(origins.begin(), origins.end(), origin_table) !=
+            origins.end()) {
+            caches_[static_cast<std::size_t>(node.id)]->clear();
+            ++cleared;
+        }
+    }
+    return cleared;
+}
+
+std::size_t Emulator::cache_size(const std::string& table) const {
+    NodeId id = program_.find_table(table);
+    if (id == kNoNode || !caches_[static_cast<std::size_t>(id)]) return 0;
+    return caches_[static_cast<std::size_t>(id)]->size();
+}
+
+bool Emulator::packet_sampled() {
+    if (!instrumentation_.enabled) return false;
+    double rate = instrumentation_.sampling_rate;
+    if (rate >= 1.0) return true;
+    if (rate <= 0.0) return false;
+    auto period = static_cast<std::uint64_t>(std::llround(1.0 / rate));
+    return period == 0 || packet_seq_ % period == 0;
+}
+
+bool Emulator::apply_action(const CompiledAction& action, Packet& packet,
+                            const std::vector<std::uint64_t>& args, double scale,
+                            double& cycles) {
+    cycles += static_cast<double>(action.primitives.size()) *
+              model_.costs.l_act * scale;
+    bool dropped = false;
+    for (const CompiledPrimitive& p : action.primitives) {
+        std::uint64_t value = p.value;
+        if (p.arg_index >= 0 &&
+            static_cast<std::size_t>(p.arg_index) < args.size()) {
+            value = args[static_cast<std::size_t>(p.arg_index)];
+        }
+        switch (p.kind) {
+            case ir::PrimitiveKind::SetConst: packet.set(p.dst, value); break;
+            case ir::PrimitiveKind::CopyField:
+                packet.set(p.dst, packet.get(p.src));
+                break;
+            case ir::PrimitiveKind::AddConst:
+                packet.set(p.dst, packet.get(p.dst) + value);
+                break;
+            case ir::PrimitiveKind::SubConst:
+                packet.set(p.dst, packet.get(p.dst) - value);
+                break;
+            case ir::PrimitiveKind::Drop:
+                packet.mark_dropped();
+                dropped = true;
+                break;
+            case ir::PrimitiveKind::Forward:
+                packet.set_egress_port(value);
+                break;
+            case ir::PrimitiveKind::NoOp: break;
+        }
+    }
+    return dropped;
+}
+
+ProcessResult Emulator::process(Packet& packet) {
+    ProcessResult result;
+    const bool sampled = packet_sampled();
+    ++packet_seq_;
+
+    struct FillCtx {
+        NodeId cache_node;
+        KeyVec key;
+        CacheStore::CacheEntry entry;
+    };
+    std::vector<FillCtx> fills;
+
+    static const std::vector<std::uint64_t> kNoArgs;
+
+    NodeId cur = program_.root();
+    std::size_t guard = program_.node_count() * 4 + 16;
+    while (cur != kNoNode) {
+        if (guard-- == 0) {
+            throw std::runtime_error("Emulator::process: execution did not "
+                                     "terminate (cyclic wiring?)");
+        }
+        const Node& n = program_.node(cur);
+        const CompiledNode& cn = compiled_[static_cast<std::size_t>(cur)];
+        const double scale =
+            n.core == ir::CoreKind::Cpu ? model_.costs.cpu_slowdown : 1.0;
+        ++result.nodes_visited;
+
+        if (sampled) result.cycles += model_.costs.l_counter * scale;
+
+        NodeId next = kNoNode;
+        if (n.is_branch()) {
+            result.cycles += model_.costs.l_branch * scale;
+            bool taken = n.cond.evaluate(packet.get(cn.branch_field));
+            if (sampled) {
+                auto idx = static_cast<std::size_t>(cur);
+                if (taken) {
+                    ++branch_true_[idx];
+                } else {
+                    ++branch_false_[idx];
+                }
+            }
+            next = taken ? n.true_next : n.false_next;
+        } else {
+            KeyVec key;
+            key.reserve(cn.key_fields.size());
+            for (FieldId f : cn.key_fields) key.push_back(packet.get(f));
+
+            double l_mat = n.table.tier == ir::MemTier::Fast &&
+                                   model_.costs.l_mat_fast > 0.0
+                               ? model_.costs.l_mat_fast
+                               : model_.costs.l_mat;
+            if (n.table.role == TableRole::Cache) {
+                CacheStore& store = *caches_[static_cast<std::size_t>(cur)];
+                result.cycles += l_mat * scale;  // one probe
+                const CacheStore::CacheEntry* hit = store.lookup(key);
+                if (hit != nullptr) {
+                    if (sampled) ++cache_hits_[static_cast<std::size_t>(cur)];
+                    bool dropped = false;
+                    for (const ReplayStep& step : hit->steps) {
+                        const CompiledNode& origin =
+                            compiled_[static_cast<std::size_t>(step.origin_node)];
+                        const Node& origin_node = program_.node(step.origin_node);
+                        int a = step.action_index >= 0
+                                    ? step.action_index
+                                    : origin_node.table.default_action;
+                        if (sampled) {
+                            ++replays_[{cur, step.origin_node, step.action_index}];
+                        }
+                        if (a < 0) continue;  // miss with no default: no-op
+                        dropped = apply_action(
+                            origin.actions[static_cast<std::size_t>(a)], packet,
+                            step.action_data, scale, result.cycles);
+                        if (dropped) break;
+                    }
+                    if (dropped) break;
+                    next = n.next_by_action.empty() ? kNoNode : n.next_by_action[0];
+                } else {
+                    if (sampled) ++cache_misses_[static_cast<std::size_t>(cur)];
+                    fills.push_back(FillCtx{cur, std::move(key), {}});
+                    next = n.miss_next;
+                }
+            } else {
+                TableState& state = *tables_[static_cast<std::size_t>(cur)];
+                result.cycles += static_cast<double>(state.m()) * l_mat * scale;
+                std::optional<MatchOutcome> outcome = state.lookup(key);
+                bool is_merged_cache = n.table.role == TableRole::MergedCache;
+
+                int executed_action;
+                const std::vector<std::uint64_t>* args = &kNoArgs;
+                if (outcome.has_value()) {
+                    const ir::TableEntry& e = state.entries()[outcome->entry_index];
+                    executed_action = e.action_index;
+                    args = &e.action_data;
+                    if (sampled) {
+                        ++action_hits_[static_cast<std::size_t>(cur)]
+                                      [static_cast<std::size_t>(executed_action)];
+                        if (is_merged_cache) {
+                            ++cache_hits_[static_cast<std::size_t>(cur)];
+                        }
+                    }
+                } else {
+                    executed_action = n.table.default_action;
+                    if (sampled) {
+                        ++misses_[static_cast<std::size_t>(cur)];
+                        if (is_merged_cache) {
+                            ++cache_misses_[static_cast<std::size_t>(cur)];
+                        }
+                    }
+                }
+
+                // Record the outcome for any flow cache collecting a fill
+                // for this table.
+                if (!cn.covered_by.empty() && !fills.empty()) {
+                    for (FillCtx& fill : fills) {
+                        bool covers = std::find(cn.covered_by.begin(),
+                                                cn.covered_by.end(),
+                                                fill.cache_node) !=
+                                      cn.covered_by.end();
+                        if (covers) {
+                            ReplayStep step;
+                            step.origin_node = cur;
+                            step.action_index =
+                                outcome.has_value() ? executed_action : -1;
+                            step.action_data = *args;
+                            fill.entry.steps.push_back(std::move(step));
+                        }
+                    }
+                }
+
+                bool dropped = false;
+                if (executed_action >= 0) {
+                    dropped = apply_action(
+                        cn.actions[static_cast<std::size_t>(executed_action)],
+                        packet, *args, scale, result.cycles);
+                }
+                if (dropped) break;
+                next = outcome.has_value() || n.table.default_action >= 0
+                           ? n.next_for_action(executed_action)
+                           : n.miss_next;
+            }
+        }
+
+        if (next != kNoNode && program_.node(next).core != n.core) {
+            result.cycles += model_.costs.l_migration;
+            ++result.migrations;
+        }
+        cur = next;
+    }
+
+    // Install collected cache fills (LRU + rate limiting applied inside).
+    for (auto& fill : fills) {
+        caches_[static_cast<std::size_t>(fill.cache_node)]->insert(
+            fill.key, std::move(fill.entry), clock_seconds_);
+    }
+
+    result.dropped = packet.dropped();
+    ++packets_total_;
+    if (result.dropped) ++packets_dropped_;
+    latency_.add(result.cycles);
+    return result;
+}
+
+void Emulator::begin_window() {
+    const std::size_t n = program_.node_count();
+    action_hits_.assign(n, {});
+    for (const Node& node : program_.nodes()) {
+        if (node.is_table()) {
+            action_hits_[static_cast<std::size_t>(node.id)].assign(
+                node.table.actions.size(), 0);
+        }
+    }
+    misses_.assign(n, 0);
+    branch_true_.assign(n, 0);
+    branch_false_.assign(n, 0);
+    cache_hits_.assign(n, 0);
+    cache_misses_.assign(n, 0);
+    replays_.clear();
+    latency_ = util::RunningStats{};
+    packets_total_ = 0;
+    packets_dropped_ = 0;
+    window_start_ = clock_seconds_;
+    for (auto& t : tables_) {
+        if (t) t->reset_update_count();
+    }
+}
+
+profile::RawCounters Emulator::read_counters() const {
+    profile::RawCounters raw;
+    raw.reset_for(program_, std::max(1e-9, clock_seconds_ - window_start_));
+
+    const double inv_sampling =
+        (instrumentation_.enabled && instrumentation_.sampling_rate > 0.0 &&
+         instrumentation_.sampling_rate < 1.0)
+            ? 1.0 / instrumentation_.sampling_rate
+            : 1.0;
+    auto scale = [inv_sampling](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(v) * inv_sampling));
+    };
+
+    for (const Node& node : program_.nodes()) {
+        auto i = static_cast<std::size_t>(node.id);
+        if (node.is_branch()) {
+            raw.branch_true[i] = scale(branch_true_[i]);
+            raw.branch_false[i] = scale(branch_false_[i]);
+            continue;
+        }
+        for (std::size_t a = 0; a < action_hits_[i].size(); ++a) {
+            raw.action_hits[i][a] = scale(action_hits_[i][a]);
+        }
+        raw.misses[i] = scale(misses_[i]);
+        raw.cache_hits[i] = scale(cache_hits_[i]);
+        raw.cache_misses[i] = scale(cache_misses_[i]);
+        if (caches_[i]) raw.inserts_dropped[i] = caches_[i]->inserts_dropped();
+
+        if (tables_[i]) {
+            profile::EntrySnapshot snap;
+            snap.entry_count = tables_[i]->entries().size();
+            snap.entry_updates = tables_[i]->update_count();
+            snap.lpm_prefix_count = tables_[i]->lpm_prefix_count();
+            snap.ternary_mask_count = tables_[i]->ternary_mask_count();
+            raw.entries[node.table.name] = snap;
+        }
+    }
+
+    // Replay counters keyed by (cache node, origin table name, action name).
+    for (const auto& [key, count] : replays_) {
+        const auto& [cache_node, origin_node, action_index] = key;
+        const Node& origin = program_.node(origin_node);
+        int a = action_index >= 0 ? action_index : origin.table.default_action;
+        if (a < 0) continue;
+        raw.replays[{cache_node, origin.table.name,
+                     origin.table.actions[static_cast<std::size_t>(a)].name}] +=
+            scale(count);
+    }
+    return raw;
+}
+
+double Emulator::throughput_gbps(double avg_cycles, double packet_bytes) const {
+    if (avg_cycles <= 0.0) return model_.line_rate_gbps;
+    double pps = model_.cycles_per_second * static_cast<double>(model_.cores) /
+                 avg_cycles;
+    double gbps = pps * packet_bytes * 8.0 / 1e9;
+    return std::min(gbps, model_.line_rate_gbps);
+}
+
+double Emulator::reconfigure(ir::Program new_program) {
+    new_program.validate();
+
+    // Preserve entries of same-named tables with identical key structure.
+    std::vector<std::pair<std::string, std::vector<ir::TableEntry>>> saved;
+    for (const Node& node : program_.nodes()) {
+        auto i = static_cast<std::size_t>(node.id);
+        if (node.is_table() && tables_[i]) {
+            saved.emplace_back(node.table.name, tables_[i]->entries());
+        }
+    }
+
+    program_ = std::move(new_program);
+    compile();
+    begin_window();
+
+    for (auto& [name, entries] : saved) {
+        NodeId id = program_.find_table(name);
+        if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) continue;
+        std::vector<ir::TableEntry> keep;
+        for (const ir::TableEntry& e : entries) {
+            if (e.compatible_with(program_.node(id).table)) keep.push_back(e);
+        }
+        tables_[static_cast<std::size_t>(id)]->set_entries(std::move(keep));
+        tables_[static_cast<std::size_t>(id)]->reset_update_count();
+    }
+
+    double downtime = model_.live_reconfig ? 0.0 : model_.reload_downtime_s;
+    clock_seconds_ += downtime;
+    window_start_ = clock_seconds_;
+    return downtime;
+}
+
+Emulator::ReconfigureStats Emulator::reconfigure_incremental(
+    ir::Program new_program) {
+    new_program.validate();
+    ReconfigureStats stats;
+
+    // Diff between the deployed and the new program: a table counts as
+    // changed when its definition differs OR its wiring does (successor
+    // names), so pure reorders are costed too. Copies, not pointers: the
+    // deployed program is replaced below.
+    auto successor_names = [](const ir::Program& prog, const Node& node) {
+        std::vector<std::string> names;
+        for (NodeId s : node.successors()) {
+            const Node& succ = prog.node(s);
+            names.push_back(succ.is_table() ? succ.table.name : "<branch>");
+        }
+        std::sort(names.begin(), names.end());
+        return names;
+    };
+    std::map<std::string, ir::Table> old_tables;
+    std::map<std::string, std::vector<std::string>> old_succ;
+    for (const Node& node : program_.nodes()) {
+        if (!node.is_table()) continue;
+        old_tables.emplace(node.table.name, node.table);
+        old_succ.emplace(node.table.name, successor_names(program_, node));
+    }
+    std::size_t unchanged = 0;
+    for (const Node& node : new_program.nodes()) {
+        if (!node.is_table()) continue;
+        ++stats.tables_total;
+        auto it = old_tables.find(node.table.name);
+        auto sit = old_succ.find(node.table.name);
+        if (it != old_tables.end() && it->second == node.table &&
+            sit != old_succ.end() &&
+            sit->second == successor_names(new_program, node)) {
+            ++unchanged;
+        } else {
+            ++stats.tables_changed;
+        }
+    }
+    // Removed tables also count as changes.
+    for (const auto& [name, table] : old_tables) {
+        if (new_program.find_table(name) == kNoNode) ++stats.tables_changed;
+    }
+    (void)unchanged;
+
+    // Save warm cache stores whose definition is unchanged.
+    std::map<std::string, std::unique_ptr<CacheStore>> saved_caches;
+    for (const Node& node : program_.nodes()) {
+        auto i = static_cast<std::size_t>(node.id);
+        if (!node.is_table() || !caches_[i]) continue;
+        auto it = old_tables.find(node.table.name);
+        (void)it;
+        saved_caches.emplace(node.table.name, std::move(caches_[i]));
+    }
+
+    double full_downtime = model_.live_reconfig ? 0.0 : model_.reload_downtime_s;
+    double changed_fraction =
+        stats.tables_total + stats.tables_changed == 0
+            ? 0.0
+            : static_cast<double>(stats.tables_changed) /
+                  static_cast<double>(std::max<std::size_t>(
+                      1, stats.tables_total));
+    // Full reconfigure (which would drop warm caches), then splice the
+    // saved stores back where definitions match.
+    reconfigure(std::move(new_program));
+    clock_seconds_ -= full_downtime;  // replace with the incremental cost
+    stats.downtime_s = full_downtime * std::min(1.0, changed_fraction);
+    clock_seconds_ += stats.downtime_s;
+    window_start_ = clock_seconds_;
+
+    for (const Node& node : program_.nodes()) {
+        auto i = static_cast<std::size_t>(node.id);
+        if (!node.is_table() || node.table.role != TableRole::Cache) continue;
+        auto sit = saved_caches.find(node.table.name);
+        if (sit == saved_caches.end() || !sit->second) continue;
+        auto oit = old_tables.find(node.table.name);
+        if (oit != old_tables.end() && oit->second == node.table) {
+            caches_[i] = std::move(sit->second);
+            ++stats.caches_kept_warm;
+        }
+    }
+    return stats;
+}
+
+}  // namespace pipeleon::sim

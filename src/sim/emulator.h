@@ -1,0 +1,181 @@
+// sim/emulator.h — the run-to-completion SmartNIC emulator. This is our
+// stand-in for the paper's three targets: it executes the (optimized) IR
+// directly, one packet at a time, charging emulated cycles according to the
+// active NicModel — m hash probes per key match, one L_act per action
+// primitive, branch cost, counter-update cost when instrumented, CPU-core
+// slowdown, and migration cost on ASIC<->CPU crossings. Flow caches learn
+// entries on misses (LRU + insertion rate limiting) and replay recorded
+// outcomes on hits. The emulator exposes P4-counter readings (RawCounters)
+// and supports live reconfiguration (or reflash downtime, per NicModel).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "profile/counter_map.h"
+#include "profile/profile.h"
+#include "sim/nic_model.h"
+#include "sim/packet.h"
+#include "sim/table_state.h"
+#include "util/stats.h"
+
+namespace pipeleon::sim {
+
+/// Outcome of processing one packet.
+struct ProcessResult {
+    double cycles = 0.0;
+    bool dropped = false;
+    int migrations = 0;
+    int nodes_visited = 0;
+};
+
+class Emulator {
+public:
+    Emulator(NicModel model, ir::Program program,
+             profile::InstrumentationConfig instrumentation = {});
+
+    const ir::Program& program() const { return program_; }
+    const NicModel& model() const { return model_; }
+    FieldTable& fields() { return fields_; }
+    const FieldTable& fields() const { return fields_; }
+    const profile::InstrumentationConfig& instrumentation() const {
+        return instrumentation_;
+    }
+    void set_instrumentation(profile::InstrumentationConfig cfg) {
+        instrumentation_ = cfg;
+    }
+
+    // ------------------------------------------------------- control plane
+
+    /// Entry operations address *deployed* table names. (The runtime layer
+    /// maps original-program API calls onto deployed tables, §2.3.)
+    bool insert_entry(const std::string& table, const ir::TableEntry& entry);
+    bool delete_entry(const std::string& table,
+                      const std::vector<ir::FieldMatch>& key);
+    bool modify_entry(const std::string& table, const ir::TableEntry& entry);
+    /// Bulk-replaces entries (deployment of merged tables).
+    bool set_entries(const std::string& table,
+                     std::vector<ir::TableEntry> entries);
+    std::size_t entry_count(const std::string& table) const;
+    const std::vector<ir::TableEntry>* entries(const std::string& table) const;
+
+    /// Number of live entries in the cache table's store.
+    std::size_t cache_size(const std::string& table) const;
+
+    /// Invalidates (clears) every flow cache whose origin set contains the
+    /// given table — "an update in any of the original tables will
+    /// invalidate the entire cache" (§3.2.2). Returns the number of caches
+    /// cleared.
+    int invalidate_caches_covering(const std::string& origin_table);
+
+    // ---------------------------------------------------------- data plane
+
+    /// Runs the packet to completion; mutates the packet's fields.
+    ProcessResult process(Packet& packet);
+
+    // -------------------------------------------------------- virtual time
+
+    double now_seconds() const { return clock_seconds_; }
+    void set_time(double seconds) { clock_seconds_ = seconds; }
+    void advance_time(double dt) { clock_seconds_ += dt; }
+
+    // ------------------------------------------------ measurement / window
+
+    /// Starts a fresh measurement window: zeroes all P4 counters, latency
+    /// stats, and per-table update counts.
+    void begin_window();
+
+    /// Exports the window's counters. Sampled instrumentation counters are
+    /// scaled back by 1/sampling_rate so probabilities and rates read true.
+    profile::RawCounters read_counters() const;
+
+    /// Ground-truth per-packet latency over the window (cycles).
+    const util::RunningStats& latency_stats() const { return latency_; }
+
+    /// Ground-truth totals (not subject to sampling).
+    std::uint64_t packets_processed() const { return packets_total_; }
+    std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+    /// Converts an average packet latency into aggregate Gbps given the
+    /// model's clock, core count, and line rate.
+    double throughput_gbps(double avg_cycles, double packet_bytes = 512.0) const;
+
+    // ----------------------------------------------------- reconfiguration
+
+    /// Deploys a new program. Entries of same-named tables with identical
+    /// keys survive; caches start cold; merged tables start empty (the
+    /// runtime deployer installs their cross-product entries). Counters are
+    /// re-sized and zeroed (read them first). Returns the service downtime
+    /// in seconds (0 on live-reconfigurable targets).
+    double reconfigure(ir::Program new_program);
+
+    /// Result of an incremental deployment.
+    struct ReconfigureStats {
+        std::size_t tables_total = 0;
+        std::size_t tables_changed = 0;  ///< added, removed, or redefined
+        std::size_t caches_kept_warm = 0;
+        double downtime_s = 0.0;
+    };
+
+    /// Incremental deployment (§6 "compile and deploy updates
+    /// incrementally", after [48, 63, 64]): like reconfigure(), but flow
+    /// caches whose definition (name, keys, origin set, config) is unchanged
+    /// keep their learned entries, and on reflash targets the downtime
+    /// scales with the fraction of tables that actually changed.
+    ReconfigureStats reconfigure_incremental(ir::Program new_program);
+
+private:
+    struct CompiledPrimitive {
+        ir::PrimitiveKind kind;
+        FieldId dst = kNoField;
+        FieldId src = kNoField;
+        std::uint64_t value = 0;
+        int arg_index = -1;
+    };
+    struct CompiledAction {
+        std::vector<CompiledPrimitive> primitives;
+        bool drops = false;
+    };
+    struct CompiledNode {
+        std::vector<FieldId> key_fields;
+        std::vector<CompiledAction> actions;
+        FieldId branch_field = kNoField;
+        /// Cache nodes whose origin set includes this table.
+        std::vector<ir::NodeId> covered_by;
+    };
+
+    void compile();
+    bool packet_sampled();
+    /// Applies an action; returns true when the packet was dropped.
+    bool apply_action(const CompiledAction& action, Packet& packet,
+                      const std::vector<std::uint64_t>& args, double scale,
+                      double& cycles);
+
+    NicModel model_;
+    ir::Program program_;
+    profile::InstrumentationConfig instrumentation_;
+    FieldTable fields_;
+
+    std::vector<CompiledNode> compiled_;
+    std::vector<std::unique_ptr<TableState>> tables_;  // per node (may be null)
+    std::vector<std::unique_ptr<CacheStore>> caches_;  // per node (may be null)
+
+    // Window counters (sampled when instrumentation.sampling_rate < 1).
+    std::vector<std::vector<std::uint64_t>> action_hits_;
+    std::vector<std::uint64_t> misses_;
+    std::vector<std::uint64_t> branch_true_, branch_false_;
+    std::vector<std::uint64_t> cache_hits_, cache_misses_;
+    // (cache node, origin node, origin action or -1=miss) -> count
+    std::map<std::tuple<ir::NodeId, ir::NodeId, int>, std::uint64_t> replays_;
+
+    util::RunningStats latency_;
+    std::uint64_t packets_total_ = 0;
+    std::uint64_t packets_dropped_ = 0;
+    std::uint64_t packet_seq_ = 0;
+    double clock_seconds_ = 0.0;
+    double window_start_ = 0.0;
+};
+
+}  // namespace pipeleon::sim

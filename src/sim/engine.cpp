@@ -1,0 +1,255 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace pipeleon::sim {
+
+using ir::FieldMatch;
+using ir::MatchKind;
+using ir::Table;
+using ir::TableEntry;
+
+std::size_t KeyVecHash::operator()(const KeyVec& key) const {
+    std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (std::uint64_t word : key) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (word >> (8 * b)) & 0xFF;
+            h *= 1099511628211ULL;  // FNV prime
+        }
+    }
+    return h;
+}
+
+namespace {
+
+std::uint64_t width_mask(int width_bits) {
+    if (width_bits >= 64) return ~0ULL;
+    if (width_bits <= 0) return 0;
+    return (1ULL << width_bits) - 1;
+}
+
+std::uint64_t prefix_mask(int prefix_len, int width_bits) {
+    if (prefix_len <= 0) return 0;
+    if (prefix_len >= width_bits) return width_mask(width_bits);
+    return width_mask(width_bits) & ~width_mask(width_bits - prefix_len);
+}
+
+// ------------------------------------------------------------ exact engine
+
+class ExactEngine final : public MatchEngine {
+public:
+    void rebuild(const Table& /*table*/,
+                 const std::vector<TableEntry>& entries) override {
+        map_.clear();
+        map_.reserve(entries.size());
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            KeyVec key;
+            key.reserve(entries[i].key.size());
+            for (const FieldMatch& m : entries[i].key) key.push_back(m.value);
+            map_.emplace(std::move(key), i);  // first entry wins on duplicates
+        }
+    }
+
+    std::optional<MatchOutcome> lookup(const KeyVec& key) const override {
+        auto it = map_.find(key);
+        if (it == map_.end()) return std::nullopt;
+        return MatchOutcome{it->second};
+    }
+
+    int m() const override { return 1; }
+
+private:
+    std::unordered_map<KeyVec, std::size_t, KeyVecHash> map_;
+};
+
+// -------------------------------------------------------------- LPM engine
+
+/// One hash table per distinct prefix-length tuple, probed in decreasing
+/// total-prefix order so the first hit is the longest match.
+class LpmEngine final : public MatchEngine {
+public:
+    void rebuild(const Table& table,
+                 const std::vector<TableEntry>& entries) override {
+        groups_.clear();
+        widths_.clear();
+        for (const ir::MatchKey& k : table.keys) widths_.push_back(k.width_bits);
+
+        // Group entries by their prefix-length tuple (exact components use
+        // the full width as their "prefix").
+        std::map<std::vector<int>, Group, std::greater<>> by_lens;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            std::vector<int> lens;
+            KeyVec masked;
+            bool ok = true;
+            for (std::size_t c = 0; c < entries[i].key.size(); ++c) {
+                const FieldMatch& m = entries[i].key[c];
+                int width = widths_[c];
+                int len;
+                switch (m.kind) {
+                    case MatchKind::Exact: len = width; break;
+                    case MatchKind::Lpm: len = m.prefix_len; break;
+                    default: ok = false; len = 0; break;
+                }
+                if (!ok) break;
+                lens.push_back(len);
+                masked.push_back(m.value & prefix_mask(len, width));
+            }
+            if (!ok) continue;  // non-LPM entries are ignored by this engine
+            Group& g = by_lens[lens];
+            g.lens = lens;
+            g.map.emplace(std::move(masked), i);
+        }
+        // Longest total prefix first.
+        std::vector<std::pair<int, std::vector<int>>> order;
+        for (auto& [lens, g] : by_lens) {
+            int total = 0;
+            for (int l : lens) total += l;
+            order.emplace_back(total, lens);
+        }
+        std::sort(order.begin(), order.end(), std::greater<>());
+        for (auto& [total, lens] : order) {
+            (void)total;
+            groups_.push_back(std::move(by_lens[lens]));
+        }
+    }
+
+    std::optional<MatchOutcome> lookup(const KeyVec& key) const override {
+        for (const Group& g : groups_) {
+            KeyVec masked;
+            masked.reserve(key.size());
+            for (std::size_t c = 0; c < key.size(); ++c) {
+                masked.push_back(key[c] & prefix_mask(g.lens[c], widths_[c]));
+            }
+            auto it = g.map.find(masked);
+            if (it != g.map.end()) return MatchOutcome{it->second};
+        }
+        return std::nullopt;
+    }
+
+    int m() const override {
+        return std::max(1, static_cast<int>(groups_.size()));
+    }
+
+private:
+    struct Group {
+        std::vector<int> lens;
+        std::unordered_map<KeyVec, std::size_t, KeyVecHash> map;
+    };
+    std::vector<Group> groups_;
+    std::vector<int> widths_;
+};
+
+// ---------------------------------------------------------- ternary engine
+
+/// One hash table per distinct mask combination; every group is probed and
+/// the highest-priority hit wins. Range components fall into a linear-scan
+/// group (ranges are not mask-encodable).
+class TernaryEngine final : public MatchEngine {
+public:
+    void rebuild(const Table& table,
+                 const std::vector<TableEntry>& entries) override {
+        groups_.clear();
+        linear_.clear();
+        widths_.clear();
+        entries_ = &entries;
+        for (const ir::MatchKey& k : table.keys) widths_.push_back(k.width_bits);
+
+        std::map<std::vector<std::uint64_t>, Group> by_mask;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            std::vector<std::uint64_t> masks;
+            KeyVec masked;
+            bool hashable = true;
+            for (std::size_t c = 0; c < entries[i].key.size(); ++c) {
+                const FieldMatch& m = entries[i].key[c];
+                int width = widths_[c];
+                std::uint64_t mask = 0;
+                switch (m.kind) {
+                    case MatchKind::Exact: mask = width_mask(width); break;
+                    case MatchKind::Lpm: mask = prefix_mask(m.prefix_len, width); break;
+                    case MatchKind::Ternary: mask = m.mask; break;
+                    case MatchKind::Range: mask = 0; hashable = false; break;
+                }
+                if (!hashable) break;
+                masks.push_back(mask);
+                masked.push_back(m.value & mask);
+            }
+            if (!hashable) {
+                linear_.push_back(i);
+                continue;
+            }
+            Group& g = by_mask[masks];
+            g.masks = masks;
+            auto [it, inserted] = g.map.emplace(masked, i);
+            if (!inserted) {
+                // Keep the higher-priority entry (lower index breaks ties).
+                std::size_t old = it->second;
+                if (entries[i].priority > entries[old].priority) it->second = i;
+            }
+        }
+        for (auto& [masks, g] : by_mask) groups_.push_back(std::move(g));
+    }
+
+    std::optional<MatchOutcome> lookup(const KeyVec& key) const override {
+        const std::vector<TableEntry>& entries = *entries_;
+        std::optional<std::size_t> best;
+        auto better = [&entries](std::size_t a, std::size_t b) {
+            if (entries[a].priority != entries[b].priority) {
+                return entries[a].priority > entries[b].priority;
+            }
+            return a < b;
+        };
+        for (const Group& g : groups_) {
+            KeyVec masked;
+            masked.reserve(key.size());
+            for (std::size_t c = 0; c < key.size(); ++c) {
+                masked.push_back(key[c] & g.masks[c]);
+            }
+            auto it = g.map.find(masked);
+            if (it != g.map.end() &&
+                (!best.has_value() || better(it->second, *best))) {
+                best = it->second;
+            }
+        }
+        for (std::size_t i : linear_) {
+            const TableEntry& e = entries[i];
+            bool hit = true;
+            for (std::size_t c = 0; c < key.size() && hit; ++c) {
+                hit = e.key[c].matches(key[c], widths_[c]);
+            }
+            if (hit && (!best.has_value() || better(i, *best))) best = i;
+        }
+        if (!best.has_value()) return std::nullopt;
+        return MatchOutcome{*best};
+    }
+
+    int m() const override {
+        return std::max(
+            1, static_cast<int>(groups_.size() + (linear_.empty() ? 0 : 1)));
+    }
+
+private:
+    struct Group {
+        std::vector<std::uint64_t> masks;
+        std::unordered_map<KeyVec, std::size_t, KeyVecHash> map;
+    };
+    std::vector<Group> groups_;
+    std::vector<std::size_t> linear_;
+    std::vector<int> widths_;
+    const std::vector<TableEntry>* entries_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<MatchEngine> make_engine(const Table& table) {
+    switch (table.effective_match_kind()) {
+        case MatchKind::Exact: return std::make_unique<ExactEngine>();
+        case MatchKind::Lpm: return std::make_unique<LpmEngine>();
+        case MatchKind::Ternary:
+        case MatchKind::Range: return std::make_unique<TernaryEngine>();
+    }
+    return std::make_unique<ExactEngine>();
+}
+
+}  // namespace pipeleon::sim

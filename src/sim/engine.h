@@ -1,0 +1,55 @@
+// sim/engine.h — match engines. The emulator implements key matching the way
+// the paper's cost model says SmartNICs do (§3.1): an exact match is one
+// hash-table probe (m = 1); LPM is one hash table per distinct prefix
+// length, probed longest-first; ternary is one hash table per distinct mask
+// combination, probed with priority arbitration. Each engine reports its
+// probe count m, so the emulated latency organically reproduces
+// L_match = m * L_mat.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ir/entry.h"
+#include "ir/table.h"
+
+namespace pipeleon::sim {
+
+/// Gathered key field values, in table-key order.
+using KeyVec = std::vector<std::uint64_t>;
+
+/// Hash functor for KeyVec (FNV-1a over the raw words).
+struct KeyVecHash {
+    std::size_t operator()(const KeyVec& key) const;
+};
+
+/// Result of a successful lookup: the index of the matched entry in the
+/// table's entry list.
+struct MatchOutcome {
+    std::size_t entry_index = 0;
+};
+
+/// Abstract match engine. Engines are rebuilt from the full entry list on
+/// control-plane updates (updates are control-plane-rate, lookups are
+/// data-plane-rate; rebuild keeps the structures canonical).
+class MatchEngine {
+public:
+    virtual ~MatchEngine() = default;
+
+    /// Rebuilds internal structures from the entries.
+    virtual void rebuild(const ir::Table& table,
+                         const std::vector<ir::TableEntry>& entries) = 0;
+
+    /// Looks the key up; nullopt on miss.
+    virtual std::optional<MatchOutcome> lookup(const KeyVec& key) const = 0;
+
+    /// Memory accesses (hash-table probes) one lookup costs.
+    virtual int m() const = 0;
+};
+
+/// Creates the engine matching the table's effective match kind.
+std::unique_ptr<MatchEngine> make_engine(const ir::Table& table);
+
+}  // namespace pipeleon::sim

@@ -1,0 +1,49 @@
+#include "sim/nic_model.h"
+
+namespace pipeleon::sim {
+
+NicModel bluefield2_model() {
+    NicModel m;
+    m.name = "BlueField2";
+    m.costs = cost::bluefield2_params();
+    m.line_rate_gbps = 100.0;
+    // Tuned so that a ~12-exact-table program saturates the 100G port with
+    // 512 B packets across the ASIC cores, matching the shape of Fig 9a.
+    m.cycles_per_second = 0.5e9;
+    m.live_reconfig = true;
+    m.reload_downtime_s = 0.0;
+    m.vendor_flow_cache = false;
+    m.cores = 8;
+    return m;
+}
+
+NicModel agilio_cx_model() {
+    NicModel m;
+    m.name = "AgilioCX";
+    m.costs = cost::agilio_cx_params();
+    m.line_rate_gbps = 40.0;
+    // 54 micro-engines, each far slower than a dRMT packet engine; the
+    // aggregate budget makes a ~20-table exact pipeline run at ~15 Gbps,
+    // matching the Fig 9b operating range.
+    m.cycles_per_second = 45.0e6;
+    m.live_reconfig = false;
+    m.reload_downtime_s = 12.0;  // micro-engine reflash interrupts service
+    m.vendor_flow_cache = true;
+    m.cores = 54;  // micro-engines
+    return m;
+}
+
+NicModel emulated_nic_model() {
+    NicModel m;
+    m.name = "EmulatedNIC";
+    m.costs = cost::emulated_nic_params();
+    m.line_rate_gbps = 100.0;
+    m.cycles_per_second = 0.5e9;
+    m.live_reconfig = true;
+    m.reload_downtime_s = 0.0;
+    m.vendor_flow_cache = false;
+    m.cores = 4;
+    return m;
+}
+
+}  // namespace pipeleon::sim

@@ -1,0 +1,49 @@
+// sim/nic_model.h — emulated SmartNIC targets. A NicModel couples the cost
+// parameters of §3.1 with device-level characteristics: line rate, the clock
+// the abstract "cycles" are measured against, whether live runtime
+// reconfiguration is available (BlueField2's enhanced-dRMT ASIC supports it;
+// Netronome requires a micro-engine reflash with downtime, §5.1), and
+// whether a vendor flow cache fronts the whole program (Netronome's built-in
+// cache, §5.2.1).
+#pragma once
+
+#include <string>
+
+#include "cost/params.h"
+
+namespace pipeleon::sim {
+
+struct NicModel {
+    std::string name = "generic";
+    cost::CostParams costs;
+
+    /// Port capacity reported by the throughput conversion.
+    double line_rate_gbps = 100.0;
+    /// Cycles per wall-clock second: converts emulated latency to rates.
+    double cycles_per_second = 2.0e9;
+
+    /// Live reconfiguration support. When false, `reload_downtime_s` of
+    /// traffic is lost on every program deployment.
+    bool live_reconfig = true;
+    double reload_downtime_s = 0.0;
+
+    /// Vendor-native whole-program flow cache (Netronome): modeled by the
+    /// harness as a front cache the emulator accounts like any other cache.
+    bool vendor_flow_cache = false;
+
+    /// Number of run-to-completion cores (for aggregate-throughput scaling).
+    int cores = 8;
+};
+
+/// Nvidia BlueField2: 100G ports, live reconfig, fast counters.
+NicModel bluefield2_model();
+
+/// Netronome Agilio CX: 40G port, reflash-based reconfiguration with
+/// service interruption, expensive counters, vendor flow cache available.
+NicModel agilio_cx_model();
+
+/// The §5.3.3 BMv2-based emulated NIC: LPM/ternary 3x exact, branches 1/10
+/// of an exact table.
+NicModel emulated_nic_model();
+
+}  // namespace pipeleon::sim

@@ -1,0 +1,64 @@
+#include "sim/packet.h"
+
+#include <stdexcept>
+
+namespace pipeleon::sim {
+
+FieldId FieldTable::intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    FieldId id = static_cast<FieldId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+}
+
+FieldId FieldTable::find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kNoField : it->second;
+}
+
+const std::string& FieldTable::name(FieldId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) {
+        throw std::out_of_range("FieldTable::name: bad field id");
+    }
+    return names_[static_cast<std::size_t>(id)];
+}
+
+std::size_t HeaderLayout::byte_size() const {
+    std::size_t bits = 0;
+    for (const FieldSpec& f : fields) bits += static_cast<std::size_t>(f.width_bits);
+    return (bits + 7) / 8;
+}
+
+std::vector<std::uint8_t> serialize(const Packet& packet, const HeaderLayout& layout,
+                                    const FieldTable& fields) {
+    std::vector<std::uint8_t> out;
+    out.reserve(layout.byte_size());
+    for (const HeaderLayout::FieldSpec& spec : layout.fields) {
+        FieldId id = fields.find(spec.name);
+        std::uint64_t v = id == kNoField ? 0 : packet.get(id);
+        int bytes = (spec.width_bits + 7) / 8;
+        for (int b = bytes - 1; b >= 0; --b) {
+            out.push_back(static_cast<std::uint8_t>((v >> (8 * b)) & 0xFF));
+        }
+    }
+    return out;
+}
+
+std::optional<Packet> deserialize(const std::vector<std::uint8_t>& data,
+                                  const HeaderLayout& layout, FieldTable& fields) {
+    if (data.size() < layout.byte_size()) return std::nullopt;
+    Packet packet;
+    std::size_t offset = 0;
+    for (const HeaderLayout::FieldSpec& spec : layout.fields) {
+        int bytes = (spec.width_bits + 7) / 8;
+        std::uint64_t v = 0;
+        for (int b = 0; b < bytes; ++b) v = (v << 8) | data[offset++];
+        packet.set(fields.intern(spec.name), v);
+    }
+    packet.set_wire_bytes(data.size());
+    return packet;
+}
+
+}  // namespace pipeleon::sim

@@ -1,0 +1,94 @@
+// sim/packet.h — packets and header fields. The emulator operates on parsed
+// representations: a packet is a vector of 64-bit header/metadata field
+// values indexed through a FieldTable (string interner), which is how BMv2
+// exposes headers to the match-action pipeline after parsing. A simple
+// byte codec (serialize/deserialize against a declared layout) covers the
+// cases where wire bytes matter (tests, pcap-style fixtures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pipeleon::sim {
+
+/// Dense field identifier.
+using FieldId = std::int32_t;
+inline constexpr FieldId kNoField = -1;
+
+/// Interns field names to dense ids shared between the emulator, the
+/// traffic generator, and tests.
+class FieldTable {
+public:
+    /// Returns the id for `name`, creating one if needed.
+    FieldId intern(std::string_view name);
+    /// Returns the id or kNoField when the name was never interned.
+    FieldId find(std::string_view name) const;
+    const std::string& name(FieldId id) const;
+    std::size_t size() const { return names_.size(); }
+
+private:
+    std::unordered_map<std::string, FieldId> ids_;
+    std::vector<std::string> names_;
+};
+
+/// A parsed packet: field values plus processing status. Fields the program
+/// never set read as 0 (like uninitialized metadata in BMv2).
+class Packet {
+public:
+    Packet() = default;
+    explicit Packet(std::size_t field_count) : fields_(field_count, 0) {}
+
+    std::uint64_t get(FieldId id) const {
+        if (id < 0 || static_cast<std::size_t>(id) >= fields_.size()) return 0;
+        return fields_[static_cast<std::size_t>(id)];
+    }
+    void set(FieldId id, std::uint64_t value) {
+        if (id < 0) return;
+        if (static_cast<std::size_t>(id) >= fields_.size()) {
+            fields_.resize(static_cast<std::size_t>(id) + 1, 0);
+        }
+        fields_[static_cast<std::size_t>(id)] = value;
+    }
+
+    bool dropped() const { return dropped_; }
+    void mark_dropped() { dropped_ = true; }
+
+    std::uint64_t egress_port() const { return egress_port_; }
+    void set_egress_port(std::uint64_t port) { egress_port_ = port; }
+
+    /// Wire size used for throughput accounting (paper workloads: 512 B).
+    std::size_t wire_bytes() const { return wire_bytes_; }
+    void set_wire_bytes(std::size_t bytes) { wire_bytes_ = bytes; }
+
+private:
+    std::vector<std::uint64_t> fields_;
+    bool dropped_ = false;
+    std::uint64_t egress_port_ = 0;
+    std::size_t wire_bytes_ = 512;
+};
+
+/// Declarative wire layout: fields in order with bit widths (multiples of 8
+/// for the codec). Enables byte-level round trips for fixtures and tests.
+struct HeaderLayout {
+    struct FieldSpec {
+        std::string name;
+        int width_bits = 32;
+    };
+    std::vector<FieldSpec> fields;
+
+    std::size_t byte_size() const;
+};
+
+/// Serializes the layout's fields (big-endian) into bytes.
+std::vector<std::uint8_t> serialize(const Packet& packet, const HeaderLayout& layout,
+                                    const FieldTable& fields);
+
+/// Parses bytes into a packet; returns nullopt when `data` is too short.
+std::optional<Packet> deserialize(const std::vector<std::uint8_t>& data,
+                                  const HeaderLayout& layout, FieldTable& fields);
+
+}  // namespace pipeleon::sim

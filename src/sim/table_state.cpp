@@ -1,0 +1,107 @@
+#include "sim/table_state.h"
+
+#include <algorithm>
+
+namespace pipeleon::sim {
+
+TableState::TableState(const ir::Table& table)
+    : table_(table), engine_(make_engine(table)) {
+    engine_->rebuild(table_, entries_);
+}
+
+void TableState::set_entries(std::vector<ir::TableEntry> entries) {
+    entries_ = std::move(entries);
+    engine_->rebuild(table_, entries_);
+    ++updates_;
+}
+
+bool TableState::insert(const ir::TableEntry& entry) {
+    if (!entry.compatible_with(table_)) return false;
+    if (entries_.size() >= table_.size) return false;
+    entries_.push_back(entry);
+    engine_->rebuild(table_, entries_);
+    ++updates_;
+    return true;
+}
+
+bool TableState::erase(const std::vector<ir::FieldMatch>& key) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->key == key) {
+            entries_.erase(it);
+            engine_->rebuild(table_, entries_);
+            ++updates_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool TableState::modify(const ir::TableEntry& entry) {
+    for (ir::TableEntry& e : entries_) {
+        if (e.key == entry.key) {
+            e = entry;
+            engine_->rebuild(table_, entries_);
+            ++updates_;
+            return true;
+        }
+    }
+    return false;
+}
+
+int TableState::lpm_prefix_count() const {
+    return ir::distinct_prefix_lengths(entries_);
+}
+
+int TableState::ternary_mask_count() const { return ir::distinct_masks(entries_); }
+
+CacheStore::CacheStore(const ir::CacheConfig& config)
+    : config_(config), tokens_(config.max_insert_per_sec) {}
+
+const CacheStore::CacheEntry* CacheStore::lookup(const KeyVec& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    // Touch: move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+    return &lru_.front().second;
+}
+
+bool CacheStore::insert(const KeyVec& key, CacheEntry entry, double now_seconds) {
+    // Refill the token bucket (burst bounded by one second of budget).
+    if (now_seconds > last_refill_) {
+        tokens_ = std::min(config_.max_insert_per_sec,
+                           tokens_ + (now_seconds - last_refill_) *
+                                         config_.max_insert_per_sec);
+        last_refill_ = now_seconds;
+    }
+    if (tokens_ < 1.0) {
+        ++inserts_dropped_;  // "insertions beyond the limit will be dropped"
+        return false;
+    }
+
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Refresh the existing entry.
+        it->second->second = std::move(entry);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        it->second = lru_.begin();
+        tokens_ -= 1.0;
+        return true;
+    }
+    while (lru_.size() >= config_.capacity && !lru_.empty()) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+    if (config_.capacity == 0) return false;
+    lru_.emplace_front(key, std::move(entry));
+    index_.emplace(key, lru_.begin());
+    tokens_ -= 1.0;
+    return true;
+}
+
+void CacheStore::clear() {
+    lru_.clear();
+    index_.clear();
+}
+
+}  // namespace pipeleon::sim

@@ -1,0 +1,99 @@
+// sim/table_state.h — runtime state of deployed tables: the entry list plus
+// its match engine for regular tables, and the flow-cache store (LRU with an
+// insertion rate limiter, §3.2.2) for cache tables. Cache entries hold
+// replay lists — the recorded per-covered-table outcomes a hit re-executes —
+// and per-origin replay counters feed the counter map (§4.1.2).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/program.h"
+#include "sim/engine.h"
+
+namespace pipeleon::sim {
+
+/// State of a non-cache table: entries + engine + update accounting.
+class TableState {
+public:
+    explicit TableState(const ir::Table& table);
+
+    const std::vector<ir::TableEntry>& entries() const { return entries_; }
+
+    /// Replaces all entries (engine rebuilt).
+    void set_entries(std::vector<ir::TableEntry> entries);
+
+    /// Inserts an entry; returns false (and leaves state unchanged) when the
+    /// entry is incompatible with the table or capacity is exhausted.
+    bool insert(const ir::TableEntry& entry);
+    /// Removes the entry with an identical key; false when absent.
+    bool erase(const std::vector<ir::FieldMatch>& key);
+    /// Replaces the action/data of the entry with an identical key.
+    bool modify(const ir::TableEntry& entry);
+
+    std::optional<MatchOutcome> lookup(const KeyVec& key) const {
+        return engine_->lookup(key);
+    }
+    int m() const { return engine_->m(); }
+
+    std::uint64_t update_count() const { return updates_; }
+    void reset_update_count() { updates_ = 0; }
+
+    /// Distinct prefix lengths / masks among live entries (cost-model m
+    /// inputs exported to the profiler).
+    int lpm_prefix_count() const;
+    int ternary_mask_count() const;
+
+private:
+    ir::Table table_;
+    std::vector<ir::TableEntry> entries_;
+    std::unique_ptr<MatchEngine> engine_;
+    std::uint64_t updates_ = 0;
+};
+
+/// One recorded covered-table outcome inside a cache entry.
+struct ReplayStep {
+    ir::NodeId origin_node = ir::kNoNode;  ///< deployed node id
+    int action_index = -1;                 ///< action in the origin table
+    std::vector<std::uint64_t> action_data;
+};
+
+/// Exact-match LRU flow cache with an insertion rate limiter.
+class CacheStore {
+public:
+    explicit CacheStore(const ir::CacheConfig& config);
+
+    struct CacheEntry {
+        std::vector<ReplayStep> steps;
+    };
+
+    /// Looks up and LRU-touches the entry; nullptr on miss.
+    const CacheEntry* lookup(const KeyVec& key);
+
+    /// Attempts to install an entry at virtual time `now_seconds`. Evicts
+    /// LRU victims at capacity; drops the insert (counted) when the rate
+    /// limiter has no budget.
+    bool insert(const KeyVec& key, CacheEntry entry, double now_seconds);
+
+    /// Full invalidation (covered-table update, or redeployment).
+    void clear();
+
+    std::size_t size() const { return lru_.size(); }
+    std::uint64_t inserts_dropped() const { return inserts_dropped_; }
+
+private:
+    using LruList = std::list<std::pair<KeyVec, CacheEntry>>;
+    ir::CacheConfig config_;
+    LruList lru_;  // front = most recent
+    std::unordered_map<KeyVec, LruList::iterator, KeyVecHash> index_;
+    // Token-bucket limiter for insertions.
+    double tokens_;
+    double last_refill_ = 0.0;
+    std::uint64_t inserts_dropped_ = 0;
+};
+
+}  // namespace pipeleon::sim

@@ -1,0 +1,171 @@
+#include "synth/profile_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace pipeleon::synth {
+
+using ir::Node;
+using ir::NodeId;
+using ir::Program;
+
+ProfileSynthConfig heavy_drop_config() {
+    ProfileSynthConfig c;
+    c.drop_mean = 0.35;  // ACL-heavy: large portions of traffic denied
+    c.min_entries = 64;
+    c.max_entries = 4096;
+    c.min_update_rate = 0.0;
+    c.max_update_rate = 20.0;
+    return c;
+}
+
+ProfileSynthConfig small_static_config() {
+    ProfileSynthConfig c;
+    c.drop_mean = 0.02;
+    c.min_entries = 2;   // tiny lookup tables (direction, metadata, VNI...)
+    c.max_entries = 32;
+    c.min_update_rate = 0.0;
+    c.max_update_rate = 0.5;  // effectively static -> merge-friendly
+    return c;
+}
+
+ProfileSynthConfig high_locality_config() {
+    ProfileSynthConfig c;
+    c.drop_mean = 0.05;
+    c.min_entries = 256;
+    c.max_entries = 8192;
+    c.min_update_rate = 0.0;
+    c.max_update_rate = 5.0;  // long-lived flows -> cache-friendly
+    return c;
+}
+
+ProfileSynthesizer::ProfileSynthesizer(ProfileSynthConfig config,
+                                       std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+profile::RuntimeProfile ProfileSynthesizer::generate(const Program& program) {
+    profile::RuntimeProfile prof;
+    prof.reset_for(program, config_.window_seconds);
+
+    // Incoming traffic per node, propagated from the root.
+    std::vector<double> in(program.node_count(), 0.0);
+    if (program.root() != ir::kNoNode) {
+        in[static_cast<std::size_t>(program.root())] =
+            static_cast<double>(config_.root_lookups);
+    }
+
+    for (NodeId id : program.topo_order()) {
+        const Node& n = program.node(id);
+        double traffic = in[static_cast<std::size_t>(id)];
+
+        if (n.is_branch()) {
+            double p_true = rng_.uniform(0.1, 0.9);
+            auto& bs = prof.branch(id);
+            bs.taken_true = static_cast<std::uint64_t>(
+                std::llround(traffic * p_true));
+            bs.taken_false = static_cast<std::uint64_t>(
+                std::llround(traffic * (1.0 - p_true)));
+            if (n.true_next != ir::kNoNode) {
+                in[static_cast<std::size_t>(n.true_next)] += traffic * p_true;
+            }
+            if (n.false_next != ir::kNoNode) {
+                in[static_cast<std::size_t>(n.false_next)] +=
+                    traffic * (1.0 - p_true);
+            }
+            continue;
+        }
+
+        const ir::Table& t = n.table;
+        const std::size_t n_actions = t.actions.size();
+
+        // Random action split (exponential weights -> Dirichlet-ish).
+        std::vector<double> p(n_actions, 0.0);
+        double sum = 0.0;
+        for (std::size_t a = 0; a < n_actions; ++a) {
+            p[a] = rng_.exponential(1.0);
+            sum += p[a];
+        }
+        for (double& v : p) v /= sum;
+
+        // Steer the combined probability of dropping actions toward the
+        // sampled target.
+        double drop_target = std::clamp(
+            rng_.uniform(0.0, 2.0 * config_.drop_mean), 0.0, 0.95);
+        double drop_mass = 0.0, keep_mass = 0.0;
+        for (std::size_t a = 0; a < n_actions; ++a) {
+            (t.actions[a].drops() ? drop_mass : keep_mass) += p[a];
+        }
+        if (drop_mass > 0.0 && keep_mass > 0.0) {
+            for (std::size_t a = 0; a < n_actions; ++a) {
+                if (t.actions[a].drops()) {
+                    p[a] *= drop_target / drop_mass;
+                } else {
+                    p[a] *= (1.0 - drop_target) / keep_mass;
+                }
+            }
+        }
+
+        auto& ts = prof.table(id);
+        for (std::size_t a = 0; a < n_actions; ++a) {
+            ts.action_hits[a] =
+                static_cast<std::uint64_t>(std::llround(traffic * p[a]));
+        }
+        ts.misses = 0;  // miss traffic is folded into the default action
+        ts.entry_count = static_cast<std::size_t>(rng_.uniform_int(
+            static_cast<std::int64_t>(config_.min_entries),
+            static_cast<std::int64_t>(config_.max_entries)));
+        ts.entry_updates = static_cast<std::uint64_t>(std::llround(
+            rng_.uniform(config_.min_update_rate, config_.max_update_rate) *
+            config_.window_seconds));
+        switch (t.effective_match_kind()) {
+            case ir::MatchKind::Lpm:
+                ts.lpm_prefix_count = static_cast<int>(rng_.uniform_int(2, 6));
+                break;
+            case ir::MatchKind::Ternary:
+            case ir::MatchKind::Range:
+                ts.ternary_mask_count = static_cast<int>(rng_.uniform_int(2, 8));
+                break;
+            case ir::MatchKind::Exact: break;
+        }
+
+        // Forward non-dropped traffic along action edges.
+        for (std::size_t a = 0; a < n_actions; ++a) {
+            if (t.actions[a].drops()) continue;
+            NodeId next = n.next_by_action[a];
+            if (next != ir::kNoNode) {
+                in[static_cast<std::size_t>(next)] += traffic * p[a];
+            }
+        }
+    }
+    return prof;
+}
+
+std::vector<double> pipelet_traffic_shares(
+    const Program& program, const std::vector<analysis::Pipelet>& pipelets,
+    const profile::RuntimeProfile& profile) {
+    std::vector<double> reach = profile.reach_probabilities(program);
+    std::vector<double> shares;
+    shares.reserve(pipelets.size());
+    double total = 0.0;
+    for (const analysis::Pipelet& p : pipelets) {
+        double r = p.entry() == ir::kNoNode
+                       ? 0.0
+                       : reach[static_cast<std::size_t>(p.entry())];
+        shares.push_back(r);
+        total += r;
+    }
+    if (total > 0.0) {
+        for (double& s : shares) s /= total;
+    }
+    return shares;
+}
+
+double pipelet_traffic_entropy(const Program& program,
+                               const std::vector<analysis::Pipelet>& pipelets,
+                               const profile::RuntimeProfile& profile) {
+    return util::entropy(pipelet_traffic_shares(program, pipelets, profile));
+}
+
+}  // namespace pipeleon::synth

@@ -1,0 +1,68 @@
+// synth/profile_synth.h — the "runtime profile synthesizer" of §5.2.2: it
+// invents plausible runtime profiles for a program so the search can be
+// exercised across many workload shapes without running traffic. Three
+// named presets mirror the paper's program categories (heavy packet drops,
+// small static tables, high traffic locality), and random-profile generation
+// plus pipelet-traffic entropy support the §5.4.3/A.3 studies (Figs 14, 18,
+// 19).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/pipelet.h"
+#include "ir/program.h"
+#include "profile/profile.h"
+#include "util/rng.h"
+
+namespace pipeleon::synth {
+
+struct ProfileSynthConfig {
+    /// Mean drop probability assigned to dropping actions of droppable
+    /// tables (drawn uniformly in [0, 2*mean], clamped to [0, 0.95]).
+    double drop_mean = 0.2;
+    /// Entry count range per table.
+    std::size_t min_entries = 16;
+    std::size_t max_entries = 4096;
+    /// Entry updates per second range.
+    double min_update_rate = 0.0;
+    double max_update_rate = 50.0;
+    /// Total lookups attributed to the root (propagated downstream).
+    std::uint64_t root_lookups = 1'000'000;
+    /// Window the counts are interpreted over.
+    double window_seconds = 5.0;
+};
+
+/// Category presets (§5.2.2).
+ProfileSynthConfig heavy_drop_config();
+ProfileSynthConfig small_static_config();
+ProfileSynthConfig high_locality_config();
+
+class ProfileSynthesizer {
+public:
+    ProfileSynthesizer(ProfileSynthConfig config, std::uint64_t seed);
+
+    /// Generates a random but flow-consistent profile: action splits are
+    /// random, branch splits are random, and per-node lookup counts follow
+    /// the graph structure from the root (so reach probabilities are
+    /// self-consistent).
+    profile::RuntimeProfile generate(const ir::Program& program);
+
+private:
+    ProfileSynthConfig config_;
+    util::Rng rng_;
+};
+
+/// Normalized traffic share per pipelet (reach probability of each pipelet's
+/// entry, normalized to sum to 1) — the distribution whose entropy §5.4.3
+/// uses to characterize aggregation (Fig 18).
+std::vector<double> pipelet_traffic_shares(
+    const ir::Program& program, const std::vector<analysis::Pipelet>& pipelets,
+    const profile::RuntimeProfile& profile);
+
+/// Shannon entropy of the pipelet traffic distribution.
+double pipelet_traffic_entropy(const ir::Program& program,
+                               const std::vector<analysis::Pipelet>& pipelets,
+                               const profile::RuntimeProfile& profile);
+
+}  // namespace pipeleon::synth

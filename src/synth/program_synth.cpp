@@ -1,0 +1,150 @@
+#include "synth/program_synth.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/builder.h"
+#include "util/strings.h"
+
+namespace pipeleon::synth {
+
+using ir::MatchKind;
+using ir::NodeId;
+using ir::Program;
+using ir::Table;
+using ir::TableSpec;
+
+ProgramSynthesizer::ProgramSynthesizer(SynthConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+Table ProgramSynthesizer::make_table(int index, bool force_exact) {
+    MatchKind kind = MatchKind::Exact;
+    if (!force_exact) {
+        double r = rng_.uniform();
+        if (r < config_.lpm_fraction) {
+            kind = MatchKind::Lpm;
+        } else if (r < config_.lpm_fraction + config_.ternary_fraction) {
+            kind = MatchKind::Ternary;
+        }
+    }
+
+    std::string field;
+    if (!last_field_.empty() && rng_.chance(config_.dependency_fraction)) {
+        field = last_field_;  // shared field -> potential dependency
+    } else {
+        field = util::format("f%d", field_counter_++);
+    }
+    last_field_ = field;
+
+    TableSpec spec(util::format("t%d", index));
+    spec.key(field, kind).size(config_.table_size);
+    int n_actions = std::max(1, config_.actions_per_table);
+    bool droppable = rng_.chance(config_.drop_table_fraction);
+    for (int a = 0; a < n_actions; ++a) {
+        if (droppable && a == n_actions - 1) {
+            spec.drop_action(util::format("t%d_deny", index));
+        } else {
+            spec.noop_action(util::format("t%d_a%d", index, a),
+                             config_.primitives_per_action);
+        }
+    }
+    spec.default_to(util::format("t%d_a0", index));
+    return spec.build();
+}
+
+Program ProgramSynthesizer::generate(const std::string& name) {
+    field_counter_ = 0;
+    last_field_.clear();
+    ir::ProgramBuilder b(name);
+    int table_counter = 0;
+    int branch_counter = 0;
+
+    // Builds one straight pipelet; returns {head, tail}.
+    auto make_pipelet = [&](int len) -> std::pair<NodeId, NodeId> {
+        NodeId head = ir::kNoNode, tail = ir::kNoNode;
+        for (int i = 0; i < len; ++i) {
+            NodeId id = b.add(make_table(table_counter++, false));
+            if (head == ir::kNoNode) head = id;
+            if (tail != ir::kNoNode) b.connect(tail, id);
+            tail = id;
+        }
+        return {head, tail};
+    };
+
+    // Edges waiting for the next pipelet head.
+    struct Pending {
+        NodeId node;
+        enum class Kind { Uniform, BranchTrue, BranchFalse } kind;
+    };
+    std::vector<Pending> pending;
+
+    auto connect_pending = [&](NodeId head) {
+        // Collect branch edges first so true/false pairs are wired together.
+        std::map<NodeId, std::pair<bool, bool>> branch_edges;
+        for (const Pending& p : pending) {
+            switch (p.kind) {
+                case Pending::Kind::Uniform: b.connect(p.node, head); break;
+                case Pending::Kind::BranchTrue:
+                    branch_edges[p.node].first = true;
+                    break;
+                case Pending::Kind::BranchFalse:
+                    branch_edges[p.node].second = true;
+                    break;
+            }
+        }
+        for (const auto& [node, edges] : branch_edges) {
+            b.connect_branch(node, edges.first ? head : ir::kNoNode,
+                             edges.second ? head : ir::kNoNode);
+        }
+        pending.clear();
+    };
+
+    int remaining = std::max(1, config_.pipelets);
+    bool first = true;
+    while (remaining > 0) {
+        int len = static_cast<int>(rng_.uniform_int(config_.min_pipelet_len,
+                                                    config_.max_pipelet_len));
+        auto [head, tail] = make_pipelet(std::max(1, len));
+        --remaining;
+        if (first) {
+            b.set_root(head);
+            first = false;
+        }
+        connect_pending(head);
+
+        if (remaining == 0) break;  // final pipelet exits the pipeline
+
+        ir::BranchCond cond;
+        cond.field = util::format("br%d", branch_counter++);
+        cond.op = ir::CmpOp::Eq;
+        cond.value = 1;
+        NodeId branch = b.add_branch(cond);
+        b.connect(tail, branch);
+
+        if (remaining >= 3 && rng_.chance(config_.diamond_fraction)) {
+            // Diamond: two arm pipelets rejoining at the next pipelet head.
+            int len_a = static_cast<int>(rng_.uniform_int(
+                config_.min_pipelet_len, config_.max_pipelet_len));
+            int len_b = static_cast<int>(rng_.uniform_int(
+                config_.min_pipelet_len, config_.max_pipelet_len));
+            auto [ha, ta] = make_pipelet(std::max(1, len_a));
+            auto [hb, tb] = make_pipelet(std::max(1, len_b));
+            remaining -= 2;
+            b.connect_branch(branch, ha, hb);
+            pending.push_back({ta, Pending::Kind::Uniform});
+            pending.push_back({tb, Pending::Kind::Uniform});
+        } else {
+            // Plain separator branch. The false edge usually continues to
+            // the next pipelet too; sometimes it exits the pipeline early so
+            // downstream pipelets see non-trivial reach probabilities.
+            pending.push_back({branch, Pending::Kind::BranchTrue});
+            if (!rng_.chance(0.3)) {
+                pending.push_back({branch, Pending::Kind::BranchFalse});
+            }
+        }
+    }
+
+    return b.build();
+}
+
+}  // namespace pipeleon::synth

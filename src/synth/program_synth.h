@@ -1,0 +1,62 @@
+// synth/program_synth.h — random P4 program generation, standing in for the
+// Gauntlet-based synthesizer the paper adapts ("adapting a recent tool [50]
+// that can synthesize P4 programs", §5.2.2). Programs are generated with
+// controlled pipelet count (PN) and pipelet length (PL) — the two knobs the
+// optimization-speed study sweeps (§5.4.2) — plus match-kind mix, action
+// shape, droppability, and occasional inter-table dependencies.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+#include "util/rng.h"
+
+namespace pipeleon::synth {
+
+struct SynthConfig {
+    /// Target number of pipelets (branches/diamonds are inserted between
+    /// them; the realized count can differ by ±1 and is reported by the
+    /// pipelet partitioner).
+    int pipelets = 10;
+    /// Tables per pipelet: sampled uniformly in [min_len, max_len].
+    int min_pipelet_len = 2;
+    int max_pipelet_len = 3;
+
+    /// Match-kind mix over tables (remainder is exact).
+    double lpm_fraction = 0.15;
+    double ternary_fraction = 0.15;
+
+    int actions_per_table = 2;
+    int primitives_per_action = 2;
+
+    /// Fraction of tables given a packet-dropping action (ACL-like).
+    double drop_table_fraction = 0.3;
+
+    /// Probability that a table reuses a neighbor's field, creating a
+    /// dependency that constrains reordering/merging.
+    double dependency_fraction = 0.15;
+
+    /// Probability that a pipelet boundary is a diamond (branch with two
+    /// arms rejoining) rather than a plain branch.
+    double diamond_fraction = 0.3;
+
+    std::size_t table_size = 1024;
+};
+
+class ProgramSynthesizer {
+public:
+    ProgramSynthesizer(SynthConfig config, std::uint64_t seed);
+
+    /// Generates one random program.
+    ir::Program generate(const std::string& name);
+
+private:
+    ir::Table make_table(int index, bool force_exact);
+
+    SynthConfig config_;
+    util::Rng rng_;
+    int field_counter_ = 0;
+    std::string last_field_;
+};
+
+}  // namespace pipeleon::synth

@@ -1,0 +1,97 @@
+#include "trafficgen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipeleon::trafficgen {
+
+FlowSet FlowSet::generate(const std::vector<FieldRange>& fields,
+                          std::size_t n_flows, util::Rng& rng) {
+    FlowSet set;
+    set.fields_ = fields;
+    set.values_.reserve(n_flows);
+    for (std::size_t i = 0; i < n_flows; ++i) {
+        std::vector<std::uint64_t> flow;
+        flow.reserve(fields.size());
+        for (const FieldRange& f : fields) {
+            flow.push_back(static_cast<std::uint64_t>(rng.uniform_int(
+                static_cast<std::int64_t>(f.min), static_cast<std::int64_t>(f.max))));
+        }
+        set.values_.push_back(std::move(flow));
+    }
+    return set;
+}
+
+std::uint64_t FlowSet::value(std::size_t flow, const std::string& field) const {
+    if (flow >= values_.size()) return 0;
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].field == field) return values_[flow][i];
+    }
+    return 0;
+}
+
+sim::Packet FlowSet::make_packet(std::size_t flow, sim::FieldTable& fields,
+                                 std::size_t wire_bytes) const {
+    sim::Packet packet;
+    packet.set_wire_bytes(wire_bytes);
+    if (flow >= values_.size()) return packet;
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        packet.set(fields.intern(fields_[i].field), values_[flow][i]);
+    }
+    return packet;
+}
+
+ir::TableEntry FlowSet::exact_entry(std::size_t flow,
+                                    const std::vector<std::string>& key_fields,
+                                    int action_index,
+                                    std::vector<std::uint64_t> action_data,
+                                    int priority) const {
+    ir::TableEntry entry;
+    for (const std::string& field : key_fields) {
+        entry.key.push_back(ir::FieldMatch::exact(value(flow, field)));
+    }
+    entry.action_index = action_index;
+    entry.action_data = std::move(action_data);
+    entry.priority = priority;
+    return entry;
+}
+
+Workload::Workload(FlowSet flows, Locality locality, double zipf_s,
+                   std::uint64_t seed)
+    : flows_(std::move(flows)),
+      locality_(locality),
+      rng_(seed),
+      zipf_(std::max<std::size_t>(1, flows_.size()),
+            locality == Locality::Zipf ? zipf_s : 1.0) {
+    rank_to_flow_.resize(flows_.size());
+    for (std::size_t i = 0; i < rank_to_flow_.size(); ++i) rank_to_flow_[i] = i;
+}
+
+std::size_t Workload::next_flow() {
+    if (flows_.size() == 0) return 0;
+    if (locality_ == Locality::Uniform) {
+        return rng_.next_below(flows_.size());
+    }
+    std::size_t rank = zipf_.sample(rng_);
+    return rank_to_flow_[rank];
+}
+
+sim::Packet Workload::next_packet(sim::FieldTable& fields,
+                                  std::size_t wire_bytes) {
+    return flows_.make_packet(next_flow(), fields, wire_bytes);
+}
+
+std::vector<std::size_t> Workload::pick_flows(double fraction) {
+    std::size_t want = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(flows_.size())));
+    want = std::min(want, flows_.size());
+    std::vector<std::size_t> all(flows_.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    rng_.shuffle(all);
+    all.resize(want);
+    return all;
+}
+
+void Workload::reshuffle_ranks() { rng_.shuffle(rank_to_flow_); }
+
+}  // namespace pipeleon::trafficgen

@@ -1,0 +1,92 @@
+// trafficgen/workload.h — synthetic traffic for the evaluation harness. The
+// paper drives its targets with TRex/trafgen at line rate using 512-byte
+// packets (§5.1); what the experiments actually depend on is control over
+// (a) the number of distinct flows, (b) flow locality (long-lived/skewed vs
+// uniform), and (c) which table entries the flows hit — e.g. ACL deny rules
+// covering a chosen fraction of traffic. Workload provides exactly those
+// knobs, deterministically seeded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/entry.h"
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace pipeleon::trafficgen {
+
+/// Declares one header field of the flow tuple and its value range.
+struct FieldRange {
+    std::string field;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0xFFFFFFFF;
+};
+
+/// A fixed population of flows: each flow is one value per declared field.
+class FlowSet {
+public:
+    /// Draws `n_flows` distinct-ish flows uniformly from the field ranges.
+    static FlowSet generate(const std::vector<FieldRange>& fields,
+                            std::size_t n_flows, util::Rng& rng);
+
+    std::size_t size() const { return values_.size(); }
+    const std::vector<FieldRange>& fields() const { return fields_; }
+
+    /// The value of `field` in flow `flow`; 0 if the field is not part of
+    /// the tuple.
+    std::uint64_t value(std::size_t flow, const std::string& field) const;
+
+    /// Materializes a packet for the flow (all tuple fields set).
+    sim::Packet make_packet(std::size_t flow, sim::FieldTable& fields,
+                            std::size_t wire_bytes = 512) const;
+
+    /// Builds an exact-match TableEntry keyed on `key_fields` that matches
+    /// this flow, executing `action_index` with `action_data`.
+    ir::TableEntry exact_entry(std::size_t flow,
+                               const std::vector<std::string>& key_fields,
+                               int action_index,
+                               std::vector<std::uint64_t> action_data = {},
+                               int priority = 0) const;
+
+private:
+    std::vector<FieldRange> fields_;
+    std::vector<std::vector<std::uint64_t>> values_;  // [flow][field]
+};
+
+/// Flow-sampling policy.
+enum class Locality {
+    Uniform,  ///< every flow equally likely
+    Zipf      ///< skewed: a few flows carry most packets ("traffic locality")
+};
+
+/// A packet source over a FlowSet.
+class Workload {
+public:
+    Workload(FlowSet flows, Locality locality, double zipf_s, std::uint64_t seed);
+
+    const FlowSet& flows() const { return flows_; }
+
+    /// Samples a flow index according to the locality model.
+    std::size_t next_flow();
+
+    /// Samples a flow and materializes its packet.
+    sim::Packet next_packet(sim::FieldTable& fields, std::size_t wire_bytes = 512);
+
+    /// Picks ceil(fraction * size) distinct flows (for ACL targeting etc.).
+    std::vector<std::size_t> pick_flows(double fraction);
+
+    /// Re-shuffles which flows are hot (Zipf rank assignment) — used to
+    /// emulate traffic-pattern changes mid-experiment.
+    void reshuffle_ranks();
+
+private:
+    FlowSet flows_;
+    Locality locality_;
+    util::Rng rng_;
+    util::ZipfSampler zipf_;
+    std::vector<std::size_t> rank_to_flow_;
+};
+
+}  // namespace pipeleon::trafficgen

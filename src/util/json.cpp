@@ -1,0 +1,586 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pipeleon::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+    static const char* names[] = {"null", "bool", "number", "string", "array",
+                                  "object"};
+    throw JsonError(std::string("JSON type error: wanted ") + wanted +
+                    ", got " + names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- JsonObject
+
+bool JsonObject::contains(std::string_view key) const {
+    return find(key) != nullptr;
+}
+
+const Json* JsonObject::find(std::string_view key) const {
+    for (const auto& [k, v] : items_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const Json& JsonObject::at(std::string_view key) const {
+    if (const Json* v = find(key)) return *v;
+    throw JsonError("JSON object: missing key '" + std::string(key) + "'");
+}
+
+Json& JsonObject::at(std::string_view key) {
+    for (auto& [k, v] : items_) {
+        if (k == key) return v;
+    }
+    throw JsonError("JSON object: missing key '" + std::string(key) + "'");
+}
+
+Json& JsonObject::operator[](std::string_view key) {
+    for (auto& [k, v] : items_) {
+        if (k == key) return v;
+    }
+    items_.emplace_back(std::string(key), Json());
+    return items_.back().second;
+}
+
+void JsonObject::set(std::string key, Json value) {
+    for (auto& [k, v] : items_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    items_.emplace_back(std::move(key), std::move(value));
+}
+
+bool JsonObject::erase(std::string_view key) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+        if (it->first == key) {
+            items_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool JsonObject::operator==(const JsonObject& other) const {
+    if (items_.size() != other.items_.size()) return false;
+    // Order-insensitive comparison: two objects are equal when they hold the
+    // same key/value pairs regardless of insertion order.
+    for (const auto& [k, v] : items_) {
+        const Json* o = other.find(k);
+        if (o == nullptr || !(*o == v)) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------- Json
+
+Json::Json(const Json& other)
+    : type_(other.type_),
+      bool_(other.bool_),
+      num_(other.num_),
+      str_(other.str_),
+      arr_(other.arr_) {
+    if (other.obj_) obj_ = std::make_shared<JsonObject>(*other.obj_);
+}
+
+Json& Json::operator=(const Json& other) {
+    if (this == &other) return *this;
+    type_ = other.type_;
+    bool_ = other.bool_;
+    num_ = other.num_;
+    str_ = other.str_;
+    arr_ = other.arr_;
+    obj_ = other.obj_ ? std::make_shared<JsonObject>(*other.obj_) : nullptr;
+    return *this;
+}
+
+bool Json::as_bool() const {
+    if (type_ != Type::Bool) type_error("bool", type_);
+    return bool_;
+}
+
+double Json::as_double() const {
+    if (type_ != Type::Number) type_error("number", type_);
+    return num_;
+}
+
+std::int64_t Json::as_int() const {
+    if (type_ != Type::Number) type_error("number", type_);
+    return static_cast<std::int64_t>(std::llround(num_));
+}
+
+std::uint64_t Json::as_uint() const {
+    std::int64_t v = as_int();
+    if (v < 0) throw JsonError("JSON number is negative, wanted unsigned");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+    if (type_ != Type::String) type_error("string", type_);
+    return str_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+    if (type_ != Type::Array) type_error("array", type_);
+    return arr_;
+}
+
+std::vector<Json>& Json::as_array() {
+    if (type_ != Type::Array) type_error("array", type_);
+    return arr_;
+}
+
+const JsonObject& Json::as_object() const {
+    if (type_ != Type::Object || !obj_) type_error("object", type_);
+    return *obj_;
+}
+
+JsonObject& Json::as_object() {
+    if (type_ != Type::Object || !obj_) type_error("object", type_);
+    return *obj_;
+}
+
+const Json& Json::at(std::size_t i) const {
+    const auto& a = as_array();
+    if (i >= a.size()) throw JsonError("JSON array index out of range");
+    return a[i];
+}
+
+const Json& Json::at(std::string_view key) const { return as_object().at(key); }
+
+const Json* Json::find(std::string_view key) const {
+    if (type_ != Type::Object || !obj_) return nullptr;
+    return obj_->find(key);
+}
+
+std::int64_t Json::get_int(std::string_view key, std::int64_t dflt) const {
+    const Json* v = find(key);
+    return (v != nullptr && v->is_number()) ? v->as_int() : dflt;
+}
+
+double Json::get_double(std::string_view key, double dflt) const {
+    const Json* v = find(key);
+    return (v != nullptr && v->is_number()) ? v->as_double() : dflt;
+}
+
+bool Json::get_bool(std::string_view key, bool dflt) const {
+    const Json* v = find(key);
+    return (v != nullptr && v->is_bool()) ? v->as_bool() : dflt;
+}
+
+std::string Json::get_string(std::string_view key, std::string dflt) const {
+    const Json* v = find(key);
+    return (v != nullptr && v->is_string()) ? v->as_string() : dflt;
+}
+
+void Json::push_back(Json v) { as_array().push_back(std::move(v)); }
+
+bool Json::operator==(const Json& other) const {
+    if (type_ != other.type_) return false;
+    switch (type_) {
+        case Type::Null: return true;
+        case Type::Bool: return bool_ == other.bool_;
+        case Type::Number: return num_ == other.num_;
+        case Type::String: return str_ == other.str_;
+        case Type::Array: return arr_ == other.arr_;
+        case Type::Object: return *obj_ == *other.obj_;
+    }
+    return false;
+}
+
+// ------------------------------------------------------------------- dumping
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_number(std::string& out, double d) {
+    if (std::isnan(d) || std::isinf(d)) {
+        // JSON has no NaN/Inf; emit null like most tolerant writers.
+        out += "null";
+        return;
+    }
+    double intpart;
+    if (std::modf(d, &intpart) == 0.0 && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+        out += buf;
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+    }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    switch (type_) {
+        case Type::Null: out += "null"; return;
+        case Type::Bool: out += bool_ ? "true" : "false"; return;
+        case Type::Number: dump_number(out, num_); return;
+        case Type::String: dump_string(out, str_); return;
+        case Type::Array: {
+            if (arr_.empty()) {
+                out += "[]";
+                return;
+            }
+            out += '[';
+            bool first = true;
+            for (const Json& v : arr_) {
+                if (!first) out += ',';
+                first = false;
+                newline_indent(out, indent, depth + 1);
+                v.dump_to(out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out += ']';
+            return;
+        }
+        case Type::Object: {
+            if (!obj_ || obj_->empty()) {
+                out += "{}";
+                return;
+            }
+            out += '{';
+            bool first = true;
+            for (const auto& [k, v] : *obj_) {
+                if (!first) out += ',';
+                first = false;
+                newline_indent(out, indent, depth + 1);
+                dump_string(out, k);
+                out += indent > 0 ? ": " : ":";
+                v.dump_to(out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out += '}';
+            return;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+// ------------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse_document() {
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw JsonError("JSON parse error at line " + std::to_string(line) +
+                        ", column " + std::to_string(col) + ": " + msg);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char next() {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void expect(char c) {
+        if (next() != c) {
+            --pos_;
+            fail(std::string("expected '") + c + "'");
+        }
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    Json parse_value() {
+        skip_ws();
+        char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (consume_literal("true")) return Json(true);
+                fail("invalid literal");
+            case 'f':
+                if (consume_literal("false")) return Json(false);
+                fail("invalid literal");
+            case 'n':
+                if (consume_literal("null")) return Json(nullptr);
+                fail("invalid literal");
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        JsonObject obj;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(obj));
+        }
+        while (true) {
+            skip_ws();
+            if (peek() != '"') fail("expected object key string");
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.set(std::move(key), parse_value());
+            skip_ws();
+            char c = next();
+            if (c == '}') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}' in object");
+            }
+        }
+        return Json(std::move(obj));
+    }
+
+    Json parse_array() {
+        expect('[');
+        std::vector<Json> arr;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            char c = next();
+            if (c == ']') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']' in array");
+            }
+        }
+        return Json(std::move(arr));
+    }
+
+    unsigned parse_hex4() {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = next();
+            v <<= 4;
+            if (c >= '0' && c <= '9') {
+                v |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                --pos_;
+                fail("invalid \\u escape");
+            }
+        }
+        return v;
+    }
+
+    static void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = next();
+            if (c == '"') break;
+            if (c == '\\') {
+                char e = next();
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        unsigned cp = parse_hex4();
+                        if (cp >= 0xD800 && cp <= 0xDBFF) {
+                            // High surrogate: must be followed by \uDC00..DFFF.
+                            if (next() != '\\' || next() != 'u') {
+                                fail("unpaired UTF-16 surrogate");
+                            }
+                            unsigned lo = parse_hex4();
+                            if (lo < 0xDC00 || lo > 0xDFFF) {
+                                fail("invalid low surrogate");
+                            }
+                            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                        }
+                        append_utf8(out, cp);
+                        break;
+                    }
+                    default:
+                        --pos_;
+                        fail("invalid escape sequence");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    Json parse_number() {
+        std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            fail("invalid number");
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("invalid number: digits required after '.'");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("invalid number: digits required in exponent");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        std::string tok(text_.substr(start, pos_ - start));
+        return Json(std::stod(tok));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Json load_json_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw JsonError("cannot open file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return Json::parse(ss.str());
+}
+
+void save_json_file(const std::string& path, const Json& value) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw JsonError("cannot open file for writing: " + path);
+    out << value.dump(2) << '\n';
+    if (!out) throw JsonError("write failed: " + path);
+}
+
+}  // namespace pipeleon::util

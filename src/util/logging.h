@@ -1,0 +1,25 @@
+// util/logging.h — a minimal leveled logger. The runtime controller logs its
+// reoptimization decisions (which pipelets were hot, which plan was deployed)
+// so the case-study benches can narrate what Pipeleon did, mirroring the
+// paper's timeline annotations in Fig 11.
+#pragma once
+
+#include <string>
+
+namespace pipeleon::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a message to stderr as "[LEVEL] message" when enabled.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace pipeleon::util

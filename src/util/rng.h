@@ -1,0 +1,154 @@
+// util/rng.h — deterministic random number generation for reproducible
+// experiments. Every benchmark and test seeds its own Rng so that results are
+// stable across runs and machines (the paper's synthesized-program experiments
+// depend on controlled randomness for program and profile generation).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pipeleon::util {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Seeded through SplitMix64 so that similar seeds diverge immediately.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). `bound` must be > 0.
+    std::uint64_t next_below(std::uint64_t bound) {
+        assert(bound > 0);
+        // Debiased multiply-shift (Lemire).
+        while (true) {
+            std::uint64_t x = next_u64();
+            __uint128_t m = static_cast<__uint128_t>(x) * bound;
+            std::uint64_t lo = static_cast<std::uint64_t>(m);
+            if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+                return static_cast<std::uint64_t>(m >> 64);
+            }
+        }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Bernoulli draw with probability `p` of true.
+    bool chance(double p) { return uniform() < p; }
+
+    /// Standard normal via Box–Muller (no cached spare; simple and stateless).
+    double normal(double mean = 0.0, double stddev = 1.0) {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300) u1 = 1e-300;
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.141592653589793 * u2);
+        return mean + stddev * z;
+    }
+
+    /// Exponential with rate lambda.
+    double exponential(double lambda) {
+        double u = uniform();
+        if (u < 1e-300) u = 1e-300;
+        return -std::log(u) / lambda;
+    }
+
+    /// Fisher–Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = next_below(i);
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// Picks one element uniformly; container must be non-empty.
+    template <typename T>
+    const T& pick(const std::vector<T>& v) {
+        assert(!v.empty());
+        return v[next_below(v.size())];
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+/// Zipf-distributed integer sampler over {0, .., n-1} with exponent `s`.
+/// Used by the traffic generator to model flow locality ("high traffic
+/// locality" workloads in §5.2.2): small ranks receive most of the traffic.
+class ZipfSampler {
+public:
+    ZipfSampler(std::size_t n, double s) : cdf_(n) {
+        assert(n > 0);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+            cdf_[i] = sum;
+        }
+        for (auto& c : cdf_) c /= sum;
+    }
+
+    std::size_t sample(Rng& rng) const {
+        double u = rng.uniform();
+        // Binary search the CDF.
+        std::size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    std::size_t size() const { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace pipeleon::util

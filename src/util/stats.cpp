@@ -1,0 +1,140 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pipeleon::util {
+
+double mean(const std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+    if (xs.size() < 2) return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double q) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (q <= 0.0) return xs.front();
+    if (q >= 100.0) return xs.back();
+    double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs.size()) return xs.back();
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double entropy(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+        if (w > 0.0) total += w;
+    }
+    if (total <= 0.0) return 0.0;
+    double h = 0.0;
+    for (double w : weights) {
+        if (w <= 0.0) continue;
+        double p = w / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+    assert(xs.size() == ys.size());
+    assert(xs.size() >= 2);
+    double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (denom == 0.0) return fit;  // all x identical; leave zeroed
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    double ymean = sy / n;
+    double ss_tot = 0.0, ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double pred = fit.slope * xs[i] + fit.intercept;
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+    }
+    fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+    if (sorted_.empty()) return 0.0;
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+    if (sorted_.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * static_cast<double>(sorted_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size()) return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::string EmpiricalCdf::to_table(std::size_t points) const {
+    std::string out;
+    if (points < 2) points = 2;
+    char buf[64];
+    for (std::size_t i = 0; i < points; ++i) {
+        double q = static_cast<double>(i) / static_cast<double>(points - 1);
+        std::snprintf(buf, sizeof(buf), "  p%-5.1f %12.4f\n", q * 100.0,
+                      quantile(q));
+        out += buf;
+    }
+    return out;
+}
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++n_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ += other.n_;
+}
+
+}  // namespace pipeleon::util

@@ -1,0 +1,82 @@
+// util/stats.h — statistics used across the evaluation harness: summary
+// statistics, percentiles/CDFs (Figs 13, 14, 19), Shannon entropy of pipelet
+// traffic distributions (§5.4.3, Fig 18), and ordinary least squares linear
+// regression (the paper fits L_mat and L_act by "extrapolating with linear
+// regression" in §3.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pipeleon::util {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Input need not be sorted.
+double percentile(std::vector<double> xs, double q);
+
+double median(std::vector<double> xs);
+
+/// Shannon entropy (base 2) of a discrete distribution. The input is
+/// normalized internally; zero entries contribute nothing.
+double entropy(const std::vector<double>& weights);
+
+/// Result of an ordinary-least-squares fit y = slope * x + intercept.
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+/// Fits y = a*x + b by least squares; requires xs.size() == ys.size() >= 2
+/// and at least two distinct x values.
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// An empirical CDF: sorted samples plus evaluation helpers. The figure
+/// benches print CDFs as (value, cumulative fraction) rows.
+class EmpiricalCdf {
+public:
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    /// Fraction of samples <= x.
+    double at(double x) const;
+    /// Value at cumulative fraction q in [0, 1].
+    double quantile(double q) const;
+
+    std::size_t size() const { return sorted_.size(); }
+    const std::vector<double>& sorted() const { return sorted_; }
+
+    /// Renders `points` evenly spaced (fraction, value) rows, e.g. for
+    /// reproducing the CDF figures as text series.
+    std::string to_table(std::size_t points = 11) const;
+
+private:
+    std::vector<double> sorted_;
+};
+
+/// Online mean/min/max/count accumulator for streaming measurements
+/// (per-packet latencies in the emulator).
+class RunningStats {
+public:
+    void add(double x);
+    void merge(const RunningStats& other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace pipeleon::util

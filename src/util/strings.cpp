@@ -1,0 +1,109 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pipeleon::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string format(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args2);
+        out.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(args2);
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view trim(std::string_view s) {
+    auto is_space = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    };
+    while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+    while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+    return s;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(const std::vector<double>& cells, int precision) {
+    std::vector<std::string> row;
+    row.reserve(cells.size());
+    for (double c : cells) row.push_back(format("%.*f", precision, c));
+    add_row(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+    auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += "  ";
+            out += row[i];
+            out.append(widths[i] - row[i].size(), ' ');
+        }
+        out += '\n';
+    };
+    std::string out;
+    emit_row(headers_, out);
+    std::string rule;
+    for (std::size_t w : widths) rule += "  " + std::string(w, '-');
+    out += rule + '\n';
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+}  // namespace pipeleon::util

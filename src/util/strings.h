@@ -1,0 +1,45 @@
+// util/strings.h — small string helpers shared by the IR printers, the
+// benchmark table writers, and the DOT exporter.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipeleon::util {
+
+/// Splits on a single-character separator; empty tokens are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins tokens with a separator string.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// A fixed-width text table builder used by the figure benches so their
+/// output reads like the rows/series the paper reports.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    /// Convenience: formats each double with the given precision.
+    void add_numeric_row(const std::vector<double>& cells, int precision = 2);
+
+    std::string to_string() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pipeleon::util

@@ -1,0 +1,134 @@
+// Tests for apps/scenarios: the paper's evaluation programs must have the
+// structure the paper describes.
+#include <gtest/gtest.h>
+
+#include "analysis/pipelet.h"
+#include "apps/scenarios.h"
+#include "sim/nic_model.h"
+
+namespace pipeleon::apps {
+namespace {
+
+TEST(Apps, MicrobenchShape) {
+    ir::Program p = microbench_program(3, 4, true);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_EQ(p.table_count(), 13u);  // 3 groups x 4 + ACL
+    ir::NodeId acl = p.find_table("acl");
+    ASSERT_NE(acl, ir::kNoNode);
+    EXPECT_TRUE(p.node(acl).table.can_drop());
+
+    ir::Program q = microbench_program(2, 4, false);
+    EXPECT_EQ(q.table_count(), 8u);
+    EXPECT_EQ(q.find_table("acl"), ir::kNoNode);
+}
+
+TEST(Apps, FourTablePipelet) {
+    ir::Program p = four_table_pipelet(ir::MatchKind::Ternary, 2);
+    EXPECT_EQ(p.table_count(), 4u);
+    for (ir::NodeId id : p.reachable()) {
+        EXPECT_EQ(p.node(id).table.effective_match_kind(), ir::MatchKind::Ternary);
+        // "used a different match key for T1 to T4"
+    }
+    auto pipelets = analysis::form_pipelets(p);
+    EXPECT_EQ(pipelets.size(), 1u);
+}
+
+TEST(Apps, AclRoutingProgram) {
+    ir::Program p = acl_routing_program(4, 4);
+    EXPECT_NO_THROW(p.validate());
+    // 4 ACLs first, then regular tables, routing last.
+    const ir::Node& root = p.node(p.root());
+    EXPECT_EQ(root.table.name, "acl_cloud");
+    auto topo = p.topo_order();
+    EXPECT_EQ(p.node(topo.back()).table.name, "routing");
+    EXPECT_EQ(p.node(topo.back()).table.effective_match_kind(), ir::MatchKind::Lpm);
+
+    // Extended ACL block.
+    ir::Program q = acl_routing_program(2, 8, ir::MatchKind::Ternary);
+    EXPECT_EQ(q.table_count(), 8u + 2u + 1u);
+    EXPECT_NE(q.find_table("acl_geo"), ir::kNoNode);
+    EXPECT_EQ(q.node(q.find_table("proc0")).table.effective_match_kind(),
+              ir::MatchKind::Ternary);
+}
+
+TEST(Apps, AclSpecsNaming) {
+    auto specs = acl_specs(10);
+    ASSERT_EQ(specs.size(), 10u);
+    EXPECT_EQ(specs[0].first, "acl_cloud");
+    EXPECT_EQ(specs[3].second, "vm_id");
+    EXPECT_EQ(specs[9].first, "acl_x9");  // generated beyond the named eight
+    EXPECT_EQ(acl_table_names().size(), 4u);
+}
+
+TEST(Apps, LoadBalancerStructure) {
+    ir::Program p = load_balancer_program();
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_EQ(p.table_count(), 12u);  // 8 proc + 2 LB + 2 ACL (§5.3.1)
+    // The LB pair has a real match dependency: lb_vip writes what
+    // lb_backend matches on.
+    const ir::Table& vip = p.node(p.find_table("lb_vip")).table;
+    const ir::Table& backend = p.node(p.find_table("lb_backend")).table;
+    bool writes_backend = false;
+    for (const ir::Action& a : vip.actions) {
+        for (const std::string& f : a.written_fields()) {
+            if (f == "backend") writes_backend = true;
+        }
+    }
+    EXPECT_TRUE(writes_backend);
+    EXPECT_EQ(backend.keys[0].field, "backend");
+}
+
+TEST(Apps, DashRoutingStructure) {
+    ir::Program p = dash_routing_program();
+    EXPECT_NO_THROW(p.validate());
+    // direction + 3 metadata + conntrack + 3 ACLs + routing (§5.3.2).
+    EXPECT_EQ(p.table_count(), 9u);
+    // The metadata block must be mergeable (independent, no '+' in names).
+    for (const char* name : {"direction_lookup", "appliance", "eni", "vni"}) {
+        ASSERT_NE(p.find_table(name), ir::kNoNode) << name;
+        EXPECT_LE(p.node(p.find_table(name)).table.size, 64u);  // small/static
+    }
+    // Conntrack mutates per-flow state.
+    const ir::Table& ct = p.node(p.find_table("conntrack")).table;
+    EXPECT_FALSE(ct.actions[0].written_fields().empty());
+}
+
+TEST(Apps, NfCompositionHasNinePipelets) {
+    ir::Program p = nf_composition_program();
+    EXPECT_NO_THROW(p.validate());
+    analysis::PipeletOptions opts;
+    auto pipelets = analysis::form_pipelets(p, opts);
+    // "this produces nine pipelets in total" (§5.3.3).
+    EXPECT_EQ(pipelets.size(), 9u);
+}
+
+TEST(Apps, InstallAclDenies) {
+    ir::Program p = acl_routing_program(2, 4);
+    sim::Emulator emu(sim::bluefield2_model(), p, {});
+    util::Rng rng(1);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"vm_id", 0, 9999}}, 100, rng);
+    install_acl_denies(emu, "acl_vm", flows, {0, 1, 2}, "vm_id");
+    EXPECT_EQ(emu.entry_count("acl_vm"), 3u);
+    // Unknown table / non-dropping table: no-ops.
+    install_acl_denies(emu, "nope", flows, {0}, "vm_id");
+    install_acl_denies(emu, "proc0", flows, {0}, "vm_id");
+    EXPECT_EQ(emu.entry_count("proc0"), 0u);
+}
+
+TEST(Apps, InstallFlowEntries) {
+    ir::Program p = microbench_program(1, 3, false);
+    sim::Emulator emu(sim::bluefield2_model(), p, {});
+    util::Rng rng(2);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"f_g0t0", 0, 63}, {"f_g0t1", 0, 63}}, 40, rng);
+    int installed = install_flow_entries(emu, flows);
+    // Two tables match tuple fields, 40 flows each (duplicate keys rejected
+    // by value-collision are possible but rare over 64 values).
+    EXPECT_GT(installed, 60);
+    EXPECT_GT(emu.entry_count("g0t0"), 30u);
+    EXPECT_EQ(emu.entry_count("g0t2"), 0u);  // field not in the tuple
+}
+
+}  // namespace
+}  // namespace pipeleon::apps

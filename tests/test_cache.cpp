@@ -1,0 +1,92 @@
+// Tests for opt/cache: legality and cache-table construction.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "opt/cache.h"
+
+namespace pipeleon::opt {
+namespace {
+
+using ir::Action;
+using ir::MatchKind;
+using ir::Primitive;
+using ir::Table;
+using ir::TableSpec;
+
+TEST(Cache, CacheableRequiresOriginals) {
+    Table a = TableSpec("a").key("x").noop_action("n").build();
+    Table b = TableSpec("b").key("y", MatchKind::Ternary).noop_action("n").build();
+    EXPECT_TRUE(cacheable({&a}));
+    EXPECT_TRUE(cacheable({&a, &b}));
+    EXPECT_FALSE(cacheable({}));
+
+    Table c = TableSpec("c").key("z").noop_action("n").build();
+    c.role = ir::TableRole::Cache;
+    EXPECT_FALSE(cacheable({&a, &c}));
+}
+
+TEST(Cache, MatchDependencyBlocksCaching) {
+    // a writes "y"; b matches on "y": the cache cannot read b's key up
+    // front.
+    Action w;
+    w.name = "w";
+    w.primitives.push_back(Primitive::set_const("y", 1));
+    Table a = TableSpec("a").key("x").action(w).build();
+    Table b = TableSpec("b").key("y").noop_action("n").build();
+    EXPECT_FALSE(cacheable({&a, &b}));
+    // The reverse order is fine (b matches before a writes).
+    EXPECT_TRUE(cacheable({&b, &a}));
+}
+
+TEST(Cache, ActionDependencyDoesNotBlockCaching) {
+    // a writes "m"; b's action reads "m" — replay reproduces the sequence.
+    Action w;
+    w.name = "w";
+    w.primitives.push_back(Primitive::set_const("m", 1));
+    Table a = TableSpec("a").key("x").action(w).build();
+    Action r;
+    r.name = "r";
+    r.primitives.push_back(Primitive::copy_field("out", "m"));
+    Table b = TableSpec("b").key("y").action(r).build();
+    EXPECT_TRUE(cacheable({&a, &b}));
+}
+
+TEST(Cache, BuildUnionsKeysAsExact) {
+    Table a = TableSpec("a").key("src", MatchKind::Lpm).noop_action("n").build();
+    Table b = TableSpec("b")
+                  .key("dst", MatchKind::Ternary)
+                  .key("port", MatchKind::Exact, 16)
+                  .noop_action("n")
+                  .build();
+    ir::CacheConfig cfg;
+    cfg.capacity = 99;
+    Table cache = build_cache_table({&a, &b}, cfg);
+    EXPECT_EQ(cache.role, ir::TableRole::Cache);
+    ASSERT_EQ(cache.keys.size(), 3u);
+    for (const ir::MatchKey& k : cache.keys) {
+        EXPECT_EQ(k.kind, MatchKind::Exact);  // flow caches are exact
+    }
+    EXPECT_EQ(cache.keys[2].width_bits, 16);
+    EXPECT_EQ(cache.size, 99u);
+    EXPECT_EQ(cache.cache.capacity, 99u);
+    EXPECT_EQ(cache.origin_tables, (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(cache.actions.size(), 1u);
+    EXPECT_EQ(cache.default_action, -1);  // miss falls through
+    EXPECT_EQ(cache.name, "cache_a_b");
+}
+
+TEST(Cache, SharedKeyFieldsDeduplicated) {
+    Table a = TableSpec("a").key("dst").noop_action("n").build();
+    Table b = TableSpec("b").key("dst").key("port").noop_action("n").build();
+    Table cache = build_cache_table({&a, &b}, {});
+    EXPECT_EQ(cache.keys.size(), 2u);  // dst deduplicated
+}
+
+TEST(Cache, KeySpace) {
+    EXPECT_DOUBLE_EQ(cache_key_space({100, 200}), 20000.0);
+    EXPECT_DOUBLE_EQ(cache_key_space({}), 1.0);
+    EXPECT_DOUBLE_EQ(cache_key_space({0.0}), 1.0);  // floors at 1
+}
+
+}  // namespace
+}  // namespace pipeleon::opt

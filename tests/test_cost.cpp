@@ -1,0 +1,272 @@
+// Tests for cost/model and cost/calibrate: the equations of §3.1 and the
+// linearity identity between Eq. 1 (path sum) and the reach-weighted form.
+#include <gtest/gtest.h>
+
+#include "analysis/pipelet.h"
+#include "cost/calibrate.h"
+#include "cost/model.h"
+#include "ir/builder.h"
+#include "synth/profile_synth.h"
+#include "synth/program_synth.h"
+
+namespace pipeleon::cost {
+namespace {
+
+using ir::kNoNode;
+using ir::NodeId;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::TableSpec;
+
+CostParams unit_params() {
+    CostParams p;
+    p.l_mat = 10.0;
+    p.l_act = 2.0;
+    p.l_branch = 1.0;
+    p.l_counter = 0.5;
+    p.l_migration = 50.0;
+    p.cpu_slowdown = 3.0;
+    p.default_lpm_m = 3;
+    p.default_ternary_m = 5;
+    return p;
+}
+
+profile::InstrumentationConfig no_instr() {
+    profile::InstrumentationConfig c;
+    c.enabled = false;
+    return c;
+}
+
+TEST(CostModel, MMultiplierByKind) {
+    CostModel model(unit_params(), no_instr());
+    profile::TableStats stats;
+
+    ir::Table exact = TableSpec("e").key("f").noop_action("a").build();
+    EXPECT_EQ(model.m_multiplier(exact, stats), 1);
+
+    ir::Table lpm =
+        TableSpec("l").key("f", ir::MatchKind::Lpm).noop_action("a").build();
+    EXPECT_EQ(model.m_multiplier(lpm, stats), 3);  // default
+    stats.lpm_prefix_count = 7;
+    EXPECT_EQ(model.m_multiplier(lpm, stats), 7);  // measured
+
+    ir::Table tern =
+        TableSpec("t").key("f", ir::MatchKind::Ternary).noop_action("a").build();
+    profile::TableStats tstats;
+    EXPECT_EQ(model.m_multiplier(tern, tstats), 5);  // default
+    tstats.ternary_mask_count = 9;
+    EXPECT_EQ(model.m_multiplier(tern, tstats), 9);
+
+    // Cap.
+    tstats.ternary_mask_count = 10000;
+    EXPECT_EQ(model.m_multiplier(tern, tstats), unit_params().max_m);
+}
+
+TEST(CostModel, NodeCostEquation3) {
+    // L(v) = m*L_mat + sum_a P(a)*n_a*L_act.
+    CostModel model(unit_params(), no_instr());
+    ProgramBuilder b("eq3");
+    b.append(TableSpec("t")
+                 .key("f")
+                 .noop_action("a0", 2)   // 2 primitives
+                 .noop_action("a1", 4)   // 4 primitives
+                 .build());
+    Program p = b.build();
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.table(0).action_hits = {75, 25};
+    // 1*10 + (0.75*2 + 0.25*4)*2 = 10 + 5 = 15.
+    EXPECT_DOUBLE_EQ(model.node_cost(p.node(0), prof), 15.0);
+}
+
+TEST(CostModel, InstrumentationAddsCounterCost) {
+    profile::InstrumentationConfig instr;
+    instr.enabled = true;
+    instr.sampling_rate = 1.0;
+    CostModel model(unit_params(), instr);
+    Program p = ir::chain_of_exact_tables("i", 1, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    // 10 (match) + 2 (one primitive) + 0.5 (counter).
+    EXPECT_DOUBLE_EQ(model.node_cost(p.node(0), prof), 12.5);
+
+    instr.sampling_rate = 1.0 / 1024.0;
+    CostModel sampled(unit_params(), instr);
+    EXPECT_NEAR(sampled.node_cost(p.node(0), prof), 12.0 + 0.5 / 1024.0, 1e-12);
+}
+
+TEST(CostModel, CpuCoreSlowdown) {
+    CostModel model(unit_params(), no_instr());
+    Program p = ir::chain_of_exact_tables("cpu", 1, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    double asic = model.node_cost(p.node(0), prof);
+    p.node(0).core = ir::CoreKind::Cpu;
+    EXPECT_DOUBLE_EQ(model.node_cost(p.node(0), prof), 3.0 * asic);
+}
+
+TEST(CostModel, ExpectedLatencyLinearChain) {
+    CostModel model(unit_params(), no_instr());
+    Program p = ir::chain_of_exact_tables("lin", 4, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    // 4 tables * (10 + 2).
+    EXPECT_DOUBLE_EQ(model.expected_latency(p, prof), 48.0);
+}
+
+TEST(CostModel, DroppedTrafficSkipsDownstreamCost) {
+    CostModel model(unit_params(), no_instr());
+    ProgramBuilder b("drop");
+    b.append(TableSpec("acl").key("a").noop_action("ok", 1).drop_action("deny").build());
+    b.append(TableSpec("t").key("b").noop_action("x", 1).build());
+    Program p = b.build();
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.table(0).action_hits = {50, 50};  // 50% dropped
+    // acl: 10 + (0.5*1 + 0.5*1)*2 = 12; t reached with p=0.5: 0.5*12 = 6.
+    EXPECT_DOUBLE_EQ(model.expected_latency(p, prof), 18.0);
+}
+
+TEST(CostModel, MigrationCostOnCoreCrossing) {
+    CostModel model(unit_params(), no_instr());
+    Program p = ir::chain_of_exact_tables("mig", 2, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    double base = model.expected_latency(p, prof);
+    p.node(1).core = ir::CoreKind::Cpu;
+    // +50 migration, and node 1 costs 3x.
+    EXPECT_DOUBLE_EQ(model.expected_latency(p, prof), base + 50.0 + 2.0 * 12.0);
+}
+
+TEST(CostModel, PathEnumerationSmallDiamond) {
+    CostModel model(unit_params(), no_instr());
+    ProgramBuilder b("paths");
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId t1 = b.add(TableSpec("t1").key("a").noop_action("x", 1).build());
+    NodeId t2 = b.add(TableSpec("t2").key("b").noop_action("y", 1).build());
+    b.connect_branch(br, t1, t2);
+    b.set_root(br);
+    Program p = b.build();
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.branch(br).taken_true = 60;
+    prof.branch(br).taken_false = 40;
+
+    auto paths = model.enumerate_paths(p, prof);
+    ASSERT_EQ(paths.size(), 2u);
+    double total_prob = 0.0;
+    for (const auto& path : paths) total_prob += path.probability;
+    EXPECT_NEAR(total_prob, 1.0, 1e-12);
+}
+
+TEST(CostModel, PathSumMatchesLinearityOnChain) {
+    CostModel model(unit_params(), no_instr());
+    Program p = ir::chain_of_exact_tables("id", 5, 2, 3);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    for (NodeId id : p.reachable()) {
+        prof.table(id).action_hits = {3, 7};
+    }
+    EXPECT_NEAR(model.expected_latency(p, prof),
+                model.expected_latency_by_paths(p, prof), 1e-9);
+}
+
+TEST(CostModel, PipeletLatencyTruncatesAfterDrop) {
+    CostModel model(unit_params(), no_instr());
+    ProgramBuilder b("pl");
+    b.append(
+        TableSpec("acl").key("a").noop_action("ok", 1).drop_action("deny").build());
+    b.append(TableSpec("t").key("b").noop_action("x", 1).build());
+    Program p = b.build();
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.table(0).action_hits = {0, 100};  // everything dropped
+
+    analysis::Pipelet pl;
+    pl.nodes = {0, 1};
+    // Only the first node's cost counts: 10 + 1*2 = 12.
+    EXPECT_DOUBLE_EQ(model.pipelet_latency(p, pl, prof), 12.0);
+}
+
+TEST(CostModel, MemoryEstimateUsesM) {
+    CostModel model(unit_params(), no_instr());
+    ir::Table lpm = TableSpec("l").key("f", ir::MatchKind::Lpm, 32).noop_action("a").build();
+    profile::TableStats stats;
+    stats.entry_count = 100;
+    stats.lpm_prefix_count = 4;
+    // 100 entries * (4 key bytes + 16 overhead) * m=4.
+    EXPECT_DOUBLE_EQ(model.memory_bytes(lpm, stats), 100 * 20.0 * 4);
+}
+
+TEST(CostModel, ThroughputConversionCapsAtLineRate) {
+    // 1e9 cycles/s, 100 cycles/packet -> 1e7 pps * 512B*8 = 40.96 Gbps.
+    EXPECT_NEAR(CostModel::throughput_gbps(100.0, 1e9, 100.0), 40.96, 0.01);
+    EXPECT_DOUBLE_EQ(CostModel::throughput_gbps(1.0, 1e9, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(CostModel::throughput_gbps(0.0, 1e9, 100.0), 100.0);
+}
+
+TEST(Calibrate, RecoversModelConstants) {
+    // Synthesize ideal measurements from known constants and re-fit.
+    const double l_mat = 12.0, l_act = 3.0, base = 40.0;
+    std::vector<CalibrationPoint> exact_sweep, prim_sweep, lpm_sweep, tern_sweep;
+    for (int n = 10; n <= 40; n += 10) {
+        exact_sweep.push_back({static_cast<double>(n), base + n * (l_mat + 2 * l_act)});
+    }
+    // Hmm: the exact sweep varies tables with fixed 2-primitive actions, so
+    // the slope is l_mat + 2*l_act; the primitive sweep isolates l_act.
+    for (int k = 2; k <= 8; k += 2) {
+        prim_sweep.push_back(
+            {static_cast<double>(20 * k), base + 20 * l_mat + 20.0 * k * l_act});
+    }
+    for (int n = 10; n <= 16; n += 2) {
+        lpm_sweep.push_back({static_cast<double>(n), n * 3.0 * (l_mat + 2 * l_act)});
+    }
+    for (int n = 10; n <= 16; n += 2) {
+        tern_sweep.push_back({static_cast<double>(n), n * 5.0 * (l_mat + 2 * l_act)});
+    }
+    CalibrationResult r = calibrate(exact_sweep, prim_sweep, lpm_sweep, tern_sweep);
+    EXPECT_NEAR(r.l_mat, l_mat + 2 * l_act, 1e-9);  // slope per exact table
+    EXPECT_NEAR(r.l_act, l_act, 1e-9);              // slope per primitive
+    EXPECT_GT(r.l_mat_r2, 0.999);
+    EXPECT_NEAR(r.lpm_m, 3.0, 0.35);
+    EXPECT_NEAR(r.ternary_m, 5.0, 0.6);
+}
+
+TEST(Calibrate, ApplyCalibrationUpdatesParams) {
+    CalibrationResult r;
+    r.l_mat = 42.0;
+    r.l_act = 7.0;
+    r.lpm_m = 3.4;
+    r.ternary_m = 4.6;
+    CostParams p = apply_calibration(unit_params(), r);
+    EXPECT_DOUBLE_EQ(p.l_mat, 42.0);
+    EXPECT_DOUBLE_EQ(p.l_act, 7.0);
+    EXPECT_EQ(p.default_lpm_m, 3);
+    EXPECT_EQ(p.default_ternary_m, 5);
+}
+
+// Property: for random synthesized programs and profiles, the path-sum form
+// of Eq. 1 equals the reach-weighted form.
+class LinearityProperty : public testing::TestWithParam<int> {};
+
+TEST_P(LinearityProperty, PathSumEqualsReachSum) {
+    synth::SynthConfig cfg;
+    cfg.pipelets = 6;
+    cfg.diamond_fraction = 0.5;
+    synth::ProgramSynthesizer gen(cfg, static_cast<std::uint64_t>(GetParam()));
+    Program p = gen.generate("prop");
+
+    synth::ProfileSynthesizer profgen(synth::heavy_drop_config(),
+                                      static_cast<std::uint64_t>(GetParam()) + 99);
+    profile::RuntimeProfile prof = profgen.generate(p);
+
+    CostModel model(unit_params(), no_instr());
+    double by_reach = model.expected_latency(p, prof);
+    double by_paths = model.expected_latency_by_paths(p, prof);
+    EXPECT_NEAR(by_reach, by_paths, 1e-6 * std::max(1.0, by_reach));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearityProperty, testing::Range(1, 21));
+
+}  // namespace
+}  // namespace pipeleon::cost

@@ -1,0 +1,162 @@
+// Tests for profile/counter_map: translating optimized-program counters back
+// into original-program profiles (§4.1.2).
+#include <gtest/gtest.h>
+
+#include "analysis/pipelet.h"
+#include "ir/builder.h"
+#include "opt/transform.h"
+#include "profile/counter_map.h"
+
+namespace pipeleon::profile {
+namespace {
+
+using ir::kNoNode;
+using ir::NodeId;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::TableSpec;
+
+Program two_table_chain() {
+    ProgramBuilder b("orig");
+    b.append(TableSpec("A").key("src").noop_action("a1").noop_action("a2").build());
+    b.append(TableSpec("B").key("dst").noop_action("b1").noop_action("b2").build());
+    return b.build();
+}
+
+TEST(CounterMap, IdentityMapping) {
+    Program p = two_table_chain();
+    CounterMap map = CounterMap::build(p, p);
+    RawCounters raw;
+    raw.reset_for(p, 2.0);
+    raw.action_hits[0] = {10, 20};
+    raw.action_hits[1] = {5, 25};
+    raw.misses[0] = 3;
+    EntrySnapshot snap;
+    snap.entry_count = 42;
+    snap.entry_updates = 8;
+    raw.entries["A"] = snap;
+
+    RuntimeProfile prof = map.translate(p, raw);
+    EXPECT_EQ(prof.table(0).action_hits, (std::vector<std::uint64_t>{10, 20}));
+    EXPECT_EQ(prof.table(0).misses, 3u);
+    EXPECT_EQ(prof.table(0).entry_count, 42u);
+    EXPECT_DOUBLE_EQ(prof.update_rate(0), 4.0);
+    EXPECT_EQ(prof.table(1).action_hits, (std::vector<std::uint64_t>{5, 25}));
+}
+
+TEST(CounterMap, BranchesPairInTopoOrder) {
+    ProgramBuilder b("br");
+    NodeId t = b.add(TableSpec("T").key("k").noop_action("a").build());
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 7});
+    b.connect(t, br);
+    b.set_root(t);
+    Program p = b.build();
+
+    CounterMap map = CounterMap::build(p, p);
+    RawCounters raw;
+    raw.reset_for(p, 1.0);
+    raw.branch_true[static_cast<std::size_t>(br)] = 11;
+    raw.branch_false[static_cast<std::size_t>(br)] = 22;
+    RuntimeProfile prof = map.translate(p, raw);
+    EXPECT_EQ(prof.branch(br).taken_true, 11u);
+    EXPECT_EQ(prof.branch(br).taken_false, 22u);
+}
+
+TEST(CounterMap, BranchCountMismatchThrows) {
+    ProgramBuilder b1("a");
+    NodeId br = b1.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId t = b1.add(TableSpec("T").key("k").noop_action("a").build());
+    b1.connect_branch(br, t, t);
+    b1.set_root(br);
+    Program with_branch = b1.build();
+
+    Program without = two_table_chain();
+    EXPECT_THROW(CounterMap::build(with_branch, without), std::runtime_error);
+}
+
+TEST(CounterMap, CacheReplaysFoldIntoOriginalActions) {
+    Program original = two_table_chain();
+    auto pipelets = analysis::form_pipelets(original);
+
+    // Cache both tables together.
+    opt::PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1};
+    plan.layout.caches = {opt::Segment{0, 1}};
+    Program optimized = opt::apply_plans(original, pipelets, {plan});
+
+    NodeId cache_node = kNoNode;
+    for (NodeId id : optimized.reachable()) {
+        if (optimized.node(id).is_table() &&
+            optimized.node(id).table.role == ir::TableRole::Cache) {
+            cache_node = id;
+        }
+    }
+    ASSERT_NE(cache_node, kNoNode);
+
+    CounterMap map = CounterMap::build(original, optimized);
+    RawCounters raw;
+    raw.reset_for(optimized, 1.0);
+    // Fall-through hits on the deployed originals.
+    NodeId a_opt = optimized.find_table("A");
+    NodeId b_opt = optimized.find_table("B");
+    raw.action_hits[static_cast<std::size_t>(a_opt)] = {10, 0};
+    raw.action_hits[static_cast<std::size_t>(b_opt)] = {0, 10};
+    // Cache-served traffic.
+    raw.replays[{cache_node, "A", "a1"}] = 90;
+    raw.replays[{cache_node, "B", "b2"}] = 90;
+    raw.cache_hits[static_cast<std::size_t>(cache_node)] = 90;
+    raw.cache_misses[static_cast<std::size_t>(cache_node)] = 10;
+
+    RuntimeProfile prof = map.translate(original, raw);
+    NodeId a_orig = original.find_table("A");
+    NodeId b_orig = original.find_table("B");
+    // Original counter = cache replays + fall-through hits (the §4.1.2 sum).
+    EXPECT_EQ(prof.table(a_orig).action_hits[0], 100u);
+    EXPECT_EQ(prof.table(b_orig).action_hits[1], 100u);
+    // Cache stats attributed to the covered originals.
+    EXPECT_EQ(prof.table(a_orig).cache_hits, 90u);
+    EXPECT_EQ(prof.table(a_orig).cache_misses, 10u);
+    EXPECT_DOUBLE_EQ(prof.cache_hit_rate(a_orig), 0.9);
+}
+
+TEST(CounterMap, MergedActionsDecompose) {
+    Program original = two_table_chain();
+    auto pipelets = analysis::form_pipelets(original);
+
+    opt::PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1};
+    plan.layout.merges = {opt::MergeSpec{opt::Segment{0, 1}, false}};
+    Program optimized = opt::apply_plans(original, pipelets, {plan});
+
+    NodeId merged = kNoNode;
+    for (NodeId id : optimized.reachable()) {
+        if (optimized.node(id).table.role == ir::TableRole::Merged) merged = id;
+    }
+    ASSERT_NE(merged, kNoNode);
+    const ir::Table& mt = optimized.node(merged).table;
+
+    CounterMap map = CounterMap::build(original, optimized);
+    RawCounters raw;
+    raw.reset_for(optimized, 1.0);
+    int a1b2 = mt.action_index("a1+b2");
+    int a2b1 = mt.action_index("a2+b1");
+    ASSERT_GE(a1b2, 0);
+    ASSERT_GE(a2b1, 0);
+    raw.action_hits[static_cast<std::size_t>(merged)]
+                   [static_cast<std::size_t>(a1b2)] = 30;
+    raw.action_hits[static_cast<std::size_t>(merged)]
+                   [static_cast<std::size_t>(a2b1)] = 70;
+
+    RuntimeProfile prof = map.translate(original, raw);
+    NodeId a_orig = original.find_table("A");
+    NodeId b_orig = original.find_table("B");
+    EXPECT_EQ(prof.table(a_orig).action_hits[0], 30u);  // a1
+    EXPECT_EQ(prof.table(a_orig).action_hits[1], 70u);  // a2
+    EXPECT_EQ(prof.table(b_orig).action_hits[0], 70u);  // b1
+    EXPECT_EQ(prof.table(b_orig).action_hits[1], 30u);  // b2
+}
+
+}  // namespace
+}  // namespace pipeleon::profile

@@ -1,0 +1,222 @@
+// Tests for sim/engine: exact / LPM / ternary match engines and their probe
+// counts (the m of Equation 4a).
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace pipeleon::sim {
+namespace {
+
+using ir::FieldMatch;
+using ir::MatchKind;
+using ir::Table;
+using ir::TableEntry;
+using ir::TableSpec;
+
+TableEntry entry1(FieldMatch m, int action = 0, int priority = 0) {
+    TableEntry e;
+    e.key = {m};
+    e.action_index = action;
+    e.priority = priority;
+    return e;
+}
+
+TEST(ExactEngine, LookupAndMiss) {
+    Table t = TableSpec("t").key("f").noop_action("a").build();
+    auto engine = make_engine(t);
+    std::vector<TableEntry> entries{entry1(FieldMatch::exact(5)),
+                                    entry1(FieldMatch::exact(9))};
+    engine->rebuild(t, entries);
+    EXPECT_EQ(engine->m(), 1);
+    auto hit = engine->lookup({5});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->entry_index, 0u);
+    EXPECT_TRUE(engine->lookup({9}).has_value());
+    EXPECT_FALSE(engine->lookup({6}).has_value());
+}
+
+TEST(ExactEngine, MultiComponentKeys) {
+    Table t = TableSpec("t").key("a").key("b").noop_action("x").build();
+    auto engine = make_engine(t);
+    TableEntry e;
+    e.key = {FieldMatch::exact(1), FieldMatch::exact(2)};
+    e.action_index = 0;
+    engine->rebuild(t, {e});
+    EXPECT_TRUE(engine->lookup({1, 2}).has_value());
+    EXPECT_FALSE(engine->lookup({2, 1}).has_value());
+}
+
+TEST(LpmEngine, LongestPrefixWins) {
+    Table t = TableSpec("t").key("dst", MatchKind::Lpm).noop_action("a").build();
+    auto engine = make_engine(t);
+    std::vector<TableEntry> entries{
+        entry1(FieldMatch::lpm(0x0A000000, 8)),    // 10/8
+        entry1(FieldMatch::lpm(0x0A0B0000, 16)),   // 10.11/16
+        entry1(FieldMatch::lpm(0x0A0B0C00, 24)),   // 10.11.12/24
+    };
+    engine->rebuild(t, entries);
+    EXPECT_EQ(engine->m(), 3);  // three distinct prefix lengths
+    EXPECT_EQ(engine->lookup({0x0A0B0C0D})->entry_index, 2u);
+    EXPECT_EQ(engine->lookup({0x0A0B0F01})->entry_index, 1u);
+    EXPECT_EQ(engine->lookup({0x0AFFFFFF})->entry_index, 0u);
+    EXPECT_FALSE(engine->lookup({0x0B000000}).has_value());
+}
+
+TEST(LpmEngine, DefaultRouteViaZeroPrefix) {
+    Table t = TableSpec("t").key("dst", MatchKind::Lpm).noop_action("a").build();
+    auto engine = make_engine(t);
+    std::vector<TableEntry> entries{entry1(FieldMatch::lpm(0, 0)),
+                                    entry1(FieldMatch::lpm(0x0A000000, 8))};
+    engine->rebuild(t, entries);
+    EXPECT_EQ(engine->lookup({0x0A123456})->entry_index, 1u);
+    EXPECT_EQ(engine->lookup({0x22222222})->entry_index, 0u);
+}
+
+TEST(LpmEngine, MixedExactComponent) {
+    Table t = TableSpec("t")
+                  .key("vrf", MatchKind::Exact, 16)
+                  .key("dst", MatchKind::Lpm)
+                  .noop_action("a")
+                  .build();
+    auto engine = make_engine(t);
+    TableEntry e;
+    e.key = {FieldMatch::exact(7), FieldMatch::lpm(0x0A000000, 8)};
+    e.action_index = 0;
+    engine->rebuild(t, {e});
+    EXPECT_TRUE(engine->lookup({7, 0x0A010203}).has_value());
+    EXPECT_FALSE(engine->lookup({8, 0x0A010203}).has_value());
+}
+
+TEST(TernaryEngine, PriorityArbitration) {
+    Table t = TableSpec("t").key("f", MatchKind::Ternary).noop_action("a").build();
+    auto engine = make_engine(t);
+    std::vector<TableEntry> entries{
+        entry1(FieldMatch::ternary(0x0A00, 0xFF00), 0, 1),
+        entry1(FieldMatch::ternary(0x0A0B, 0xFFFF), 0, 2),
+        entry1(FieldMatch::wildcard(), 0, 0),
+    };
+    engine->rebuild(t, entries);
+    EXPECT_EQ(engine->m(), 3);  // three distinct masks
+    EXPECT_EQ(engine->lookup({0x0A0B})->entry_index, 1u);  // most specific
+    EXPECT_EQ(engine->lookup({0x0A0C})->entry_index, 0u);
+    EXPECT_EQ(engine->lookup({0x1234})->entry_index, 2u);  // wildcard
+}
+
+TEST(TernaryEngine, SameMaskHigherPriorityWins) {
+    Table t = TableSpec("t").key("f", MatchKind::Ternary).noop_action("a").build();
+    auto engine = make_engine(t);
+    std::vector<TableEntry> entries{
+        entry1(FieldMatch::ternary(5, 0xFF), 0, 1),
+        entry1(FieldMatch::ternary(5, 0xFF), 0, 9),
+    };
+    engine->rebuild(t, entries);
+    EXPECT_EQ(engine->lookup({5})->entry_index, 1u);
+}
+
+TEST(TernaryEngine, MaskCountDrivesM) {
+    Table t = TableSpec("t").key("f", MatchKind::Ternary).noop_action("a").build();
+    auto engine = make_engine(t);
+    std::vector<TableEntry> entries;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        entries.push_back(entry1(FieldMatch::ternary(0, 0xFULL << (4 * i))));
+    }
+    engine->rebuild(t, entries);
+    EXPECT_EQ(engine->m(), 5);  // "five different masks" (§3.1 methodology)
+}
+
+TEST(TernaryEngine, RangeEntriesUseLinearGroup) {
+    Table t = TableSpec("t").key("port", MatchKind::Range, 16).noop_action("a").build();
+    auto engine = make_engine(t);
+    std::vector<TableEntry> entries{entry1(FieldMatch::range(100, 200), 0, 1),
+                                    entry1(FieldMatch::range(150, 300), 0, 2)};
+    engine->rebuild(t, entries);
+    EXPECT_FALSE(engine->lookup({99}).has_value());
+    EXPECT_EQ(engine->lookup({120})->entry_index, 0u);
+    EXPECT_EQ(engine->lookup({180})->entry_index, 1u);  // overlap: priority 2
+    EXPECT_EQ(engine->lookup({250})->entry_index, 1u);
+}
+
+TEST(TernaryEngine, ExactComponentsGetFullMask) {
+    Table t = TableSpec("t")
+                  .key("a", MatchKind::Exact)
+                  .key("b", MatchKind::Ternary)
+                  .noop_action("x")
+                  .build();
+    auto engine = make_engine(t);
+    TableEntry e;
+    e.key = {FieldMatch::exact(3), FieldMatch::wildcard()};
+    e.action_index = 0;
+    engine->rebuild(t, {e});
+    EXPECT_TRUE(engine->lookup({3, 999}).has_value());
+    EXPECT_FALSE(engine->lookup({4, 999}).has_value());
+}
+
+TEST(Engines, EmptyTablesMissEverything) {
+    for (MatchKind kind : {MatchKind::Exact, MatchKind::Lpm, MatchKind::Ternary}) {
+        Table t = TableSpec("t").key("f", kind).noop_action("a").build();
+        auto engine = make_engine(t);
+        engine->rebuild(t, {});
+        EXPECT_FALSE(engine->lookup({1}).has_value());
+        EXPECT_GE(engine->m(), 1);
+    }
+}
+
+TEST(KeyVecHash, DifferentKeysDifferentHashesUsually) {
+    KeyVecHash h;
+    EXPECT_NE(h({1, 2}), h({2, 1}));
+    EXPECT_EQ(h({5}), h({5}));
+}
+
+// Property sweep: engines agree with brute-force matching over random
+// entry sets.
+class EngineAgainstBruteForce : public testing::TestWithParam<int> {};
+
+TEST_P(EngineAgainstBruteForce, TernaryMatchesReference) {
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Table t = TableSpec("t").key("f", MatchKind::Ternary, 16).noop_action("a").build();
+    std::vector<TableEntry> entries;
+    for (int i = 0; i < 32; ++i) {
+        std::uint64_t mask = rng.next_below(4) == 0
+                                 ? 0xFFFF
+                                 : (0xFFFFULL & ~((1ULL << rng.next_below(12)) - 1));
+        TableEntry e = entry1(
+            FieldMatch::ternary(rng.next_below(0x10000) & mask, mask), 0,
+            static_cast<int>(rng.next_below(8)));
+        entries.push_back(e);
+    }
+    auto engine = make_engine(t);
+    engine->rebuild(t, entries);
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uint64_t key = rng.next_below(0x10000);
+        // Brute force reference.
+        int best = -1;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (!entries[i].key[0].matches(key, 16)) continue;
+            if (best < 0 ||
+                entries[i].priority > entries[static_cast<std::size_t>(best)].priority ||
+                (entries[i].priority ==
+                     entries[static_cast<std::size_t>(best)].priority &&
+                 i < static_cast<std::size_t>(best))) {
+                best = static_cast<int>(i);
+            }
+        }
+        auto got = engine->lookup({key});
+        if (best < 0) {
+            EXPECT_FALSE(got.has_value());
+        } else {
+            ASSERT_TRUE(got.has_value());
+            const TableEntry& g = entries[got->entry_index];
+            const TableEntry& want = entries[static_cast<std::size_t>(best)];
+            EXPECT_EQ(g.priority, want.priority);
+            EXPECT_TRUE(g.key[0].matches(key, 16));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgainstBruteForce, testing::Range(1, 11));
+
+}  // namespace
+}  // namespace pipeleon::sim

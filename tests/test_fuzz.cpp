@@ -1,0 +1,130 @@
+// Randomized round-trip properties: JSON values, programs, and entries
+// survive serialization; synthesized programs survive optimizer rounds.
+#include <gtest/gtest.h>
+
+#include "ir/json_io.h"
+#include "profile/counter_map.h"
+#include "search/optimizer.h"
+#include "sim/nic_model.h"
+#include "synth/profile_synth.h"
+#include "synth/program_synth.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace pipeleon {
+namespace {
+
+using util::Json;
+using util::JsonObject;
+
+Json random_json(util::Rng& rng, int depth) {
+    double r = rng.uniform();
+    if (depth <= 0 || r < 0.15) return Json(nullptr);
+    if (r < 0.30) return Json(rng.chance(0.5));
+    if (r < 0.50) {
+        // Integers and doubles, positive and negative.
+        if (rng.chance(0.5)) {
+            return Json(static_cast<std::int64_t>(rng.uniform_int(-1000000, 1000000)));
+        }
+        return Json(rng.uniform(-1e6, 1e6));
+    }
+    if (r < 0.70) {
+        std::string s;
+        std::size_t len = rng.next_below(24);
+        for (std::size_t i = 0; i < len; ++i) {
+            // Include escapes, control chars, and non-ASCII bytes.
+            static const char alphabet[] =
+                "abcXYZ 0129_\"\\\n\t/\x01\x1f\xc3\xa9";
+            s += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+        }
+        return Json(std::move(s));
+    }
+    if (r < 0.85) {
+        Json arr = Json::array();
+        std::size_t n = rng.next_below(5);
+        for (std::size_t i = 0; i < n; ++i) {
+            arr.push_back(random_json(rng, depth - 1));
+        }
+        return arr;
+    }
+    JsonObject obj;
+    std::size_t n = rng.next_below(5);
+    for (std::size_t i = 0; i < n; ++i) {
+        obj.set("k" + std::to_string(i) + (rng.chance(0.3) ? ".x" : ""),
+                random_json(rng, depth - 1));
+    }
+    return Json(std::move(obj));
+}
+
+class JsonFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzz, DumpParseRoundTrip) {
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL);
+    for (int i = 0; i < 50; ++i) {
+        Json v = random_json(rng, 4);
+        // Compact and pretty forms both parse back to the same value.
+        Json compact = Json::parse(v.dump());
+        Json pretty = Json::parse(v.dump(2));
+        // Numbers may lose ULPs through %.17g only for NaN/Inf (not
+        // generated); everything here must round-trip exactly.
+        EXPECT_TRUE(compact == v);
+        EXPECT_TRUE(pretty == v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, testing::Range(1, 11));
+
+TEST(JsonFuzz, GarbageInputsThrowNotCrash) {
+    util::Rng rng(99);
+    int threw = 0;
+    for (int i = 0; i < 500; ++i) {
+        std::string garbage;
+        std::size_t len = rng.next_below(40);
+        for (std::size_t j = 0; j < len; ++j) {
+            garbage += static_cast<char>(rng.next_below(128));
+        }
+        try {
+            Json::parse(garbage);
+        } catch (const util::JsonError&) {
+            ++threw;
+        }
+    }
+    EXPECT_GT(threw, 400);  // almost everything random is malformed
+}
+
+class ProgramFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(ProgramFuzz, SynthesizedProgramsSurviveFullRound) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 7727ULL;
+    synth::SynthConfig scfg;
+    scfg.pipelets = 4 + GetParam() % 8;
+    scfg.diamond_fraction = 0.4;
+    scfg.drop_table_fraction = 0.5;
+    synth::ProgramSynthesizer gen(scfg, seed);
+    ir::Program program = gen.generate("fuzz");
+
+    // IR JSON round trip.
+    ir::Program back = ir::program_from_json(ir::program_to_json(program));
+    ASSERT_TRUE(back == program);
+
+    // Optimizer round on a random profile; the output must validate and
+    // survive its own round trip.
+    synth::ProfileSynthesizer profgen(synth::high_locality_config(), seed + 1);
+    profile::RuntimeProfile prof = profgen.generate(program);
+    search::OptimizerConfig cfg;
+    cfg.top_k_fraction = 0.5;
+    search::Optimizer optimizer(
+        cost::CostModel(sim::bluefield2_model().costs, {}), cfg);
+    search::OptimizationOutcome out = optimizer.optimize(program, prof);
+    EXPECT_NO_THROW(out.optimized.validate());
+    EXPECT_TRUE(ir::program_from_json(ir::program_to_json(out.optimized)) ==
+                out.optimized);
+
+    // Counter-map construction between original and optimized never throws.
+    EXPECT_NO_THROW(profile::CounterMap::build(program, out.optimized));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzz, testing::Range(1, 16));
+
+}  // namespace
+}  // namespace pipeleon

@@ -1,0 +1,251 @@
+// Tests for ir: types, tables, program graph invariants, and the builder.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/dot.h"
+#include "ir/program.h"
+
+namespace pipeleon::ir {
+namespace {
+
+TEST(Types, MatchKindStringsRoundTrip) {
+    for (MatchKind k : {MatchKind::Exact, MatchKind::Lpm, MatchKind::Ternary,
+                        MatchKind::Range}) {
+        EXPECT_EQ(match_kind_from_string(to_string(k)), k);
+    }
+    EXPECT_THROW(match_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Types, PrimitiveKindStringsRoundTrip) {
+    for (PrimitiveKind k :
+         {PrimitiveKind::SetConst, PrimitiveKind::CopyField,
+          PrimitiveKind::AddConst, PrimitiveKind::SubConst, PrimitiveKind::Drop,
+          PrimitiveKind::Forward, PrimitiveKind::NoOp}) {
+        EXPECT_EQ(primitive_kind_from_string(to_string(k)), k);
+    }
+}
+
+TEST(Types, CmpOpEvaluation) {
+    EXPECT_TRUE((BranchCond{"f", CmpOp::Eq, 5}).evaluate(5));
+    EXPECT_FALSE((BranchCond{"f", CmpOp::Eq, 5}).evaluate(6));
+    EXPECT_TRUE((BranchCond{"f", CmpOp::Ne, 5}).evaluate(6));
+    EXPECT_TRUE((BranchCond{"f", CmpOp::Lt, 5}).evaluate(4));
+    EXPECT_TRUE((BranchCond{"f", CmpOp::Le, 5}).evaluate(5));
+    EXPECT_TRUE((BranchCond{"f", CmpOp::Gt, 5}).evaluate(6));
+    EXPECT_TRUE((BranchCond{"f", CmpOp::Ge, 5}).evaluate(5));
+    EXPECT_FALSE((BranchCond{"f", CmpOp::Ge, 5}).evaluate(4));
+}
+
+TEST(Types, ActionDropAndFieldSets) {
+    Action a;
+    a.name = "act";
+    a.primitives.push_back(Primitive::set_const("x", 1));
+    a.primitives.push_back(Primitive::copy_field("y", "z"));
+    a.primitives.push_back(Primitive::add_const("w", 2));
+    EXPECT_FALSE(a.drops());
+    auto writes = a.written_fields();
+    EXPECT_EQ(writes, (std::vector<std::string>{"x", "y", "w"}));
+    auto reads = a.read_fields();
+    // CopyField reads z; AddConst reads w (read-modify-write).
+    EXPECT_EQ(reads, (std::vector<std::string>{"z", "w"}));
+
+    a.primitives.push_back(Primitive::drop());
+    EXPECT_TRUE(a.drops());
+}
+
+TEST(Table, EffectiveMatchKind) {
+    Table t;
+    t.keys = {{"a", MatchKind::Exact, 32}};
+    EXPECT_EQ(t.effective_match_kind(), MatchKind::Exact);
+    t.keys.push_back({"b", MatchKind::Lpm, 32});
+    EXPECT_EQ(t.effective_match_kind(), MatchKind::Lpm);
+    t.keys.push_back({"c", MatchKind::Ternary, 32});
+    EXPECT_EQ(t.effective_match_kind(), MatchKind::Ternary);
+    EXPECT_TRUE(t.has_match_kind(MatchKind::Lpm));
+    EXPECT_FALSE(t.has_match_kind(MatchKind::Range));
+    EXPECT_EQ(t.key_width_bits(), 96);
+}
+
+TEST(Table, ActionHelpers) {
+    Table t = TableSpec("t").key("f").noop_action("a").drop_action("deny").build();
+    EXPECT_EQ(t.action_index("a"), 0);
+    EXPECT_EQ(t.action_index("deny"), 1);
+    EXPECT_EQ(t.action_index("nope"), -1);
+    EXPECT_TRUE(t.can_drop());
+}
+
+TEST(Program, LinearChainStructure) {
+    Program p = chain_of_exact_tables("chain", 4);
+    EXPECT_EQ(p.node_count(), 4u);
+    EXPECT_EQ(p.table_count(), 4u);
+    EXPECT_NO_THROW(p.validate());
+    auto topo = p.topo_order();
+    EXPECT_EQ(topo.size(), 4u);
+    EXPECT_EQ(topo.front(), p.root());
+    // Every interior node has exactly one successor.
+    for (std::size_t i = 0; i + 1 < topo.size(); ++i) {
+        EXPECT_EQ(p.node(topo[i]).successors().size(), 1u);
+    }
+    EXPECT_TRUE(p.node(topo.back()).successors().empty());
+}
+
+TEST(Program, FindTable) {
+    Program p = chain_of_exact_tables("chain", 3);
+    EXPECT_NE(p.find_table("t1"), kNoNode);
+    EXPECT_EQ(p.find_table("nope"), kNoNode);
+}
+
+TEST(Program, ValidateCatchesDuplicateNames) {
+    ProgramBuilder b("dup");
+    b.append(TableSpec("t").key("a").noop_action("x").build());
+    b.append(TableSpec("t").key("b").noop_action("x").build());
+    EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Program, ValidateCatchesCycles) {
+    ProgramBuilder b("cycle");
+    NodeId t0 = b.add(TableSpec("t0").key("a").noop_action("x").build());
+    NodeId t1 = b.add(TableSpec("t1").key("b").noop_action("x").build());
+    b.connect(t0, t1);
+    b.connect(t1, t0);
+    EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Program, ValidateCatchesMissingKeysOrActions) {
+    {
+        ProgramBuilder b("nokeys");
+        b.add(TableSpec("t").noop_action("x").build());
+        EXPECT_THROW(b.build(), std::runtime_error);
+    }
+    {
+        Program p;
+        Table t;
+        t.name = "t";
+        t.keys = {{"f", MatchKind::Exact, 32}};
+        p.add_table(t);  // no actions
+        EXPECT_THROW(p.validate(), std::runtime_error);
+    }
+}
+
+TEST(Program, SwitchCaseDetection) {
+    ProgramBuilder b("sw");
+    NodeId s = b.add(
+        TableSpec("s").key("f").noop_action("a0").noop_action("a1").build());
+    NodeId t0 = b.add(TableSpec("t0").key("g").noop_action("x").build());
+    NodeId t1 = b.add(TableSpec("t1").key("h").noop_action("x").build());
+    b.connect_action(s, 0, t0);
+    b.connect_action(s, 1, t1);
+    b.connect_miss(s, t0);
+    b.set_root(s);
+    Program p = b.build();
+    EXPECT_TRUE(p.node(s).is_switch_case());
+    EXPECT_FALSE(p.node(t0).is_switch_case());
+    EXPECT_EQ(p.node(s).successors().size(), 2u);
+}
+
+TEST(Program, DefaultActionMissRouting) {
+    ProgramBuilder b("m");
+    NodeId t0 = b.add(TableSpec("t0")
+                          .key("f")
+                          .noop_action("a0")
+                          .noop_action("a1")
+                          .default_to("a1")
+                          .build());
+    NodeId t1 = b.add(TableSpec("t1").key("g").noop_action("x").build());
+    b.connect_action(t0, 0, t1);
+    b.connect_action(t0, 1, kNoNode);
+    b.set_root(t0);
+    Program p = b.build();
+    // Miss follows the default action's edge.
+    EXPECT_EQ(p.node(t0).next_for_miss(), kNoNode);
+    EXPECT_EQ(p.node(t0).next_for_action(0), t1);
+}
+
+TEST(Program, CompactRemovesUnreachable) {
+    ProgramBuilder b("c");
+    NodeId t0 = b.add(TableSpec("t0").key("a").noop_action("x").build());
+    NodeId t1 = b.add(TableSpec("t1").key("b").noop_action("x").build());
+    b.add(TableSpec("orphan").key("c").noop_action("x").build());
+    b.connect(t0, t1);
+    b.set_root(t0);
+    Program p = b.build();  // orphan is unreachable but valid
+    EXPECT_EQ(p.node_count(), 3u);
+    auto remap = p.compact();
+    EXPECT_EQ(p.node_count(), 2u);
+    EXPECT_EQ(remap[2], kNoNode);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_EQ(p.find_table("orphan"), kNoNode);
+    EXPECT_NE(p.find_table("t1"), kNoNode);
+}
+
+TEST(Program, PredecessorsOfDiamond) {
+    ProgramBuilder b("d");
+    NodeId br = b.add_branch({"flag", CmpOp::Eq, 1});
+    NodeId a = b.add(TableSpec("a").key("x").noop_action("n").build());
+    NodeId c = b.add(TableSpec("c").key("y").noop_action("n").build());
+    NodeId j = b.add(TableSpec("j").key("z").noop_action("n").build());
+    b.connect_branch(br, a, c);
+    b.connect(a, j);
+    b.connect(c, j);
+    b.set_root(br);
+    Program p = b.build();
+    auto preds = p.predecessors();
+    EXPECT_EQ(preds[static_cast<std::size_t>(j)].size(), 2u);
+    EXPECT_EQ(preds[static_cast<std::size_t>(br)].size(), 0u);
+}
+
+TEST(Builder, AppendChainsAutomatically) {
+    ProgramBuilder b("auto");
+    b.append(TableSpec("t0").key("a").noop_action("x").build());
+    b.append(TableSpec("t1").key("b").noop_action("x").build());
+    Program p = b.build();
+    EXPECT_EQ(p.node(p.root()).successors(),
+              std::vector<NodeId>{p.find_table("t1")});
+}
+
+TEST(Builder, DefaultToUnknownActionThrows) {
+    EXPECT_THROW(TableSpec("t").key("f").noop_action("a").default_to("zzz"),
+                 std::invalid_argument);
+}
+
+TEST(Dot, RendersGraph) {
+    Program p = chain_of_exact_tables("dotprog", 3);
+    std::string dot = to_dot(p);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("t0"), std::string::npos);
+    EXPECT_NE(dot.find("sink"), std::string::npos);
+}
+
+TEST(Dot, RendersBranchAndProbabilities) {
+    ProgramBuilder b("d2");
+    NodeId br = b.add_branch({"flag", CmpOp::Eq, 1});
+    NodeId a = b.add(TableSpec("a").key("x").noop_action("n").build());
+    b.connect_branch(br, a, kNoNode);
+    b.set_root(br);
+    Program p = b.build();
+    DotOptions opts;
+    opts.edge_probability[{br, a}] = 0.75;
+    std::string dot = to_dot(p, opts);
+    EXPECT_NE(dot.find("p=0.75"), std::string::npos);
+    EXPECT_NE(dot.find("diamond"), std::string::npos);
+}
+
+class ChainLengths : public testing::TestWithParam<int> {};
+
+TEST_P(ChainLengths, BuilderProducesValidPrograms) {
+    Program p = chain_of_exact_tables("c", GetParam(), 2, 3);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_EQ(p.table_count(), static_cast<std::size_t>(GetParam()));
+    for (NodeId id : p.reachable()) {
+        const Node& n = p.node(id);
+        EXPECT_EQ(n.table.actions.size(), 2u);
+        for (const Action& a : n.table.actions) {
+            EXPECT_EQ(a.primitives.size(), 3u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChainLengths, testing::Values(1, 2, 5, 10, 40));
+
+}  // namespace
+}  // namespace pipeleon::ir

@@ -1,0 +1,158 @@
+// Tests for util/json: parsing, serialization, value semantics, errors.
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace pipeleon::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(Json::parse("null").is_null());
+    EXPECT_TRUE(Json::parse("true").as_bool());
+    EXPECT_FALSE(Json::parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+    EXPECT_EQ(Json::parse("-17").as_int(), -17);
+    EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+    Json v = Json::parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+    EXPECT_EQ(v.at("a").as_array().size(), 3u);
+    EXPECT_EQ(v.at("a").at(0).as_int(), 1);
+    EXPECT_TRUE(v.at("a").at(2).at("b").as_bool());
+    EXPECT_TRUE(v.at("c").at("d").is_null());
+}
+
+TEST(Json, ParsesStringEscapes) {
+    Json v = Json::parse(R"("line\nbreak\ttab\\\"")");
+    EXPECT_EQ(v.as_string(), "line\nbreak\ttab\\\"");
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+    EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+    // U+00E9 (é) -> 2-byte UTF-8.
+    EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW(Json::parse(""), JsonError);
+    EXPECT_THROW(Json::parse("{"), JsonError);
+    EXPECT_THROW(Json::parse("[1,]"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+    EXPECT_THROW(Json::parse("tru"), JsonError);
+    EXPECT_THROW(Json::parse("1 2"), JsonError);
+    EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+    EXPECT_THROW(Json::parse("01x"), JsonError);
+    EXPECT_THROW(Json::parse("1."), JsonError);
+    EXPECT_THROW(Json::parse("1e"), JsonError);
+    EXPECT_THROW(Json::parse(R"("\q")"), JsonError);
+    EXPECT_THROW(Json::parse(R"("\ud83d")"), JsonError);  // unpaired surrogate
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+    try {
+        Json::parse("{\n  \"a\": [1,\n  bad]\n}");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Json, TypeMismatchThrows) {
+    Json v = Json::parse("[1]");
+    EXPECT_THROW(v.as_object(), JsonError);
+    EXPECT_THROW(v.as_string(), JsonError);
+    EXPECT_THROW(v.at("x"), JsonError);
+    EXPECT_THROW(v.at(5), JsonError);
+}
+
+TEST(Json, DumpRoundTrips) {
+    const char* doc =
+        R"({"name":"pipeleon","n":42,"pi":3.5,"ok":true,"xs":[1,2,3],"sub":{"k":null}})";
+    Json v = Json::parse(doc);
+    Json again = Json::parse(v.dump());
+    EXPECT_TRUE(v == again);
+    // Pretty-printed output parses identically too.
+    EXPECT_TRUE(Json::parse(v.dump(2)) == v);
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+    Json v(std::string("a\x01"
+                       "b\nc"));
+    std::string out = v.dump();
+    EXPECT_NE(out.find("\\u0001"), std::string::npos);
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+    EXPECT_TRUE(Json::parse(out) == v);
+}
+
+TEST(Json, IntegersSerializeWithoutExponent) {
+    Json v(std::int64_t{1234567890123});
+    EXPECT_EQ(v.dump(), "1234567890123");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    Json v = Json::object();
+    v.as_object().set("z", Json(1));
+    v.as_object().set("a", Json(2));
+    std::string out = v.dump();
+    EXPECT_LT(out.find("\"z\""), out.find("\"a\""));
+}
+
+TEST(Json, ObjectEqualityIsOrderInsensitive) {
+    Json a = Json::parse(R"({"x":1,"y":2})");
+    Json b = Json::parse(R"({"y":2,"x":1})");
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Json, CopyIsDeep) {
+    Json a = Json::parse(R"({"k":[1]})");
+    Json b = a;
+    b.as_object()["k"].as_array().push_back(Json(2));
+    EXPECT_EQ(a.at("k").as_array().size(), 1u);
+    EXPECT_EQ(b.at("k").as_array().size(), 2u);
+}
+
+TEST(Json, GettersWithDefaults) {
+    Json v = Json::parse(R"({"n": 7, "s": "x", "b": true})");
+    EXPECT_EQ(v.get_int("n", -1), 7);
+    EXPECT_EQ(v.get_int("missing", -1), -1);
+    EXPECT_EQ(v.get_string("s", ""), "x");
+    EXPECT_EQ(v.get_string("missing", "dflt"), "dflt");
+    EXPECT_TRUE(v.get_bool("b", false));
+    EXPECT_TRUE(v.get_bool("missing", true));
+    EXPECT_DOUBLE_EQ(v.get_double("n", 0.0), 7.0);
+}
+
+TEST(Json, ObjectEraseAndContains) {
+    Json v = Json::parse(R"({"a":1,"b":2})");
+    EXPECT_TRUE(v.as_object().contains("a"));
+    EXPECT_TRUE(v.as_object().erase("a"));
+    EXPECT_FALSE(v.as_object().contains("a"));
+    EXPECT_FALSE(v.as_object().erase("a"));
+    EXPECT_EQ(v.as_object().size(), 1u);
+}
+
+TEST(Json, FileRoundTrip) {
+    Json v = Json::parse(R"({"hello": ["world", 1, true]})");
+    std::string path = testing::TempDir() + "/pipeleon_json_test.json";
+    save_json_file(path, v);
+    EXPECT_TRUE(load_json_file(path) == v);
+    EXPECT_THROW(load_json_file(path + ".does-not-exist"), JsonError);
+}
+
+class JsonNumberRoundTrip : public testing::TestWithParam<double> {};
+
+TEST_P(JsonNumberRoundTrip, SurvivesDump) {
+    Json v(GetParam());
+    EXPECT_DOUBLE_EQ(Json::parse(v.dump()).as_double(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, JsonNumberRoundTrip,
+                         testing::Values(0.0, 1.0, -1.0, 0.5, 1e-9, 1e15,
+                                         -3.14159265358979, 255.0, 65535.0,
+                                         4294967295.0, 1e20, 123456.789));
+
+}  // namespace
+}  // namespace pipeleon::util

@@ -1,0 +1,110 @@
+// Tests for ir/json_io: program and entry JSON round trips.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/json_io.h"
+#include "synth/program_synth.h"
+
+namespace pipeleon::ir {
+namespace {
+
+TEST(JsonIo, LinearProgramRoundTrip) {
+    Program p = chain_of_exact_tables("rt", 5, 3, 2);
+    Program q = program_from_json(program_to_json(p));
+    EXPECT_TRUE(p == q);
+}
+
+TEST(JsonIo, BranchAndSwitchCaseRoundTrip) {
+    ProgramBuilder b("complex");
+    NodeId br = b.add_branch({"ipv4.proto", CmpOp::Eq, 6});
+    NodeId sw = b.add(TableSpec("sw")
+                          .key("tcp.dport", MatchKind::Ternary, 16)
+                          .noop_action("a0")
+                          .drop_action("deny")
+                          .build());
+    NodeId t = b.add(TableSpec("route")
+                         .key("ipv4.dst", MatchKind::Lpm)
+                         .forward_action("fwd")
+                         .build());
+    b.connect_branch(br, sw, t);
+    b.connect_action(sw, 0, t);
+    b.connect_action(sw, 1, kNoNode);
+    b.connect_miss(sw, t);
+    b.set_root(br);
+    Program p = b.build();
+    Program q = program_from_json(program_to_json(p));
+    EXPECT_TRUE(p == q);
+    EXPECT_TRUE(q.node(sw).is_switch_case());
+}
+
+TEST(JsonIo, PreservesRolesAndProvenance) {
+    Table cache = TableSpec("cache_x").key("f").noop_action("cache_hit").build();
+    cache.role = TableRole::Cache;
+    cache.origin_tables = {"a", "b"};
+    cache.cache.capacity = 128;
+    cache.cache.max_insert_per_sec = 55.5;
+    Program p = linear_program("roles", {cache});
+    Program q = program_from_json(program_to_json(p));
+    const Table& t = q.node(q.root()).table;
+    EXPECT_EQ(t.role, TableRole::Cache);
+    EXPECT_EQ(t.origin_tables, (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(t.cache.capacity, 128u);
+    EXPECT_DOUBLE_EQ(t.cache.max_insert_per_sec, 55.5);
+}
+
+TEST(JsonIo, PreservesCoreAssignment) {
+    Program p = chain_of_exact_tables("cores", 2);
+    p.node(1).core = CoreKind::Cpu;
+    Program q = program_from_json(program_to_json(p));
+    EXPECT_EQ(q.node(1).core, CoreKind::Cpu);
+}
+
+TEST(JsonIo, RejectsWrongFormat) {
+    EXPECT_THROW(program_from_json(util::Json::parse(R"({"format":"other"})")),
+                 std::runtime_error);
+}
+
+TEST(JsonIo, FileRoundTrip) {
+    Program p = chain_of_exact_tables("file", 3);
+    std::string path = testing::TempDir() + "/pipeleon_prog.json";
+    save_program(path, p);
+    EXPECT_TRUE(load_program(path) == p);
+}
+
+TEST(JsonIo, EntryRoundTripAllKinds) {
+    TableEntry e;
+    e.key = {FieldMatch::exact(0xDEADBEEFCAFEBABEULL),
+             FieldMatch::lpm(0x0A000000, 8),
+             FieldMatch::ternary(0x12, 0xFFULL << 56 | 0xFF),
+             FieldMatch::range(5, 500)};
+    e.action_index = 2;
+    e.action_data = {1, 0xFFFFFFFFFFFFFFFFULL, 42};
+    e.priority = 7;
+    TableEntry back = entry_from_json(entry_to_json(e));
+    EXPECT_TRUE(e == back);
+}
+
+TEST(JsonIo, FullWidthMasksSurvive) {
+    TableEntry e;
+    e.key = {FieldMatch::ternary(0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL)};
+    e.action_index = 0;
+    TableEntry back = entry_from_json(entry_to_json(e));
+    EXPECT_EQ(back.key[0].mask, 0xFFFFFFFFFFFFFFFFULL);
+    EXPECT_EQ(back.key[0].value, 0xFFFFFFFFFFFFFFFFULL);
+}
+
+class SynthRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(SynthRoundTrip, RandomProgramsSurviveJson) {
+    synth::SynthConfig cfg;
+    cfg.pipelets = 8;
+    synth::ProgramSynthesizer gen(cfg, static_cast<std::uint64_t>(GetParam()));
+    Program p = gen.generate("synth");
+    Program q = program_from_json(program_to_json(p));
+    EXPECT_TRUE(p == q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthRoundTrip, testing::Range(1, 13));
+
+}  // namespace
+}  // namespace pipeleon::ir

@@ -1,0 +1,145 @@
+// Tests for search/knapsack: the group knapsack of Appendix A.1, checked
+// against brute force on random instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "search/knapsack.h"
+#include "util/rng.h"
+
+namespace pipeleon::search {
+namespace {
+
+opt::Candidate cand(double gain, double mem, double upd) {
+    opt::Candidate c;
+    c.gain = gain;
+    c.memory_cost = mem;
+    c.update_cost = upd;
+    return c;
+}
+
+TEST(Knapsack, UnconstrainedPicksBestPerGroup) {
+    std::vector<std::vector<opt::Candidate>> groups{
+        {cand(5, 100, 0), cand(9, 1e9, 1e9)},
+        {cand(3, 0, 0)},
+        {},
+        {cand(-1, 0, 0)},  // negative gain: never picked
+    };
+    GlobalPlan plan = global_optimize(groups, ResourceLimits{});
+    EXPECT_EQ(plan.chosen, (std::vector<int>{1, 0, -1, -1}));
+    EXPECT_DOUBLE_EQ(plan.total_gain, 12.0);
+}
+
+TEST(Knapsack, MemoryLimitForcesTradeoff) {
+    ResourceLimits limits;
+    limits.memory_bytes = 100.0;
+    std::vector<std::vector<opt::Candidate>> groups{
+        {cand(10, 80, 0), cand(6, 30, 0)},
+        {cand(8, 60, 0), cand(5, 20, 0)},
+    };
+    GlobalPlan plan = global_optimize(groups, limits);
+    // Best feasible: 6 + 8 = 14 (30 + 60 <= 100); 10 + 8 needs 140.
+    EXPECT_DOUBLE_EQ(plan.total_gain, 14.0);
+    EXPECT_LE(plan.memory_used, 100.0);
+}
+
+TEST(Knapsack, UpdateLimitEnforced) {
+    ResourceLimits limits;
+    limits.updates_per_sec = 50.0;
+    std::vector<std::vector<opt::Candidate>> groups{
+        {cand(10, 0, 40)},
+        {cand(9, 0, 40)},
+        {cand(2, 0, 5)},
+    };
+    GlobalPlan plan = global_optimize(groups, limits);
+    EXPECT_LE(plan.updates_used, 50.0);
+    // Can afford one 40-cost candidate plus the 5-cost one: 10 + 2 = 12.
+    EXPECT_DOUBLE_EQ(plan.total_gain, 12.0);
+}
+
+TEST(Knapsack, OversizedCandidateNeverFits) {
+    ResourceLimits limits;
+    limits.memory_bytes = 10.0;
+    std::vector<std::vector<opt::Candidate>> groups{{cand(100, 1000, 0)}};
+    GlobalPlan plan = global_optimize(groups, limits);
+    EXPECT_EQ(plan.chosen[0], -1);
+    EXPECT_DOUBLE_EQ(plan.total_gain, 0.0);
+}
+
+TEST(Knapsack, ZeroCostCandidatesAlwaysFit) {
+    ResourceLimits limits;
+    limits.memory_bytes = 1.0;
+    limits.updates_per_sec = 1.0;
+    std::vector<std::vector<opt::Candidate>> groups{{cand(4, 0, 0)},
+                                                    {cand(3, 0, 0)}};
+    GlobalPlan plan = global_optimize(groups, limits);
+    EXPECT_DOUBLE_EQ(plan.total_gain, 7.0);
+}
+
+TEST(Knapsack, EmptyInput) {
+    GlobalPlan plan = global_optimize({}, ResourceLimits{});
+    EXPECT_TRUE(plan.chosen.empty());
+    EXPECT_DOUBLE_EQ(plan.total_gain, 0.0);
+}
+
+// Brute force reference: try every combination of at-most-one-per-group.
+double brute_force(const std::vector<std::vector<opt::Candidate>>& groups,
+                   const ResourceLimits& limits) {
+    double best = 0.0;
+    std::vector<int> choice(groups.size(), -1);
+    std::function<void(std::size_t, double, double, double)> rec =
+        [&](std::size_t g, double gain, double mem, double upd) {
+            if (mem > limits.memory_bytes || upd > limits.updates_per_sec) return;
+            if (g == groups.size()) {
+                best = std::max(best, gain);
+                return;
+            }
+            rec(g + 1, gain, mem, upd);
+            for (const opt::Candidate& c : groups[g]) {
+                rec(g + 1, gain + c.gain, mem + c.memory_cost,
+                    upd + c.update_cost);
+            }
+        };
+    rec(0, 0.0, 0.0, 0.0);
+    return best;
+}
+
+class KnapsackRandom : public testing::TestWithParam<int> {};
+
+TEST_P(KnapsackRandom, NearBruteForceAndFeasible) {
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<std::vector<opt::Candidate>> groups;
+    std::size_t n_groups = 2 + rng.next_below(4);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        std::vector<opt::Candidate> cands;
+        std::size_t n = 1 + rng.next_below(4);
+        for (std::size_t i = 0; i < n; ++i) {
+            cands.push_back(cand(rng.uniform(0.0, 10.0), rng.uniform(0.0, 100.0),
+                                 rng.uniform(0.0, 50.0)));
+        }
+        groups.push_back(std::move(cands));
+    }
+    ResourceLimits limits;
+    limits.memory_bytes = rng.uniform(50.0, 250.0);
+    limits.updates_per_sec = rng.uniform(25.0, 120.0);
+
+    KnapsackOptions opts;
+    opts.memory_grid = 128;
+    opts.update_grid = 128;
+    GlobalPlan plan = global_optimize(groups, limits, opts);
+
+    // Always feasible (conservative rounding guarantees it).
+    EXPECT_LE(plan.memory_used, limits.memory_bytes + 1e-9);
+    EXPECT_LE(plan.updates_used, limits.updates_per_sec + 1e-9);
+
+    // Within discretization slack of the true optimum, and never above it.
+    double exact = brute_force(groups, limits);
+    EXPECT_LE(plan.total_gain, exact + 1e-9);
+    EXPECT_GE(plan.total_gain, 0.6 * exact - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandom, testing::Range(1, 25));
+
+}  // namespace
+}  // namespace pipeleon::search

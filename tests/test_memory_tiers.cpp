@@ -1,0 +1,144 @@
+// Tests for opt/memory_tiers (§6 hierarchical memory) and the per-tier cost
+// accounting in the cost model and emulator.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/json_io.h"
+#include "opt/memory_tiers.h"
+#include "sim/emulator.h"
+
+namespace pipeleon::opt {
+namespace {
+
+using ir::MemTier;
+using ir::NodeId;
+using ir::Program;
+using ir::TableSpec;
+
+cost::CostParams tiered_params() {
+    cost::CostParams p;
+    p.l_mat = 20.0;
+    p.l_act = 1.0;
+    p.l_mat_fast = 4.0;
+    p.fast_memory_bytes = 10000.0;
+    p.entry_overhead_bytes = 16;
+    return p;
+}
+
+profile::InstrumentationConfig no_instr() {
+    profile::InstrumentationConfig c;
+    c.enabled = false;
+    return c;
+}
+
+TEST(MemoryTiers, DisabledWithoutFastTier) {
+    Program p = ir::chain_of_exact_tables("d", 3, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    cost::CostParams params = tiered_params();
+    params.l_mat_fast = 0.0;
+    cost::CostModel model(params, no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+    EXPECT_EQ(a.tables_in_fast, 0u);
+    EXPECT_TRUE(a.program == p);
+}
+
+TEST(MemoryTiers, HotTablesPlacedFirst) {
+    // Two tables: a hot small one behind a branch with 90% traffic and a
+    // cold one with 10%. Budget fits only one -> the hot one wins.
+    ir::ProgramBuilder b("place");
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId hot = b.add(TableSpec("hot").key("a").noop_action("n", 1).build());
+    NodeId cold = b.add(TableSpec("cold").key("b").noop_action("n", 1).build());
+    b.connect_branch(br, hot, cold);
+    b.set_root(br);
+    Program p = b.build();
+
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.branch(br).taken_true = 900;
+    prof.branch(br).taken_false = 100;
+    prof.table(hot).action_hits = {900};
+    prof.table(hot).entry_count = 100;
+    prof.table(cold).action_hits = {100};
+    prof.table(cold).entry_count = 100;
+
+    cost::CostParams params = tiered_params();
+    params.fast_memory_bytes = 2100.0;  // one table = 100 * (4+16) = 2000 B
+    cost::CostModel model(params, no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+    EXPECT_EQ(a.tables_in_fast, 1u);
+    EXPECT_EQ(a.program.node(hot).table.tier, MemTier::Fast);
+    EXPECT_EQ(a.program.node(cold).table.tier, MemTier::Default);
+    EXPECT_GT(a.predicted_gain, 0.0);
+    EXPECT_LE(a.fast_bytes_used, params.fast_memory_bytes);
+}
+
+TEST(MemoryTiers, CostModelUsesTier) {
+    Program p = ir::chain_of_exact_tables("c", 1, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    cost::CostModel model(tiered_params(), no_instr());
+    double slow = model.expected_latency(p, prof);
+    p.node(0).table.tier = MemTier::Fast;
+    double fast = model.expected_latency(p, prof);
+    // 20 -> 4 per access.
+    EXPECT_DOUBLE_EQ(slow - fast, 16.0);
+}
+
+TEST(MemoryTiers, EmulatorChargesTier) {
+    Program p = ir::chain_of_exact_tables("e", 2, 1, 1);
+    p.node(1).table.tier = MemTier::Fast;
+    sim::NicModel nic;
+    nic.costs = tiered_params();
+    sim::Emulator emu(nic, p, no_instr());
+    sim::Packet pkt;
+    sim::ProcessResult r = emu.process(pkt);
+    // Table 0: 20 + 1 (default action, 1 prim at l_act=1);
+    // table 1: 4 + 1.
+    EXPECT_DOUBLE_EQ(r.cycles, 21.0 + 5.0);
+}
+
+TEST(MemoryTiers, PlacementLowersMeasuredLatency) {
+    Program p = ir::chain_of_exact_tables("m", 6, 2, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    for (NodeId id : p.reachable()) {
+        prof.table(id).action_hits = {500, 500};
+        prof.table(id).entry_count = 64;
+    }
+    cost::CostModel model(tiered_params(), no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+    EXPECT_GT(a.tables_in_fast, 0u);
+
+    sim::NicModel nic;
+    nic.costs = tiered_params();
+    sim::Emulator before(nic, p, no_instr());
+    sim::Emulator after(nic, a.program, no_instr());
+    sim::Packet x, y;
+    EXPECT_LT(after.process(y).cycles, before.process(x).cycles);
+}
+
+TEST(MemoryTiers, TierSurvivesJsonRoundTrip) {
+    Program p = ir::chain_of_exact_tables("j", 2, 1, 1);
+    p.node(1).table.tier = MemTier::Fast;
+    Program q = ir::program_from_json(ir::program_to_json(p));
+    EXPECT_EQ(q.node(1).table.tier, MemTier::Fast);
+    EXPECT_TRUE(p == q);
+}
+
+TEST(MemoryTiers, BudgetRespected) {
+    Program p = ir::chain_of_exact_tables("b", 10, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    for (NodeId id : p.reachable()) prof.table(id).entry_count = 100;
+    cost::CostParams params = tiered_params();
+    params.fast_memory_bytes = 4100.0;  // fits two 2000-byte tables
+    cost::CostModel model(params, no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+    EXPECT_EQ(a.tables_in_fast, 2u);
+    EXPECT_LE(a.fast_bytes_used, 4100.0);
+}
+
+}  // namespace
+}  // namespace pipeleon::opt

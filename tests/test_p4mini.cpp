@@ -1,0 +1,248 @@
+// Tests for frontend/p4mini: the text frontend.
+#include <gtest/gtest.h>
+
+#include "frontend/p4mini.h"
+#include "sim/emulator.h"
+#include "sim/nic_model.h"
+
+namespace pipeleon::frontend {
+namespace {
+
+using ir::CmpOp;
+using ir::kNoNode;
+using ir::MatchKind;
+using ir::NodeId;
+using ir::Program;
+
+const char* kRouter = R"(
+// A small router with an ACL and an if/else.
+program router;
+
+table acl {
+  key { ipv4.src : exact; }
+  actions {
+    allow { }
+    deny { drop; }
+  }
+  default allow;
+  size 256;
+}
+
+table tcp_opts {
+  key { tcp.dport : ternary/16; }
+  actions { mark { meta.class = 1; } }
+}
+
+table udp_table {
+  key { udp.dport : exact/16; }
+  actions { mark_udp { meta.class = 2; } }
+}
+
+table ipv4_lpm {
+  key { ipv4.dst : lpm/32; }
+  actions {
+    set_nhop(port) { forward(port); meta.nhop = port; }
+    bump { meta.miss_count += 1; }
+  }
+  default bump;
+  size 1024;
+}
+
+control {
+  acl;
+  if (meta.proto == 6) { tcp_opts; } else { udp_table; }
+  ipv4_lpm;
+}
+)";
+
+TEST(P4Mini, ParsesRouter) {
+    Program p = parse_p4mini(kRouter);
+    EXPECT_EQ(p.name(), "router");
+    EXPECT_EQ(p.table_count(), 4u);
+    EXPECT_NO_THROW(p.validate());
+
+    // Control order: acl -> branch -> {tcp_opts | udp_table} -> ipv4_lpm.
+    const ir::Node& root = p.node(p.root());
+    ASSERT_TRUE(root.is_table());
+    EXPECT_EQ(root.table.name, "acl");
+    NodeId branch = root.next_by_action[0];
+    const ir::Node& br = p.node(branch);
+    ASSERT_TRUE(br.is_branch());
+    EXPECT_EQ(br.cond.field, "meta.proto");
+    EXPECT_EQ(br.cond.op, CmpOp::Eq);
+    EXPECT_EQ(br.cond.value, 6u);
+    EXPECT_EQ(p.node(br.true_next).table.name, "tcp_opts");
+    EXPECT_EQ(p.node(br.false_next).table.name, "udp_table");
+    NodeId lpm = p.find_table("ipv4_lpm");
+    EXPECT_EQ(p.node(br.true_next).next_by_action[0], lpm);
+    EXPECT_EQ(p.node(br.false_next).next_by_action[0], lpm);
+}
+
+TEST(P4Mini, TableDetails) {
+    Program p = parse_p4mini(kRouter);
+    const ir::Table& acl = p.node(p.find_table("acl")).table;
+    EXPECT_EQ(acl.keys[0].kind, MatchKind::Exact);
+    EXPECT_EQ(acl.size, 256u);
+    EXPECT_EQ(acl.default_action, acl.action_index("allow"));
+    EXPECT_TRUE(acl.actions[1].drops());
+
+    const ir::Table& tcp = p.node(p.find_table("tcp_opts")).table;
+    EXPECT_EQ(tcp.keys[0].kind, MatchKind::Ternary);
+    EXPECT_EQ(tcp.keys[0].width_bits, 16);
+
+    const ir::Table& lpm = p.node(p.find_table("ipv4_lpm")).table;
+    const ir::Action& set_nhop = lpm.actions[0];
+    ASSERT_EQ(set_nhop.primitives.size(), 2u);
+    EXPECT_EQ(set_nhop.primitives[0].kind, ir::PrimitiveKind::Forward);
+    EXPECT_EQ(set_nhop.primitives[0].arg_index, 0);
+    EXPECT_EQ(set_nhop.primitives[1].kind, ir::PrimitiveKind::SetConst);
+    EXPECT_EQ(set_nhop.primitives[1].arg_index, 0);
+    const ir::Action& bump = lpm.actions[1];
+    EXPECT_EQ(bump.primitives[0].kind, ir::PrimitiveKind::AddConst);
+}
+
+TEST(P4Mini, StatementForms) {
+    Program p = parse_p4mini(R"(
+program stmts;
+table t {
+  key { f : exact; }
+  actions {
+    a(x, y) {
+      m.a = x;
+      m.b = y;
+      m.c = 0xFF;
+      m.d = other.field;
+      m.e += 3;
+      m.f -= 1;
+      forward(7);
+      noop;
+    }
+  }
+}
+control { t; }
+)");
+    const ir::Action& a = p.node(p.find_table("t")).table.actions[0];
+    ASSERT_EQ(a.primitives.size(), 8u);
+    EXPECT_EQ(a.primitives[0].arg_index, 0);
+    EXPECT_EQ(a.primitives[1].arg_index, 1);
+    EXPECT_EQ(a.primitives[2].value, 0xFFu);
+    EXPECT_EQ(a.primitives[3].kind, ir::PrimitiveKind::CopyField);
+    EXPECT_EQ(a.primitives[3].src_field, "other.field");
+    EXPECT_EQ(a.primitives[4].kind, ir::PrimitiveKind::AddConst);
+    EXPECT_EQ(a.primitives[5].kind, ir::PrimitiveKind::SubConst);
+    EXPECT_EQ(a.primitives[6].kind, ir::PrimitiveKind::Forward);
+    EXPECT_EQ(a.primitives[6].value, 7u);
+    EXPECT_EQ(a.primitives[7].kind, ir::PrimitiveKind::NoOp);
+}
+
+TEST(P4Mini, NestedIf) {
+    Program p = parse_p4mini(R"(
+program nested;
+table a { key { k : exact; } actions { n { } } }
+table b { key { l : exact; } actions { n { } } }
+table c { key { m : exact; } actions { n { } } }
+control {
+  if (x == 1) {
+    if (y > 2) { a; } else { b; }
+  }
+  c;
+}
+)");
+    EXPECT_NO_THROW(p.validate());
+    const ir::Node& outer = p.node(p.root());
+    ASSERT_TRUE(outer.is_branch());
+    NodeId c = p.find_table("c");
+    // Outer false edge skips straight to c.
+    EXPECT_EQ(outer.false_next, c);
+    const ir::Node& inner = p.node(outer.true_next);
+    ASSERT_TRUE(inner.is_branch());
+    EXPECT_EQ(inner.cond.op, CmpOp::Gt);
+    EXPECT_EQ(p.node(inner.true_next).table.name, "a");
+    EXPECT_EQ(p.node(inner.false_next).table.name, "b");
+}
+
+TEST(P4Mini, CpuOnlyFlag) {
+    Program p = parse_p4mini(R"(
+program cpu;
+table t { key { k : exact; } actions { n { } } cpu_only; }
+control { t; }
+)");
+    EXPECT_FALSE(p.node(p.find_table("t")).table.asic_supported);
+}
+
+TEST(P4Mini, Errors) {
+    EXPECT_THROW(parse_p4mini(""), ParseError);
+    EXPECT_THROW(parse_p4mini("program x;"), ParseError);  // no control
+    EXPECT_THROW(parse_p4mini("program x; control { }"), ParseError);  // empty
+    EXPECT_THROW(parse_p4mini(R"(
+program x;
+table t { key { k : exact; } actions { a { } } }
+control { unknown_table; }
+)"), ParseError);
+    EXPECT_THROW(parse_p4mini(R"(
+program x;
+table t { key { k : bogus; } actions { a { } } }
+control { t; }
+)"), ParseError);
+    EXPECT_THROW(parse_p4mini(R"(
+program x;
+table t { key { k : exact; } actions { a { } } default zzz; }
+control { t; }
+)"), ParseError);
+    // Using the same table twice is rejected (our IR nodes are unique).
+    EXPECT_THROW(parse_p4mini(R"(
+program x;
+table t { key { k : exact; } actions { a { } } }
+control { t; t; }
+)"), ParseError);
+}
+
+TEST(P4Mini, ErrorsCarryLocation) {
+    try {
+        parse_p4mini("program x;\ntable t {\n  oops\n}");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("p4mini:3:"), std::string::npos);
+    }
+}
+
+TEST(P4Mini, CommentsAndHex) {
+    Program p = parse_p4mini(R"(
+program c; /* block
+comment */
+table t {
+  key { k : exact; } // trailing
+  actions { a { m.x = 0xdead; } }
+}
+control { t; }
+)");
+    EXPECT_EQ(p.node(p.find_table("t")).table.actions[0].primitives[0].value,
+              0xDEADu);
+}
+
+TEST(P4Mini, ParsedProgramRunsOnEmulator) {
+    Program p = parse_p4mini(kRouter);
+    sim::Emulator emu(sim::bluefield2_model(), p, {});
+    ir::TableEntry deny;
+    deny.key = {ir::FieldMatch::exact(99)};
+    deny.action_index = 1;
+    ASSERT_TRUE(emu.insert_entry("acl", deny));
+
+    sim::Packet bad;
+    bad.set(emu.fields().intern("ipv4.src"), 99);
+    EXPECT_TRUE(emu.process(bad).dropped);
+
+    sim::Packet tcp;
+    tcp.set(emu.fields().intern("ipv4.src"), 1);
+    tcp.set(emu.fields().intern("meta.proto"), 6);
+    sim::ProcessResult r = emu.process(tcp);
+    EXPECT_FALSE(r.dropped);
+    // acl + branch + tcp_opts + ipv4_lpm = 4 nodes.
+    EXPECT_EQ(r.nodes_visited, 4);
+    // ipv4_lpm missed -> default bump ran.
+    EXPECT_EQ(tcp.get(emu.fields().find("meta.miss_count")), 1u);
+}
+
+}  // namespace
+}  // namespace pipeleon::frontend

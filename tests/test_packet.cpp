@@ -1,0 +1,88 @@
+// Tests for sim/packet: field table, packet accessors, byte codec.
+#include <gtest/gtest.h>
+
+#include "sim/packet.h"
+
+namespace pipeleon::sim {
+namespace {
+
+TEST(FieldTable, InternIsStable) {
+    FieldTable ft;
+    FieldId a = ft.intern("ipv4.src");
+    FieldId b = ft.intern("ipv4.dst");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(ft.intern("ipv4.src"), a);
+    EXPECT_EQ(ft.find("ipv4.dst"), b);
+    EXPECT_EQ(ft.find("nope"), kNoField);
+    EXPECT_EQ(ft.name(a), "ipv4.src");
+    EXPECT_EQ(ft.size(), 2u);
+    EXPECT_THROW(ft.name(99), std::out_of_range);
+}
+
+TEST(Packet, GetSetAndGrowth) {
+    Packet p;
+    EXPECT_EQ(p.get(3), 0u);  // unset fields read as 0
+    p.set(3, 42);
+    EXPECT_EQ(p.get(3), 42u);
+    p.set(kNoField, 7);  // ignored
+    EXPECT_EQ(p.get(kNoField), 0u);
+}
+
+TEST(Packet, DropAndEgress) {
+    Packet p;
+    EXPECT_FALSE(p.dropped());
+    p.mark_dropped();
+    EXPECT_TRUE(p.dropped());
+    p.set_egress_port(9);
+    EXPECT_EQ(p.egress_port(), 9u);
+    EXPECT_EQ(p.wire_bytes(), 512u);  // the paper's workload packet size
+    p.set_wire_bytes(64);
+    EXPECT_EQ(p.wire_bytes(), 64u);
+}
+
+TEST(Codec, SerializeDeserializeRoundTrip) {
+    HeaderLayout layout;
+    layout.fields = {{"eth.type", 16}, {"ipv4.src", 32}, {"ipv4.dst", 32},
+                     {"tcp.sport", 16}};
+    EXPECT_EQ(layout.byte_size(), 12u);
+
+    FieldTable ft;
+    Packet p;
+    p.set(ft.intern("eth.type"), 0x0800);
+    p.set(ft.intern("ipv4.src"), 0x0A000001);
+    p.set(ft.intern("ipv4.dst"), 0xC0A80101);
+    p.set(ft.intern("tcp.sport"), 443);
+
+    std::vector<std::uint8_t> bytes = serialize(p, layout, ft);
+    ASSERT_EQ(bytes.size(), 12u);
+    // Big-endian: eth.type first.
+    EXPECT_EQ(bytes[0], 0x08);
+    EXPECT_EQ(bytes[1], 0x00);
+    EXPECT_EQ(bytes[2], 0x0A);
+
+    auto back = deserialize(bytes, layout, ft);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->get(ft.find("ipv4.src")), 0x0A000001u);
+    EXPECT_EQ(back->get(ft.find("ipv4.dst")), 0xC0A80101u);
+    EXPECT_EQ(back->get(ft.find("tcp.sport")), 443u);
+    EXPECT_EQ(back->wire_bytes(), 12u);
+}
+
+TEST(Codec, ShortBufferRejected) {
+    HeaderLayout layout;
+    layout.fields = {{"f", 32}};
+    FieldTable ft;
+    EXPECT_FALSE(deserialize({1, 2}, layout, ft).has_value());
+}
+
+TEST(Codec, UnknownFieldsSerializeAsZero) {
+    HeaderLayout layout;
+    layout.fields = {{"never_set", 16}};
+    FieldTable ft;
+    Packet p;
+    auto bytes = serialize(p, layout, ft);
+    EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0, 0}));
+}
+
+}  // namespace
+}  // namespace pipeleon::sim

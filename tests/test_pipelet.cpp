@@ -1,0 +1,274 @@
+// Tests for analysis/pipelet: partitioning, splitting, groups, top-k.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/pipelet.h"
+#include "ir/builder.h"
+
+namespace pipeleon::analysis {
+namespace {
+
+using ir::kNoNode;
+using ir::NodeId;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::TableSpec;
+
+ir::Table simple(const std::string& name, const std::string& key) {
+    return TableSpec(name).key(key).noop_action(name + "_a").build();
+}
+
+TEST(Pipelet, LinearProgramIsOnePipelet) {
+    Program p = ir::chain_of_exact_tables("lin", 5);
+    auto pipelets = form_pipelets(p);
+    ASSERT_EQ(pipelets.size(), 1u);
+    EXPECT_EQ(pipelets[0].length(), 5u);
+    EXPECT_EQ(pipelets[0].exit, kNoNode);
+    EXPECT_EQ(pipelets[0].entry(), p.root());
+}
+
+TEST(Pipelet, BranchesSplitPipelets) {
+    ProgramBuilder b("br");
+    NodeId t0 = b.add(simple("t0", "a"));
+    NodeId br = b.add_branch({"flag", ir::CmpOp::Eq, 1});
+    NodeId t1 = b.add(simple("t1", "b"));
+    NodeId t2 = b.add(simple("t2", "c"));
+    b.connect(t0, br);
+    b.connect_branch(br, t1, t2);
+    b.set_root(t0);
+    Program p = b.build();
+
+    auto pipelets = form_pipelets(p);
+    ASSERT_EQ(pipelets.size(), 3u);
+    EXPECT_EQ(pipelets[0].nodes, std::vector<NodeId>{t0});
+    EXPECT_EQ(pipelets[0].exit, br);
+}
+
+TEST(Pipelet, SwitchCaseTableIsOwnPipelet) {
+    ProgramBuilder b("sw");
+    NodeId pre = b.add(simple("pre", "a"));
+    NodeId sw = b.add(
+        TableSpec("sw").key("f").noop_action("a0").noop_action("a1").build());
+    NodeId x = b.add(simple("x", "b"));
+    NodeId y = b.add(simple("y", "c"));
+    b.connect(pre, sw);
+    b.connect_action(sw, 0, x);
+    b.connect_action(sw, 1, y);
+    b.connect_miss(sw, x);
+    b.set_root(pre);
+    Program p = b.build();
+
+    auto pipelets = form_pipelets(p);
+    ASSERT_EQ(pipelets.size(), 4u);
+    bool found_sw = false;
+    for (const Pipelet& pl : pipelets) {
+        if (pl.nodes == std::vector<NodeId>{sw}) {
+            EXPECT_TRUE(pl.is_switch_case);
+            found_sw = true;
+        }
+    }
+    EXPECT_TRUE(found_sw);
+}
+
+TEST(Pipelet, JoinNodeStartsNewPipelet) {
+    // Diamond: branch -> {a, c} -> j; j has 2 predecessors so it cannot be
+    // absorbed into either arm.
+    ProgramBuilder b("d");
+    NodeId br = b.add_branch({"flag", ir::CmpOp::Eq, 1});
+    NodeId a = b.add(simple("a", "x"));
+    NodeId c = b.add(simple("c", "y"));
+    NodeId j = b.add(simple("j", "z"));
+    b.connect_branch(br, a, c);
+    b.connect(a, j);
+    b.connect(c, j);
+    b.set_root(br);
+    Program p = b.build();
+
+    auto pipelets = form_pipelets(p);
+    ASSERT_EQ(pipelets.size(), 3u);
+    for (const Pipelet& pl : pipelets) {
+        if (pl.entry() == a || pl.entry() == c) {
+            EXPECT_EQ(pl.exit, j);
+            EXPECT_EQ(pl.length(), 1u);
+        }
+    }
+}
+
+TEST(Pipelet, LongPipeletsAreSplit) {
+    Program p = ir::chain_of_exact_tables("long", 20);
+    PipeletOptions opts;
+    opts.max_length = 6;
+    auto pipelets = form_pipelets(p, opts);
+    ASSERT_EQ(pipelets.size(), 4u);  // 6+6+6+2
+    EXPECT_EQ(pipelets[0].length(), 6u);
+    EXPECT_EQ(pipelets[3].length(), 2u);
+    // Chained exits.
+    EXPECT_EQ(pipelets[0].exit, pipelets[1].entry());
+    EXPECT_EQ(pipelets[2].exit, pipelets[3].entry());
+    EXPECT_EQ(pipelets[3].exit, kNoNode);
+
+    PipeletOptions no_split;
+    no_split.max_length = 0;
+    EXPECT_EQ(form_pipelets(p, no_split).size(), 1u);
+}
+
+TEST(Pipelet, IdsAreDense) {
+    Program p = ir::chain_of_exact_tables("ids", 20);
+    PipeletOptions opts;
+    opts.max_length = 4;
+    auto pipelets = form_pipelets(p, opts);
+    for (std::size_t i = 0; i < pipelets.size(); ++i) {
+        EXPECT_EQ(pipelets[i].id, static_cast<int>(i));
+    }
+}
+
+TEST(Pipelet, EveryTableInExactlyOnePipelet) {
+    ProgramBuilder b("cover");
+    NodeId t0 = b.add(simple("t0", "a"));
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId t1 = b.add(simple("t1", "b"));
+    NodeId t2 = b.add(simple("t2", "c"));
+    NodeId t3 = b.add(simple("t3", "d"));
+    b.connect(t0, br);
+    b.connect_branch(br, t1, t2);
+    b.connect(t1, t3);
+    b.connect(t2, t3);
+    b.set_root(t0);
+    Program p = b.build();
+
+    auto pipelets = form_pipelets(p);
+    std::vector<int> covered(p.node_count(), 0);
+    for (const Pipelet& pl : pipelets) {
+        for (NodeId id : pl.nodes) ++covered[static_cast<std::size_t>(id)];
+    }
+    for (NodeId id : p.reachable()) {
+        if (p.node(id).is_table()) {
+            EXPECT_EQ(covered[static_cast<std::size_t>(id)], 1)
+                << "table node " << id;
+        } else {
+            EXPECT_EQ(covered[static_cast<std::size_t>(id)], 0);
+        }
+    }
+}
+
+TEST(PipeletGroup, DiamondDetected) {
+    ProgramBuilder b("grp");
+    NodeId pre = b.add(simple("pre", "a"));
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId armt = b.add(simple("armt", "b"));
+    NodeId armf = b.add(simple("armf", "c"));
+    NodeId post = b.add(simple("post", "d"));
+    b.connect(pre, br);
+    b.connect_branch(br, armt, armf);
+    b.connect(armt, post);
+    b.connect(armf, post);
+    b.set_root(pre);
+    Program p = b.build();
+
+    auto pipelets = form_pipelets(p);
+    auto groups = find_pipelet_groups(p, pipelets);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].branch, br);
+    EXPECT_GE(groups[0].pre, 0);
+    EXPECT_GE(groups[0].post, 0);
+    EXPECT_EQ(pipelets[static_cast<std::size_t>(groups[0].pre)].entry(), pre);
+    EXPECT_EQ(pipelets[static_cast<std::size_t>(groups[0].post)].entry(), post);
+}
+
+TEST(PipeletGroup, ArmsThatDoNotRejoinRejected) {
+    // The true arm is a pipelet but the false edge goes straight into
+    // another branch (not a pipelet entry): no diamond.
+    ProgramBuilder b("nogrp");
+    NodeId pre = b.add(simple("pre", "a"));
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId armt = b.add(simple("armt", "b"));
+    NodeId br2 = b.add_branch({"g", ir::CmpOp::Eq, 2});
+    NodeId x = b.add(simple("x", "c"));
+    NodeId y = b.add(simple("y", "d"));
+    b.connect(pre, br);
+    b.connect_branch(br, armt, br2);
+    b.connect_branch(br2, x, y);
+    b.set_root(pre);
+    Program p = b.build();
+
+    auto pipelets = form_pipelets(p);
+    for (const PipeletGroup& g : find_pipelet_groups(p, pipelets)) {
+        EXPECT_NE(g.branch, br);
+    }
+}
+
+TEST(PipeletGroup, ArmsRejoiningAtTheSinkFormAGroup) {
+    // Both arms exiting the pipeline count as "traffic moves to the same
+    // node after leaving the group".
+    ProgramBuilder b("sinkgrp");
+    NodeId pre = b.add(simple("pre", "a"));
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId armt = b.add(simple("armt", "b"));
+    NodeId armf = b.add(simple("armf", "c"));
+    b.connect(pre, br);
+    b.connect_branch(br, armt, armf);
+    b.set_root(pre);
+    Program p = b.build();
+
+    auto pipelets = form_pipelets(p);
+    auto groups = find_pipelet_groups(p, pipelets);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_GE(groups[0].pre, 0);
+    EXPECT_EQ(groups[0].post, -1);  // the sink
+}
+
+TEST(TopK, SelectsHottestPipelets) {
+    // Two pipelets after a branch; skew traffic to one side.
+    ProgramBuilder b("hot");
+    NodeId pre = b.add(simple("pre", "a"));
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId hot = b.add(simple("hot", "b"));
+    NodeId cold = b.add(simple("cold", "c"));
+    b.connect(pre, br);
+    b.connect_branch(br, hot, cold);
+    b.set_root(pre);
+    Program p = b.build();
+
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.branch(br).taken_true = 900;
+    prof.branch(br).taken_false = 100;
+    prof.table(pre).action_hits[0] = 1000;
+    prof.table(hot).action_hits[0] = 900;
+    prof.table(cold).action_hits[0] = 100;
+
+    auto pipelets = form_pipelets(p);
+    auto latency = [](const Pipelet& pl) {
+        return static_cast<double>(pl.length());
+    };
+
+    auto top1 = top_k_pipelets(p, pipelets, prof, 0.3, latency);
+    ASSERT_EQ(top1.size(), 1u);
+    // The "pre" pipelet sees 100% of traffic -> hottest.
+    EXPECT_EQ(pipelets[static_cast<std::size_t>(top1[0].pipelet_id)].entry(), pre);
+
+    auto top2 = top_k_pipelets(p, pipelets, prof, 0.66, latency);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(pipelets[static_cast<std::size_t>(top2[1].pipelet_id)].entry(), hot);
+
+    auto all = top_k_pipelets(p, pipelets, prof, 1.0, latency);
+    EXPECT_EQ(all.size(), 3u);
+    // Sorted by weighted latency, descending.
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        EXPECT_GE(all[i - 1].weighted_latency, all[i].weighted_latency);
+    }
+}
+
+TEST(TopK, AtLeastOneSelected) {
+    Program p = ir::chain_of_exact_tables("one", 3);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    auto pipelets = form_pipelets(p);
+    auto top = top_k_pipelets(p, pipelets, prof, 0.0001,
+                              [](const Pipelet&) { return 1.0; });
+    EXPECT_EQ(top.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pipeleon::analysis

@@ -1,0 +1,185 @@
+// Tests for profile/profile and profile/change_detect.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "profile/change_detect.h"
+#include "profile/profile.h"
+
+namespace pipeleon::profile {
+namespace {
+
+using ir::kNoNode;
+using ir::NodeId;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::TableSpec;
+
+Program drop_chain() {
+    // t0 (50% drop) -> t1.
+    ProgramBuilder b("p");
+    b.append(TableSpec("t0").key("a").noop_action("ok").drop_action("deny").build());
+    b.append(TableSpec("t1").key("b").noop_action("x").build());
+    return b.build();
+}
+
+TEST(Profile, ActionProbabilityWithCounts) {
+    Program p = drop_chain();
+    RuntimeProfile prof;
+    prof.reset_for(p, 2.0);
+    prof.table(0).action_hits = {600, 400};
+    const ir::Node& n = p.node(0);
+    EXPECT_DOUBLE_EQ(prof.action_probability(n, 0), 0.6);
+    EXPECT_DOUBLE_EQ(prof.action_probability(n, 1), 0.4);
+    EXPECT_DOUBLE_EQ(prof.drop_probability(n), 0.4);
+    EXPECT_DOUBLE_EQ(prof.miss_probability(n), 0.0);
+}
+
+TEST(Profile, UniformFallbackWithoutTraffic) {
+    Program p = drop_chain();
+    RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    const ir::Node& n = p.node(0);
+    EXPECT_DOUBLE_EQ(prof.action_probability(n, 0), 0.5);
+    EXPECT_DOUBLE_EQ(prof.action_probability(n, 1), 0.5);
+}
+
+TEST(Profile, MissesCountTowardDefaultAction) {
+    ProgramBuilder b("m");
+    b.append(TableSpec("t")
+                 .key("a")
+                 .noop_action("hit_a")
+                 .noop_action("dflt")
+                 .default_to("dflt")
+                 .build());
+    Program p = b.build();
+    RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.table(0).action_hits = {50, 25};
+    prof.table(0).misses = 25;
+    const ir::Node& n = p.node(0);
+    EXPECT_DOUBLE_EQ(prof.action_probability(n, 1), 0.5);
+    EXPECT_DOUBLE_EQ(prof.miss_probability(n), 0.25);
+}
+
+TEST(Profile, BranchProbability) {
+    ProgramBuilder b("br");
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    b.set_root(br);
+    Program p = b.build();
+    RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    EXPECT_DOUBLE_EQ(prof.branch_true_probability(br), 0.5);  // fallback
+    prof.branch(br).taken_true = 75;
+    prof.branch(br).taken_false = 25;
+    EXPECT_DOUBLE_EQ(prof.branch_true_probability(br), 0.75);
+}
+
+TEST(Profile, EdgeProbabilityDropsTerminatePaths) {
+    Program p = drop_chain();
+    RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.table(0).action_hits = {700, 300};
+    const ir::Node& t0 = p.node(0);
+    NodeId t1 = p.find_table("t1");
+    // Only the non-drop 70% flows to t1.
+    EXPECT_DOUBLE_EQ(prof.edge_probability(t0, t1), 0.7);
+}
+
+TEST(Profile, ReachProbabilities) {
+    ProgramBuilder b("reach");
+    NodeId t0 =
+        b.add(TableSpec("t0").key("a").noop_action("ok").drop_action("deny").build());
+    NodeId br = b.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId t1 = b.add(TableSpec("t1").key("b").noop_action("x").build());
+    NodeId t2 = b.add(TableSpec("t2").key("c").noop_action("x").build());
+    b.connect(t0, br);
+    b.connect_branch(br, t1, t2);
+    b.set_root(t0);
+    Program p = b.build();
+
+    RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.table(t0).action_hits = {800, 200};  // 20% dropped
+    prof.branch(br).taken_true = 600;
+    prof.branch(br).taken_false = 200;
+
+    auto reach = prof.reach_probabilities(p);
+    EXPECT_DOUBLE_EQ(reach[static_cast<std::size_t>(t0)], 1.0);
+    EXPECT_DOUBLE_EQ(reach[static_cast<std::size_t>(br)], 0.8);
+    EXPECT_DOUBLE_EQ(reach[static_cast<std::size_t>(t1)], 0.8 * 0.75);
+    EXPECT_DOUBLE_EQ(reach[static_cast<std::size_t>(t2)], 0.8 * 0.25);
+}
+
+TEST(Profile, ReachRequiresMatchingProgram) {
+    Program p = drop_chain();
+    RuntimeProfile prof(1);  // wrong size
+    EXPECT_THROW(prof.reach_probabilities(p), std::invalid_argument);
+}
+
+TEST(Profile, UpdateRateUsesWindow) {
+    Program p = drop_chain();
+    RuntimeProfile prof;
+    prof.reset_for(p, 4.0);
+    prof.table(0).entry_updates = 100;
+    EXPECT_DOUBLE_EQ(prof.update_rate(0), 25.0);
+}
+
+TEST(Profile, CacheHitRate) {
+    Program p = drop_chain();
+    RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    EXPECT_DOUBLE_EQ(prof.cache_hit_rate(0, 0.77), 0.77);  // fallback
+    prof.table(0).cache_hits = 90;
+    prof.table(0).cache_misses = 10;
+    EXPECT_DOUBLE_EQ(prof.cache_hit_rate(0), 0.9);
+}
+
+TEST(ChangeDetect, NoChangeForIdenticalProfiles) {
+    Program p = drop_chain();
+    RuntimeProfile a;
+    a.reset_for(p, 1.0);
+    a.table(0).action_hits = {70, 30};
+    RuntimeProfile b = a;
+    ProfileDelta d = profile_delta(p, a, b);
+    EXPECT_DOUBLE_EQ(d.max_shift(), 0.0);
+    EXPECT_FALSE(ChangeDetector{0.1}.changed(p, a, b));
+}
+
+TEST(ChangeDetect, DetectsActionShift) {
+    Program p = drop_chain();
+    RuntimeProfile a;
+    a.reset_for(p, 1.0);
+    a.table(0).action_hits = {90, 10};
+    RuntimeProfile b;
+    b.reset_for(p, 1.0);
+    b.table(0).action_hits = {10, 90};
+    ProfileDelta d = profile_delta(p, a, b);
+    EXPECT_NEAR(d.max_action_shift, 0.8, 1e-12);
+    EXPECT_TRUE(ChangeDetector{0.1}.changed(p, a, b));
+}
+
+TEST(ChangeDetect, DetectsUpdateRateShift) {
+    Program p = drop_chain();
+    RuntimeProfile a;
+    a.reset_for(p, 1.0);
+    a.table(0).action_hits = {50, 50};
+    RuntimeProfile b = a;
+    b.table(1).entry_updates = 1000;
+    ProfileDelta d = profile_delta(p, a, b);
+    EXPECT_DOUBLE_EQ(d.max_update_rate_shift, 1.0);
+    EXPECT_TRUE(ChangeDetector{0.5}.changed(p, a, b));
+}
+
+TEST(ChangeDetect, SmallShiftBelowThreshold) {
+    Program p = drop_chain();
+    RuntimeProfile a;
+    a.reset_for(p, 1.0);
+    a.table(0).action_hits = {50, 50};
+    RuntimeProfile b;
+    b.reset_for(p, 1.0);
+    b.table(0).action_hits = {52, 48};
+    EXPECT_FALSE(ChangeDetector{0.1}.changed(p, a, b));
+}
+
+}  // namespace
+}  // namespace pipeleon::profile

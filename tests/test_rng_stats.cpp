@@ -1,0 +1,195 @@
+// Tests for util/rng and util/stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace pipeleon::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::int64_t v = rng.uniform_int(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+    Rng rng(19);
+    ZipfSampler zipf(100, 1.2);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[50] * 5);
+    EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(Zipf, ExponentZeroIsUniformish) {
+    Rng rng(23);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+    for (int c : counts) EXPECT_NEAR(c, 10000, 800);
+}
+
+TEST(Stats, MeanAndStddev) {
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 0.001);
+}
+
+TEST(Stats, Percentile) {
+    std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+    EXPECT_DOUBLE_EQ(median(xs), 5.5);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, EntropyBounds) {
+    EXPECT_DOUBLE_EQ(entropy({1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(entropy({0.5, 0.5}), 1.0);
+    EXPECT_NEAR(entropy({0.25, 0.25, 0.25, 0.25}), 2.0, 1e-12);
+    // Unnormalized weights are normalized internally.
+    EXPECT_NEAR(entropy({2.0, 2.0}), 1.0, 1e-12);
+    // Zeros contribute nothing.
+    EXPECT_NEAR(entropy({0.5, 0.5, 0.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(entropy({}), 0.0);
+    // Skewed < uniform.
+    EXPECT_LT(entropy({0.9, 0.05, 0.05}), entropy({1.0 / 3, 1.0 / 3, 1.0 / 3}));
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.5 * i + 7.0);
+    }
+    LinearFit fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+    EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitWithNoise) {
+    Rng rng(29);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + 5.0 + rng.normal(0.0, 1.0));
+    }
+    LinearFit fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.05);
+    EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Stats, LinearFitDegenerateXs) {
+    LinearFit fit = linear_fit({1.0, 1.0, 1.0}, {2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(Stats, EmpiricalCdf) {
+    EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0});
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.5);
+    EXPECT_FALSE(cdf.to_table(5).empty());
+}
+
+TEST(Stats, RunningStats) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(6.0);
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+
+    RunningStats t;
+    t.add(10.0);
+    s.merge(t);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+}
+
+class PercentileMonotone : public testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, NonDecreasingInQ) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+    double prev = -1.0;
+    for (double q = 0.0; q <= 100.0; q += 5.0) {
+        double v = percentile(xs, q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pipeleon::util

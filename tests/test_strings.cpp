@@ -1,0 +1,75 @@
+// Tests for util/strings.
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace pipeleon::util {
+namespace {
+
+TEST(Strings, Split) {
+    EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+    EXPECT_EQ(split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, "+"), "a+b+c");
+    EXPECT_EQ(join({}, "+"), "");
+    EXPECT_EQ(join({"solo"}, "+"), "solo");
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+    std::string s = "t0_a1+t1_deny+-";
+    EXPECT_EQ(join(split(s, '+'), "+"), s);
+}
+
+TEST(Strings, Format) {
+    EXPECT_EQ(format("x=%d y=%.2f s=%s", 3, 1.5, "hi"), "x=3 y=1.50 s=hi");
+    EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+    EXPECT_TRUE(starts_with("cache_t1_t2", "cache_"));
+    EXPECT_FALSE(starts_with("t1", "cache_"));
+    EXPECT_TRUE(ends_with("prog.json", ".json"));
+    EXPECT_FALSE(ends_with("prog.json", ".dot"));
+    EXPECT_TRUE(starts_with("x", ""));
+    EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(TextTable, RendersAlignedRows) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    std::string out = t.to_string();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Three lines of header + rule + 2 rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, NumericRows) {
+    TextTable t({"a", "b"});
+    t.add_numeric_row({1.23456, 2.0}, 3);
+    std::string out = t.to_string();
+    EXPECT_NE(out.find("1.235"), std::string::npos);
+    EXPECT_NE(out.find("2.000"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+    TextTable t({"a", "b", "c"});
+    t.add_row({"only"});
+    EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace
+}  // namespace pipeleon::util

@@ -1,0 +1,215 @@
+// Tests for synth: program synthesizer validity properties and profile
+// synthesizer flow consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/pipelet.h"
+#include "synth/profile_synth.h"
+#include "synth/program_synth.h"
+
+namespace pipeleon::synth {
+namespace {
+
+using ir::NodeId;
+using ir::Program;
+
+TEST(ProgramSynth, DeterministicForSeed) {
+    SynthConfig cfg;
+    cfg.pipelets = 8;
+    ProgramSynthesizer a(cfg, 42), b(cfg, 42);
+    EXPECT_TRUE(a.generate("x") == b.generate("x"));
+}
+
+TEST(ProgramSynth, DifferentSeedsDiffer) {
+    SynthConfig cfg;
+    cfg.pipelets = 8;
+    ProgramSynthesizer a(cfg, 1), b(cfg, 2);
+    EXPECT_FALSE(a.generate("x") == b.generate("x"));
+}
+
+TEST(ProgramSynth, PipeletCountRoughlyMatchesConfig) {
+    SynthConfig cfg;
+    cfg.pipelets = 12;
+    cfg.diamond_fraction = 0.0;  // plain separators only
+    ProgramSynthesizer gen(cfg, 7);
+    Program p = gen.generate("pn");
+    auto pipelets = analysis::form_pipelets(p, {});
+    EXPECT_EQ(pipelets.size(), 12u);
+}
+
+TEST(ProgramSynth, PipeletLengthsWithinBounds) {
+    SynthConfig cfg;
+    cfg.pipelets = 10;
+    cfg.min_pipelet_len = 2;
+    cfg.max_pipelet_len = 4;
+    cfg.diamond_fraction = 0.0;
+    analysis::PipeletOptions no_split;
+    no_split.max_length = 0;
+    ProgramSynthesizer gen(cfg, 11);
+    Program p = gen.generate("pl");
+    for (const auto& pl : analysis::form_pipelets(p, no_split)) {
+        EXPECT_GE(pl.length(), 2u);
+        EXPECT_LE(pl.length(), 4u);
+    }
+}
+
+TEST(ProgramSynth, MatchKindMixRespected) {
+    SynthConfig cfg;
+    cfg.pipelets = 30;
+    cfg.lpm_fraction = 0.0;
+    cfg.ternary_fraction = 0.0;
+    ProgramSynthesizer gen(cfg, 13);
+    Program p = gen.generate("exact_only");
+    for (NodeId id : p.reachable()) {
+        if (p.node(id).is_table()) {
+            EXPECT_EQ(p.node(id).table.effective_match_kind(),
+                      ir::MatchKind::Exact);
+        }
+    }
+
+    cfg.lpm_fraction = 1.0;
+    ProgramSynthesizer gen2(cfg, 17);
+    Program q = gen2.generate("lpm_only");
+    for (NodeId id : q.reachable()) {
+        if (q.node(id).is_table()) {
+            EXPECT_EQ(q.node(id).table.effective_match_kind(), ir::MatchKind::Lpm);
+        }
+    }
+}
+
+TEST(ProgramSynth, DropFractionZeroMeansNoDroppers) {
+    SynthConfig cfg;
+    cfg.pipelets = 20;
+    cfg.drop_table_fraction = 0.0;
+    ProgramSynthesizer gen(cfg, 19);
+    Program p = gen.generate("nodrop");
+    for (NodeId id : p.reachable()) {
+        if (p.node(id).is_table()) {
+            EXPECT_FALSE(p.node(id).table.can_drop());
+        }
+    }
+}
+
+class SynthValidity : public testing::TestWithParam<int> {};
+
+TEST_P(SynthValidity, GeneratedProgramsValidate) {
+    SynthConfig cfg;
+    cfg.pipelets = 3 + GetParam() % 13;
+    cfg.diamond_fraction = (GetParam() % 3) * 0.3;
+    cfg.dependency_fraction = (GetParam() % 4) * 0.15;
+    ProgramSynthesizer gen(cfg, static_cast<std::uint64_t>(GetParam()) * 7919);
+    Program p = gen.generate("v");
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_GT(p.table_count(), 0u);
+    // Pipelet partition covers every reachable table exactly once.
+    auto pipelets = analysis::form_pipelets(p);
+    std::size_t covered = 0;
+    for (const auto& pl : pipelets) covered += pl.length();
+    EXPECT_EQ(covered, p.table_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthValidity, testing::Range(1, 31));
+
+TEST(ProfileSynth, FlowConservation) {
+    SynthConfig cfg;
+    cfg.pipelets = 8;
+    cfg.diamond_fraction = 0.5;
+    ProgramSynthesizer gen(cfg, 23);
+    Program p = gen.generate("fc");
+
+    ProfileSynthesizer prof_gen(heavy_drop_config(), 29);
+    profile::RuntimeProfile prof = prof_gen.generate(p);
+
+    // Reach probabilities are in [0, 1] and the root gets 1.
+    auto reach = prof.reach_probabilities(p);
+    EXPECT_DOUBLE_EQ(reach[static_cast<std::size_t>(p.root())], 1.0);
+    for (double r : reach) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0 + 1e-9);
+    }
+    // Action probabilities per table sum to 1.
+    for (NodeId id : p.reachable()) {
+        const ir::Node& n = p.node(id);
+        if (!n.is_table()) continue;
+        double sum = 0.0;
+        for (std::size_t a = 0; a < n.table.actions.size(); ++a) {
+            sum += prof.action_probability(n, static_cast<int>(a));
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+}
+
+TEST(ProfileSynth, CategoriesDifferAsAdvertised) {
+    EXPECT_GT(heavy_drop_config().drop_mean, small_static_config().drop_mean);
+    EXPECT_LT(small_static_config().max_entries, high_locality_config().max_entries);
+    EXPECT_LT(small_static_config().max_update_rate,
+              heavy_drop_config().max_update_rate);
+}
+
+TEST(ProfileSynth, DropTargetsRealized) {
+    SynthConfig cfg;
+    cfg.pipelets = 4;
+    cfg.drop_table_fraction = 1.0;  // every table can drop
+    ProgramSynthesizer gen(cfg, 31);
+    Program p = gen.generate("drops");
+
+    ProfileSynthConfig pc = heavy_drop_config();
+    ProfileSynthesizer prof_gen(pc, 37);
+    profile::RuntimeProfile prof = prof_gen.generate(p);
+    double total_drop = 0.0;
+    int droppable = 0;
+    for (NodeId id : p.reachable()) {
+        const ir::Node& n = p.node(id);
+        if (n.is_table() && n.table.can_drop()) {
+            total_drop += prof.drop_probability(n);
+            ++droppable;
+        }
+    }
+    ASSERT_GT(droppable, 0);
+    // Mean drop rate near the configured mean (loose bound).
+    EXPECT_NEAR(total_drop / droppable, pc.drop_mean, 0.25);
+}
+
+TEST(ProfileSynth, EntropyOfShares) {
+    SynthConfig cfg;
+    cfg.pipelets = 10;
+    cfg.diamond_fraction = 0.5;
+    ProgramSynthesizer gen(cfg, 41);
+    Program p = gen.generate("ent");
+    auto pipelets = analysis::form_pipelets(p);
+
+    ProfileSynthesizer prof_gen(high_locality_config(), 43);
+    profile::RuntimeProfile prof = prof_gen.generate(p);
+
+    auto shares = pipelet_traffic_shares(p, pipelets, prof);
+    ASSERT_EQ(shares.size(), pipelets.size());
+    double sum = 0.0;
+    for (double s : shares) sum += s;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    double h = pipelet_traffic_entropy(p, pipelets, prof);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, std::log2(static_cast<double>(pipelets.size())) + 1e-9);
+}
+
+TEST(ProfileSynth, DifferentSeedsGiveDifferentEntropies) {
+    SynthConfig cfg;
+    cfg.pipelets = 10;
+    cfg.diamond_fraction = 0.6;
+    ProgramSynthesizer gen(cfg, 47);
+    Program p = gen.generate("e2");
+    auto pipelets = analysis::form_pipelets(p);
+
+    std::set<long long> distinct;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ProfileSynthesizer prof_gen(heavy_drop_config(), seed);
+        double h = pipelet_traffic_entropy(p, pipelets, prof_gen.generate(p));
+        distinct.insert(std::llround(h * 1e9));
+    }
+    EXPECT_GT(distinct.size(), 10u);
+}
+
+}  // namespace
+}  // namespace pipeleon::synth

@@ -1,0 +1,154 @@
+// Direct unit tests for sim/table_state: TableState entry management and
+// CacheStore LRU/limiter mechanics (the emulator tests exercise them
+// end-to-end; these pin down the data-structure contracts).
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim/table_state.h"
+
+namespace pipeleon::sim {
+namespace {
+
+using ir::FieldMatch;
+using ir::TableEntry;
+using ir::TableSpec;
+
+TableEntry entry(std::uint64_t key, int action = 0) {
+    TableEntry e;
+    e.key = {FieldMatch::exact(key)};
+    e.action_index = action;
+    return e;
+}
+
+TEST(TableState, InsertLookupEraseModify) {
+    ir::Table t = TableSpec("t").key("f").noop_action("a").noop_action("b").build();
+    TableState state(t);
+    EXPECT_EQ(state.update_count(), 0u);
+
+    EXPECT_TRUE(state.insert(entry(1, 0)));
+    EXPECT_TRUE(state.insert(entry(2, 1)));
+    EXPECT_EQ(state.entries().size(), 2u);
+    EXPECT_EQ(state.update_count(), 2u);
+
+    auto hit = state.lookup({2});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(state.entries()[hit->entry_index].action_index, 1);
+
+    EXPECT_TRUE(state.modify(entry(2, 0)));
+    EXPECT_EQ(state.entries()[state.lookup({2})->entry_index].action_index, 0);
+
+    EXPECT_TRUE(state.erase({FieldMatch::exact(1)}));
+    EXPECT_FALSE(state.lookup({1}).has_value());
+    EXPECT_FALSE(state.erase({FieldMatch::exact(1)}));
+    EXPECT_EQ(state.update_count(), 4u);
+
+    state.reset_update_count();
+    EXPECT_EQ(state.update_count(), 0u);
+}
+
+TEST(TableState, CapacityEnforced) {
+    ir::Table t = TableSpec("t").key("f").noop_action("a").size(2).build();
+    TableState state(t);
+    EXPECT_TRUE(state.insert(entry(1)));
+    EXPECT_TRUE(state.insert(entry(2)));
+    EXPECT_FALSE(state.insert(entry(3)));  // full
+    EXPECT_EQ(state.entries().size(), 2u);
+}
+
+TEST(TableState, IncompatibleEntryRejected) {
+    ir::Table t = TableSpec("t").key("f").noop_action("a").build();
+    TableState state(t);
+    TableEntry wrong;
+    wrong.key = {FieldMatch::exact(1), FieldMatch::exact(2)};
+    wrong.action_index = 0;
+    EXPECT_FALSE(state.insert(wrong));
+    TableEntry bad_action = entry(1, 7);
+    EXPECT_FALSE(state.insert(bad_action));
+}
+
+TEST(TableState, PrefixAndMaskCounts) {
+    ir::Table t = TableSpec("t").key("f", ir::MatchKind::Lpm).noop_action("a").build();
+    TableState state(t);
+    for (int len : {8, 16, 16, 24}) {
+        TableEntry e;
+        e.key = {FieldMatch::lpm(0, len)};
+        e.action_index = 0;
+        ASSERT_TRUE(state.insert(e));
+    }
+    EXPECT_EQ(state.lpm_prefix_count(), 3);
+    EXPECT_EQ(state.ternary_mask_count(), 0);
+}
+
+CacheStore::CacheEntry make_payload(int marker) {
+    CacheStore::CacheEntry e;
+    ReplayStep step;
+    step.origin_node = marker;
+    step.action_index = 0;
+    e.steps.push_back(step);
+    return e;
+}
+
+TEST(CacheStore, LruEvictsLeastRecentlyUsed) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 2;
+    cfg.max_insert_per_sec = 1e9;
+    CacheStore store(cfg);
+    EXPECT_TRUE(store.insert({1}, make_payload(1), 0.0));
+    EXPECT_TRUE(store.insert({2}, make_payload(2), 0.1));
+    // Touch key 1 so key 2 becomes the LRU victim.
+    EXPECT_NE(store.lookup({1}), nullptr);
+    EXPECT_TRUE(store.insert({3}, make_payload(3), 0.2));
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_NE(store.lookup({1}), nullptr);
+    EXPECT_EQ(store.lookup({2}), nullptr);  // evicted
+    EXPECT_NE(store.lookup({3}), nullptr);
+}
+
+TEST(CacheStore, InsertRefreshesExistingKey) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 4;
+    cfg.max_insert_per_sec = 1e9;
+    CacheStore store(cfg);
+    EXPECT_TRUE(store.insert({5}, make_payload(1), 0.0));
+    EXPECT_TRUE(store.insert({5}, make_payload(2), 0.1));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.lookup({5})->steps[0].origin_node, 2);
+}
+
+TEST(CacheStore, TokenBucketLimitsInserts) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 100;
+    cfg.max_insert_per_sec = 2.0;  // 2-token burst
+    CacheStore store(cfg);
+    EXPECT_TRUE(store.insert({1}, make_payload(1), 0.0));
+    EXPECT_TRUE(store.insert({2}, make_payload(2), 0.0));
+    EXPECT_FALSE(store.insert({3}, make_payload(3), 0.0));  // bucket empty
+    EXPECT_EQ(store.inserts_dropped(), 1u);
+    // Half a second refills one token.
+    EXPECT_TRUE(store.insert({4}, make_payload(4), 0.5));
+    EXPECT_FALSE(store.insert({5}, make_payload(5), 0.5));
+    EXPECT_EQ(store.inserts_dropped(), 2u);
+}
+
+TEST(CacheStore, ClearEmptiesEverything) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 8;
+    CacheStore store(cfg);
+    store.insert({1}, make_payload(1), 0.0);
+    store.insert({2}, make_payload(2), 0.0);
+    store.clear();
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.lookup({1}), nullptr);
+}
+
+TEST(CacheStore, ZeroCapacityNeverStores) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 0;
+    cfg.max_insert_per_sec = 1e9;
+    CacheStore store(cfg);
+    EXPECT_FALSE(store.insert({1}, make_payload(1), 0.0));
+    EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pipeleon::sim

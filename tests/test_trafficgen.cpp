@@ -1,0 +1,135 @@
+// Tests for trafficgen/workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "trafficgen/workload.h"
+
+namespace pipeleon::trafficgen {
+namespace {
+
+std::vector<FieldRange> two_tuple() {
+    return {{"src", 0, 0xFFFF}, {"dst", 0, 0xFFFF}};
+}
+
+TEST(FlowSet, GenerateIsDeterministic) {
+    util::Rng r1(5), r2(5);
+    FlowSet a = FlowSet::generate(two_tuple(), 100, r1);
+    FlowSet b = FlowSet::generate(two_tuple(), 100, r2);
+    ASSERT_EQ(a.size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.value(i, "src"), b.value(i, "src"));
+        EXPECT_EQ(a.value(i, "dst"), b.value(i, "dst"));
+    }
+}
+
+TEST(FlowSet, ValuesInRange) {
+    util::Rng rng(7);
+    FlowSet fs = FlowSet::generate({{"f", 100, 200}}, 1000, rng);
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+        EXPECT_GE(fs.value(i, "f"), 100u);
+        EXPECT_LE(fs.value(i, "f"), 200u);
+    }
+    EXPECT_EQ(fs.value(0, "nope"), 0u);
+    EXPECT_EQ(fs.value(99999, "f"), 0u);
+}
+
+TEST(FlowSet, MakePacketSetsFields) {
+    util::Rng rng(9);
+    FlowSet fs = FlowSet::generate(two_tuple(), 10, rng);
+    sim::FieldTable ft;
+    sim::Packet p = fs.make_packet(3, ft, 256);
+    EXPECT_EQ(p.get(ft.find("src")), fs.value(3, "src"));
+    EXPECT_EQ(p.get(ft.find("dst")), fs.value(3, "dst"));
+    EXPECT_EQ(p.wire_bytes(), 256u);
+}
+
+TEST(FlowSet, ExactEntryMatchesFlowPacket) {
+    util::Rng rng(11);
+    FlowSet fs = FlowSet::generate(two_tuple(), 10, rng);
+    ir::TableEntry e = fs.exact_entry(4, {"dst", "src"}, 1, {42}, 3);
+    EXPECT_EQ(e.key.size(), 2u);
+    EXPECT_EQ(e.key[0].value, fs.value(4, "dst"));
+    EXPECT_EQ(e.key[1].value, fs.value(4, "src"));
+    EXPECT_EQ(e.action_index, 1);
+    EXPECT_EQ(e.action_data, (std::vector<std::uint64_t>{42}));
+    EXPECT_EQ(e.priority, 3);
+}
+
+TEST(Workload, UniformCoversFlows) {
+    util::Rng rng(13);
+    FlowSet fs = FlowSet::generate(two_tuple(), 16, rng);
+    Workload w(fs, Locality::Uniform, 0.0, 17);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 2000; ++i) seen.insert(w.next_flow());
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Workload, ZipfConcentratesTraffic) {
+    util::Rng rng(19);
+    FlowSet fs = FlowSet::generate(two_tuple(), 1000, rng);
+    Workload w(fs, Locality::Zipf, 1.2, 23);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 50000; ++i) ++counts[w.next_flow()];
+    // The single hottest flow should carry far more than 1/1000 of traffic.
+    int max_count = 0;
+    for (auto& [flow, c] : counts) max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 2500);  // > 5% for the top flow
+}
+
+TEST(Workload, ReshuffleChangesHotFlows) {
+    util::Rng rng(29);
+    FlowSet fs = FlowSet::generate(two_tuple(), 1000, rng);
+    Workload w(fs, Locality::Zipf, 1.5, 31);
+    auto hottest = [&w]() {
+        std::map<std::size_t, int> counts;
+        for (int i = 0; i < 20000; ++i) ++counts[w.next_flow()];
+        std::size_t best = 0;
+        int best_count = -1;
+        for (auto& [flow, c] : counts) {
+            if (c > best_count) {
+                best = flow;
+                best_count = c;
+            }
+        }
+        return best;
+    };
+    std::size_t before = hottest();
+    w.reshuffle_ranks();
+    std::size_t after = hottest();
+    // With 1000 flows, the hot flow almost surely moves.
+    EXPECT_NE(before, after);
+}
+
+TEST(Workload, PickFlowsFractions) {
+    util::Rng rng(37);
+    FlowSet fs = FlowSet::generate(two_tuple(), 100, rng);
+    Workload w(fs, Locality::Uniform, 0.0, 41);
+    auto quarter = w.pick_flows(0.25);
+    EXPECT_EQ(quarter.size(), 25u);
+    std::set<std::size_t> uniq(quarter.begin(), quarter.end());
+    EXPECT_EQ(uniq.size(), 25u);  // distinct
+    EXPECT_EQ(w.pick_flows(1.0).size(), 100u);
+    EXPECT_EQ(w.pick_flows(2.0).size(), 100u);  // clamped
+}
+
+TEST(Workload, NextPacketCarriesFlowFields) {
+    util::Rng rng(43);
+    FlowSet fs = FlowSet::generate(two_tuple(), 8, rng);
+    Workload w(fs, Locality::Uniform, 0.0, 47);
+    sim::FieldTable ft;
+    sim::Packet p = w.next_packet(ft);
+    bool matched = false;
+    for (std::size_t f = 0; f < fs.size(); ++f) {
+        if (p.get(ft.find("src")) == fs.value(f, "src") &&
+            p.get(ft.find("dst")) == fs.value(f, "dst")) {
+            matched = true;
+        }
+    }
+    EXPECT_TRUE(matched);
+}
+
+}  // namespace
+}  // namespace pipeleon::trafficgen

@@ -1,0 +1,261 @@
+// Tests for opt/transform: structural correctness of reorder / cache / merge
+// rewrites (semantic equivalence is covered end-to-end in test_equivalence).
+#include <gtest/gtest.h>
+
+#include "analysis/pipelet.h"
+#include "ir/builder.h"
+#include "opt/transform.h"
+
+namespace pipeleon::opt {
+namespace {
+
+using ir::kNoNode;
+using ir::NodeId;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::TableRole;
+using ir::TableSpec;
+
+Program chain3() {
+    ProgramBuilder b("chain3");
+    b.append(TableSpec("A").key("a").noop_action("a1").build());
+    b.append(TableSpec("B").key("b").noop_action("b1").build());
+    b.append(TableSpec("C").key("c").noop_action("c1").build());
+    return b.build();
+}
+
+std::vector<std::string> table_order(const Program& p) {
+    std::vector<std::string> names;
+    NodeId cur = p.root();
+    while (cur != kNoNode) {
+        const ir::Node& n = p.node(cur);
+        if (n.is_table()) names.push_back(n.table.name);
+        auto succ = n.successors();
+        cur = succ.empty() ? kNoNode : succ[0];
+    }
+    return names;
+}
+
+TEST(Transform, ReorderRewiresChain) {
+    Program p = chain3();
+    auto pipelets = analysis::form_pipelets(p);
+    PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {2, 0, 1};
+    Program q = apply_plans(p, pipelets, {plan});
+    EXPECT_EQ(table_order(q), (std::vector<std::string>{"C", "A", "B"}));
+    EXPECT_EQ(q.table_count(), 3u);
+    EXPECT_NO_THROW(q.validate());
+}
+
+TEST(Transform, IdentityPlanIsNoOp) {
+    Program p = chain3();
+    auto pipelets = analysis::form_pipelets(p);
+    PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1, 2};
+    Program q = apply_plans(p, pipelets, {plan});
+    EXPECT_TRUE(q == p);
+}
+
+TEST(Transform, CacheInsertsFrontNodeWithFallthrough) {
+    Program p = chain3();
+    auto pipelets = analysis::form_pipelets(p);
+    PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1, 2};
+    plan.layout.caches = {Segment{0, 1}};  // cache A+B
+    plan.layout.cache_config.capacity = 77;
+    Program q = apply_plans(p, pipelets, {plan});
+
+    // Root is now the cache node.
+    const ir::Node& root = q.node(q.root());
+    ASSERT_TRUE(root.is_table());
+    EXPECT_EQ(root.table.role, TableRole::Cache);
+    EXPECT_EQ(root.table.origin_tables, (std::vector<std::string>{"A", "B"}));
+    EXPECT_EQ(root.table.cache.capacity, 77u);
+
+    // Hit edge skips A and B; miss edge falls into A.
+    NodeId c = q.find_table("C");
+    NodeId a = q.find_table("A");
+    NodeId b = q.find_table("B");
+    EXPECT_EQ(root.next_by_action[0], c);
+    EXPECT_EQ(root.miss_next, a);
+    EXPECT_EQ(q.node(a).next_by_action[0], b);
+    EXPECT_EQ(q.node(b).next_by_action[0], c);
+    EXPECT_EQ(q.table_count(), 4u);
+}
+
+TEST(Transform, FullMergeRemovesOriginals) {
+    Program p = chain3();
+    auto pipelets = analysis::form_pipelets(p);
+    PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1, 2};
+    plan.layout.merges = {MergeSpec{Segment{0, 1}, false}};
+    Program q = apply_plans(p, pipelets, {plan});
+
+    EXPECT_EQ(q.find_table("A"), kNoNode);  // compacted away
+    EXPECT_EQ(q.find_table("B"), kNoNode);
+    NodeId m = q.find_table("merge_A_B");
+    ASSERT_NE(m, kNoNode);
+    EXPECT_EQ(q.node(m).table.role, TableRole::Merged);
+    EXPECT_EQ(q.root(), m);
+    EXPECT_EQ(q.node(m).next_by_action[0], q.find_table("C"));
+    EXPECT_EQ(q.table_count(), 2u);
+}
+
+TEST(Transform, MergeAsCacheKeepsOriginals) {
+    Program p = chain3();
+    auto pipelets = analysis::form_pipelets(p);
+    PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1, 2};
+    plan.layout.merges = {MergeSpec{Segment{1, 2}, true}};  // merge B+C as cache
+    Program q = apply_plans(p, pipelets, {plan});
+
+    NodeId m = q.find_table("merge_B_C");
+    ASSERT_NE(m, kNoNode);
+    EXPECT_EQ(q.node(m).table.role, TableRole::MergedCache);
+    NodeId b = q.find_table("B");
+    NodeId c = q.find_table("C");
+    ASSERT_NE(b, kNoNode);
+    ASSERT_NE(c, kNoNode);
+    // Hits exit the pipeline (original C exited), miss falls into B -> C.
+    EXPECT_EQ(q.node(m).miss_next, b);
+    EXPECT_EQ(q.node(b).next_by_action[0], c);
+    for (NodeId t : q.node(m).next_by_action) EXPECT_EQ(t, kNoNode);
+}
+
+TEST(Transform, ReorderPlusCacheCompose) {
+    Program p = chain3();
+    auto pipelets = analysis::form_pipelets(p);
+    PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {2, 0, 1};               // C A B
+    plan.layout.caches = {Segment{1, 2}};        // cache {A, B}
+    Program q = apply_plans(p, pipelets, {plan});
+
+    EXPECT_EQ(q.root(), q.find_table("C"));
+    NodeId cache = q.find_table("cache_A_B");
+    ASSERT_NE(cache, kNoNode);
+    EXPECT_EQ(q.node(q.find_table("C")).next_by_action[0], cache);
+    EXPECT_EQ(q.node(cache).miss_next, q.find_table("A"));
+    EXPECT_EQ(q.node(q.find_table("B")).next_by_action[0], kNoNode);
+}
+
+TEST(Transform, MidProgramPipeletPreservesSurroundings) {
+    // branch -> (X | chain A,B) ... chain exits to Y.
+    ProgramBuilder bld("mid");
+    NodeId br = bld.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId x = bld.add(TableSpec("X").key("x").noop_action("x1").build());
+    NodeId a = bld.add(TableSpec("A").key("a").noop_action("a1").build());
+    NodeId b = bld.add(TableSpec("B").key("b").noop_action("b1").build());
+    NodeId y = bld.add(TableSpec("Y").key("y").noop_action("y1").build());
+    bld.connect_branch(br, x, a);
+    bld.connect(x, y);
+    bld.connect(a, b);
+    bld.connect(b, y);
+    bld.set_root(br);
+    Program p = bld.build();
+
+    auto pipelets = analysis::form_pipelets(p);
+    int ab_id = -1;
+    for (const auto& pl : pipelets) {
+        if (pl.length() == 2) ab_id = pl.id;
+    }
+    ASSERT_GE(ab_id, 0);
+
+    PipeletPlan plan;
+    plan.pipelet_id = ab_id;
+    plan.layout.order = {1, 0};  // B before A
+    Program q = apply_plans(p, pipelets, {plan});
+    // The branch's false edge now points at B; B -> A -> Y.
+    NodeId qb = q.find_table("B");
+    NodeId qa = q.find_table("A");
+    NodeId qy = q.find_table("Y");
+    const ir::Node& qbr = q.node(q.root());
+    EXPECT_EQ(qbr.false_next, qb);
+    EXPECT_EQ(q.node(qb).next_by_action[0], qa);
+    EXPECT_EQ(q.node(qa).next_by_action[0], qy);
+    // X path untouched.
+    EXPECT_EQ(q.node(q.find_table("X")).next_by_action[0], qy);
+}
+
+TEST(Transform, CacheCoveringEntryGetsIncomingEdges) {
+    // The cache sits at the pipelet entry: incoming edges must point at the
+    // cache, and the cache's miss edge at the old entry — no self-loops.
+    Program p = chain3();
+    auto pipelets = analysis::form_pipelets(p);
+    PipeletPlan plan;
+    plan.pipelet_id = 0;
+    plan.layout.order = {0, 1, 2};
+    plan.layout.caches = {Segment{0, 2}};
+    Program q = apply_plans(p, pipelets, {plan});
+    const ir::Node& root = q.node(q.root());
+    EXPECT_EQ(root.table.role, TableRole::Cache);
+    EXPECT_EQ(root.miss_next, q.find_table("A"));
+    EXPECT_NO_THROW(q.validate());
+}
+
+TEST(Transform, MultiplePlansApply) {
+    // Two pipelets split by a branch; reorder both.
+    ProgramBuilder bld("multi");
+    NodeId a = bld.add(TableSpec("A").key("a").noop_action("a1").build());
+    NodeId b = bld.add(TableSpec("B").key("b").noop_action("b1").build());
+    NodeId br = bld.add_branch({"f", ir::CmpOp::Eq, 1});
+    NodeId c = bld.add(TableSpec("C").key("c").noop_action("c1").build());
+    NodeId d = bld.add(TableSpec("D").key("d").noop_action("d1").build());
+    bld.connect(a, b);
+    bld.connect(b, br);
+    bld.connect_branch(br, c, d);
+    bld.connect(c, kNoNode);
+    bld.set_root(a);
+    Program p = bld.build();
+    auto pipelets = analysis::form_pipelets(p);
+    ASSERT_EQ(pipelets.size(), 3u);
+
+    PipeletPlan plan0;
+    plan0.pipelet_id = 0;
+    plan0.layout.order = {1, 0};
+    std::vector<PipeletPlan> plans{plan0};
+    Program q = apply_plans(p, pipelets, plans);
+    EXPECT_EQ(q.root(), q.find_table("B"));
+    EXPECT_NO_THROW(q.validate());
+}
+
+TEST(Transform, SwitchCasePipeletRejected) {
+    ProgramBuilder bld("sw");
+    NodeId sw = bld.add(
+        TableSpec("S").key("k").noop_action("a0").noop_action("a1").build());
+    NodeId t0 = bld.add(TableSpec("T0").key("x").noop_action("t").build());
+    NodeId t1 = bld.add(TableSpec("T1").key("y").noop_action("t").build());
+    bld.connect_action(sw, 0, t0);
+    bld.connect_action(sw, 1, t1);
+    bld.connect_miss(sw, t0);
+    bld.set_root(sw);
+    Program p = bld.build();
+    auto pipelets = analysis::form_pipelets(p);
+    for (const auto& pl : pipelets) {
+        if (!pl.is_switch_case) continue;
+        PipeletPlan plan;
+        plan.pipelet_id = pl.id;
+        plan.layout.order = {0};
+        plan.layout.caches = {Segment{0, 0}};
+        EXPECT_THROW(apply_plans(p, pipelets, {plan}), std::runtime_error);
+    }
+}
+
+TEST(Transform, RepointEdges) {
+    Program p = chain3();
+    NodeId a = p.find_table("A");
+    NodeId b = p.find_table("B");
+    NodeId c = p.find_table("C");
+    repoint_edges(p, b, c);
+    EXPECT_EQ(p.node(a).next_by_action[0], c);
+    repoint_edges(p, a, b);  // root moves too
+    EXPECT_EQ(p.root(), b);
+}
+
+}  // namespace
+}  // namespace pipeleon::opt
