@@ -1,6 +1,7 @@
 // bench/common.h — shared measurement helpers for the figure benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,18 +22,28 @@ struct WindowResult {
     std::uint64_t packets = 0;
 };
 
+/// Pumps the window through the batched data plane: packets are generated
+/// and processed `batch_size` at a time, and the clock advances per batch.
+/// With the emulator's default single worker (or deterministic mode) the
+/// packet-level execution is identical to the old scalar loop.
 inline WindowResult run_window(sim::Emulator& emulator,
                                trafficgen::Workload& workload, int packets,
-                               double window_seconds) {
+                               double window_seconds,
+                               std::size_t batch_size = 256) {
     util::RunningStats cycles;
     std::uint64_t dropped = 0;
-    double dt = window_seconds / std::max(1, packets);
-    for (int i = 0; i < packets; ++i) {
-        sim::Packet pkt = workload.next_packet(emulator.fields());
-        sim::ProcessResult r = emulator.process(pkt);
-        cycles.add(r.cycles);
-        dropped += r.dropped ? 1 : 0;
-        emulator.advance_time(dt);
+    if (batch_size == 0) batch_size = 1;
+    int done = 0;
+    while (done < packets) {
+        std::size_t n = std::min<std::size_t>(
+            batch_size, static_cast<std::size_t>(packets - done));
+        sim::PacketBatch batch = workload.next_batch(emulator.fields(), n);
+        sim::BatchResult r = emulator.process_batch(batch);
+        for (const sim::ProcessResult& pr : r.results) cycles.add(pr.cycles);
+        dropped += r.dropped;
+        emulator.advance_time(window_seconds * static_cast<double>(n) /
+                              static_cast<double>(std::max(1, packets)));
+        done += static_cast<int>(n);
     }
     WindowResult w;
     w.mean_cycles = cycles.mean();

@@ -133,14 +133,16 @@ int main() {
 
     // A measurement window with LB entry churn interleaved into the packet
     // stream (`churn` inserts spread across the window). Churn entries use
-    // never-matched VIPs, so only the invalidation matters.
+    // never-matched VIPs, so only the invalidation matters. The stream is
+    // pumped through the batched data plane with a control-plane insert
+    // fenced between batches — the churn cadence sets the batch size.
     std::uint64_t churn_vip = 100000;
     auto churny_window = [&](sim::Emulator& emu, trafficgen::Workload& wl,
                              runtime::ApiMapper& api, int packets, int churn) {
         util::RunningStats cycles;
-        int gap = churn > 0 ? std::max(1, packets / churn) : packets + 1;
-        for (int i = 0; i < packets; ++i) {
-            if (churn > 0 && i % gap == 0) {
+        int gap = churn > 0 ? std::max(1, packets / churn) : packets;
+        for (int i = 0; i < packets; i += gap) {
+            if (churn > 0) {
                 ir::TableEntry e;
                 e.key = {ir::FieldMatch::exact(churn_vip)};
                 e.action_index = 0;
@@ -153,9 +155,11 @@ int main() {
                               {ir::FieldMatch::exact(churn_vip - 3000)});
                 }
             }
-            sim::Packet pkt = wl.next_packet(emu.fields());
-            cycles.add(emu.process(pkt).cycles);
-            emu.advance_time(5.0 / packets);
+            std::size_t n = static_cast<std::size_t>(std::min(gap, packets - i));
+            sim::PacketBatch batch = wl.next_batch(emu.fields(), n);
+            sim::BatchResult r = emu.process_batch(batch);
+            for (const sim::ProcessResult& pr : r.results) cycles.add(pr.cycles);
+            emu.advance_time(5.0 * static_cast<double>(n) / packets);
         }
         return emu.throughput_gbps(cycles.mean());
     };

@@ -87,11 +87,14 @@ int main() {
         util::Rng traffic_rng(11);
         trafficgen::Workload wl(flows, trafficgen::Locality::Uniform, 0.0, 7);
         util::RunningStats cycles;
-        for (int i = 0; i < 6000; ++i) {
-            sim::Packet pkt = wl.next_packet(emu.fields());
-            pkt.set(emu.fields().intern("to_sw"),
-                    traffic_rng.chance(sw_fraction) ? 1 : 0);
-            cycles.add(emu.process(pkt).cycles);
+        sim::FieldId to_sw = emu.fields().intern("to_sw");
+        for (int done = 0; done < 6000; done += 500) {
+            sim::PacketBatch batch = wl.next_batch(emu.fields(), 500);
+            for (sim::Packet& p : batch) {
+                p.set(to_sw, traffic_rng.chance(sw_fraction) ? 1 : 0);
+            }
+            sim::BatchResult r = emu.process_batch(batch);
+            for (const sim::ProcessResult& pr : r.results) cycles.add(pr.cycles);
         }
         return cycles.mean();
     };

@@ -36,7 +36,7 @@ CounterMap CounterMap::build(const Program& original, const Program& optimized) 
     CounterMap map;
 
     // Index original tables by name.
-    std::map<std::string, NodeId> orig_by_name;
+    std::unordered_map<std::string, NodeId> orig_by_name;
     std::vector<NodeId> orig_branches;
     for (NodeId id : original.topo_order()) {
         const Node& n = original.node(id);

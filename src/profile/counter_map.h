@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/program.h"
@@ -24,6 +25,8 @@ struct EntrySnapshot {
     std::uint64_t entry_updates = 0;
     int lpm_prefix_count = 0;
     int ternary_mask_count = 0;
+
+    friend bool operator==(const EntrySnapshot&, const EntrySnapshot&) = default;
 };
 
 /// Raw measurements read off the deployed (optimized) program: P4 counters
@@ -46,8 +49,10 @@ struct RawCounters {
         replays;
 
     /// Entry state keyed by *original* table name (control-plane API calls
-    /// are made against original names; §2.3).
-    std::map<std::string, EntrySnapshot> entries;
+    /// are made against original names; §2.3). Hashed, not ordered — the
+    /// profiler reads this once per packet window and never iterates it in
+    /// a order-sensitive way.
+    std::unordered_map<std::string, EntrySnapshot> entries;
 
     /// Sizes all per-node vectors for a program.
     void reset_for(const ir::Program& program, double window_seconds = 1.0);
@@ -81,21 +86,32 @@ private:
         int opt_action = -1;
     };
 
+    struct NodeActionHash {
+        std::size_t operator()(const std::pair<ir::NodeId, int>& k) const {
+            return std::hash<std::uint64_t>{}(
+                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.first))
+                 << 32) |
+                static_cast<std::uint32_t>(k.second));
+        }
+    };
+
     // Keyed by (original node id, original action index).
-    std::map<std::pair<ir::NodeId, int>, std::vector<ActionSource>> action_sources_;
+    std::unordered_map<std::pair<ir::NodeId, int>, std::vector<ActionSource>,
+                       NodeActionHash>
+        action_sources_;
     // Original node id -> optimized nodes whose miss counter contributes.
-    std::map<ir::NodeId, std::vector<ir::NodeId>> miss_sources_;
+    std::unordered_map<ir::NodeId, std::vector<ir::NodeId>> miss_sources_;
     // Original node id -> cache node ids that may hold replays for it.
-    std::map<ir::NodeId, std::vector<ir::NodeId>> replay_sources_;
+    std::unordered_map<ir::NodeId, std::vector<ir::NodeId>> replay_sources_;
     // Original branch node id -> optimized branch node id.
-    std::map<ir::NodeId, ir::NodeId> branch_map_;
+    std::unordered_map<ir::NodeId, ir::NodeId> branch_map_;
     // Original node id -> optimized cache nodes implementing it (for
     // cache_hits/cache_misses/inserts_dropped pass-through onto caches that
     // the optimizer itself created for this node).
-    std::map<ir::NodeId, std::vector<ir::NodeId>> cache_stat_sources_;
+    std::unordered_map<ir::NodeId, std::vector<ir::NodeId>> cache_stat_sources_;
     // Optimized cache/merged-cache node -> the original tables it covers
     // (for the churn-contamination signal, covering_update_rate).
-    std::map<ir::NodeId, std::vector<std::string>> cache_origins_;
+    std::unordered_map<ir::NodeId, std::vector<std::string>> cache_origins_;
 };
 
 }  // namespace pipeleon::profile

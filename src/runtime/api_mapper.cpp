@@ -70,9 +70,10 @@ const std::vector<TableEntry>& ApiMapper::entries(const std::string& table) cons
 namespace {
 
 /// Rebuilds a merged table's entries from the original store.
-bool rebuild_merged(sim::Emulator& emulator, const ir::Table& merged,
-                    const std::map<std::string, ir::Table>& tables,
-                    const std::map<std::string, std::vector<TableEntry>>& store) {
+bool rebuild_merged(
+    sim::Emulator& emulator, const ir::Table& merged,
+    const std::unordered_map<std::string, ir::Table>& tables,
+    const std::unordered_map<std::string, std::vector<TableEntry>>& store) {
     std::vector<const ir::Table*> sources;
     std::vector<std::vector<TableEntry>> source_entries;
     for (const std::string& origin : merged.origin_tables) {
@@ -149,8 +150,9 @@ void ApiMapper::deploy_entries(sim::Emulator& emulator) const {
     }
 }
 
-std::map<std::string, profile::EntrySnapshot> ApiMapper::snapshots() const {
-    std::map<std::string, profile::EntrySnapshot> out;
+std::unordered_map<std::string, profile::EntrySnapshot> ApiMapper::snapshots()
+    const {
+    std::unordered_map<std::string, profile::EntrySnapshot> out;
     for (const auto& [name, entries] : store_) {
         profile::EntrySnapshot snap;
         snap.entry_count = entries.size();

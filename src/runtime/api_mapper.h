@@ -9,8 +9,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/program.h"
@@ -50,7 +50,7 @@ public:
     /// Per-original-table entry snapshots for the current window (counts,
     /// update totals, prefix/mask diversity). Merged-away tables are
     /// included — the emulator cannot know them.
-    std::map<std::string, profile::EntrySnapshot> snapshots() const;
+    std::unordered_map<std::string, profile::EntrySnapshot> snapshots() const;
 
     /// Zeroes the window update counters.
     void begin_window();
@@ -60,10 +60,13 @@ private:
     /// implements it and invalidates covering caches.
     void propagate(sim::Emulator& emulator, const std::string& table);
 
+    // Hashed by table name, matching the FieldTable interning pattern: the
+    // propagate path runs on every control-plane call and should not pay
+    // ordered-tree string comparisons.
     ir::Program original_;
-    std::map<std::string, ir::Table> tables_;
-    std::map<std::string, std::vector<ir::TableEntry>> store_;
-    std::map<std::string, std::uint64_t> window_updates_;
+    std::unordered_map<std::string, ir::Table> tables_;
+    std::unordered_map<std::string, std::vector<ir::TableEntry>> store_;
+    std::unordered_map<std::string, std::uint64_t> window_updates_;
 };
 
 }  // namespace pipeleon::runtime

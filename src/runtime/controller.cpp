@@ -1,5 +1,7 @@
 #include "runtime/controller.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -26,6 +28,34 @@ profile::RuntimeProfile Controller::collect_profile() {
     profile::CounterMap map =
         profile::CounterMap::build(original_, emulator_.program());
     return map.translate(original_, raw);
+}
+
+Controller::PumpStats Controller::pump_window(trafficgen::Workload& workload,
+                                              int packets, double window_seconds,
+                                              std::size_t batch_size) {
+    PumpStats stats;
+    if (batch_size == 0) batch_size = 1;
+    std::uint64_t remaining = packets > 0 ? static_cast<std::uint64_t>(packets) : 0;
+    double total_cycles = 0.0;
+    while (remaining > 0) {
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, batch_size));
+        sim::PacketBatch batch = workload.next_batch(emulator_.fields(), n);
+        sim::BatchResult r = emulator_.process_batch(batch);
+        total_cycles += r.total_cycles;
+        stats.dropped += r.dropped;
+        stats.packets += n;
+        emulator_.advance_time(window_seconds * static_cast<double>(n) /
+                               static_cast<double>(std::max(1, packets)));
+        remaining -= n;
+    }
+    if (stats.packets > 0) {
+        stats.mean_cycles = total_cycles / static_cast<double>(stats.packets);
+        stats.drop_rate = static_cast<double>(stats.dropped) /
+                          static_cast<double>(stats.packets);
+    }
+    stats.throughput_gbps = emulator_.throughput_gbps(stats.mean_cycles);
+    return stats;
 }
 
 TickResult Controller::tick() {

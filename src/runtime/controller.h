@@ -14,6 +14,7 @@
 #include "runtime/api_mapper.h"
 #include "search/optimizer.h"
 #include "sim/emulator.h"
+#include "trafficgen/workload.h"
 
 namespace pipeleon::runtime {
 
@@ -60,6 +61,23 @@ public:
     /// One profiling/optimization round against the emulator's current
     /// window. The harness decides the cadence (virtual time).
     TickResult tick();
+
+    /// Aggregate measurements of one pumped window.
+    struct PumpStats {
+        double mean_cycles = 0.0;
+        double drop_rate = 0.0;
+        double throughput_gbps = 0.0;
+        std::uint64_t packets = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    /// Streams `packets` packets from the workload through the emulator's
+    /// batched data plane (batches of `batch_size`) and advances virtual
+    /// time by `window_seconds`. This is the harness-side pump the figure
+    /// benches use between tick()s; it replaces their scalar
+    /// packet-at-a-time loops.
+    PumpStats pump_window(trafficgen::Workload& workload, int packets,
+                          double window_seconds, std::size_t batch_size = 256);
 
 private:
     /// Reads the emulator window, augments entry snapshots from the API

@@ -1,0 +1,55 @@
+// sim/batch.h — batched data-plane types. Real SmartNIC datapaths never
+// process one packet per call: NIC drivers hand the cores descriptor rings,
+// and an RSS hash spreads flows across cores. PacketBatch is the emulator's
+// descriptor ring (a contiguous run of parsed packets) and BatchResult the
+// per-packet completion records plus the aggregate the benches consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace pipeleon::sim {
+
+/// Outcome of processing one packet.
+struct ProcessResult {
+    double cycles = 0.0;
+    bool dropped = false;
+    int migrations = 0;
+    int nodes_visited = 0;
+};
+
+/// A contiguous run of packets handed to the emulator in one call. Packets
+/// are mutated in place (like Emulator::process does for a single packet);
+/// results come back in input order regardless of worker interleaving.
+struct PacketBatch {
+    std::vector<Packet> packets;
+
+    PacketBatch() = default;
+    explicit PacketBatch(std::size_t n) : packets(n) {}
+
+    std::size_t size() const { return packets.size(); }
+    bool empty() const { return packets.empty(); }
+    void clear() { packets.clear(); }
+    void reserve(std::size_t n) { packets.reserve(n); }
+    void push_back(Packet p) { packets.push_back(std::move(p)); }
+
+    Packet& operator[](std::size_t i) { return packets[i]; }
+    const Packet& operator[](std::size_t i) const { return packets[i]; }
+
+    auto begin() { return packets.begin(); }
+    auto end() { return packets.end(); }
+    auto begin() const { return packets.begin(); }
+    auto end() const { return packets.end(); }
+};
+
+/// Per-packet results (input order) plus batch aggregates.
+struct BatchResult {
+    std::vector<ProcessResult> results;
+    double total_cycles = 0.0;
+    std::uint64_t dropped = 0;
+    int workers_used = 1;
+};
+
+}  // namespace pipeleon::sim

@@ -1,0 +1,98 @@
+// sim/counter_shard.h — per-worker window counters. Each batch worker owns a
+// private CounterShard and bumps plain (non-atomic) integers on the hot
+// path, the way per-core P4 counters work on real multicore NICs; shards
+// merge into the emulator's master shard at batch end, in worker order, so
+// the merged values are deterministic. The replay counters — previously a
+// std::map<std::tuple<NodeId, NodeId, int>> paying a red-black-tree walk
+// per cache hit — live in ReplayCounterTable, a flat open-addressing hash
+// over packed 64-bit keys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+#include "util/stats.h"
+
+namespace pipeleon::sim {
+
+/// Flat linear-probing counter table keyed by a packed
+/// (cache node, origin node, action index) triple. Action -1 (cache recorded
+/// a miss of the origin table) is representable.
+class ReplayCounterTable {
+public:
+    /// Packs the triple into one word: 21 bits per node id, 22 for the
+    /// action (stored +1 so -1 fits). Node ids beyond 2^21 would alias, far
+    /// above any program the IR validator accepts.
+    static std::uint64_t pack(ir::NodeId cache_node, ir::NodeId origin_node,
+                              int action_index) {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cache_node) &
+                                           0x1FFFFFu)
+                << 43) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin_node) &
+                                           0x1FFFFFu)
+                << 22) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    action_index + 1)) &
+                0x3FFFFFu);
+    }
+    static ir::NodeId unpack_cache(std::uint64_t key) {
+        return static_cast<ir::NodeId>((key >> 43) & 0x1FFFFFu);
+    }
+    static ir::NodeId unpack_origin(std::uint64_t key) {
+        return static_cast<ir::NodeId>((key >> 22) & 0x1FFFFFu);
+    }
+    static int unpack_action(std::uint64_t key) {
+        return static_cast<int>(key & 0x3FFFFFu) - 1;
+    }
+
+    void add(std::uint64_t key, std::uint64_t delta = 1);
+    void clear();
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// Calls fn(key, count) for every live counter (table order, which is
+    /// deterministic for a given insertion sequence; consumers that need a
+    /// canonical order sort or re-key themselves).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (const Slot& s : slots_) {
+            if (s.key_plus_one != 0) fn(s.key_plus_one - 1, s.count);
+        }
+    }
+
+private:
+    struct Slot {
+        std::uint64_t key_plus_one = 0;  // 0 = empty
+        std::uint64_t count = 0;
+    };
+
+    std::uint64_t& slot_for(std::uint64_t key);
+    void grow();
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+/// One worker's view of the measurement window: every per-node counter the
+/// emulator keeps, plus latency/packet totals, all private to the worker
+/// while a batch is in flight.
+struct CounterShard {
+    std::vector<std::vector<std::uint64_t>> action_hits;
+    std::vector<std::uint64_t> misses;
+    std::vector<std::uint64_t> branch_true, branch_false;
+    std::vector<std::uint64_t> cache_hits, cache_misses;
+    ReplayCounterTable replays;
+
+    util::RunningStats latency;
+    std::uint64_t packets_total = 0;
+    std::uint64_t packets_dropped = 0;
+
+    /// Zeroes everything and sizes the per-node vectors for `program`.
+    void reset_for(const ir::Program& program);
+
+    /// Adds `other` into this shard (counter sums, latency merge).
+    void absorb(const CounterShard& other);
+};
+
+}  // namespace pipeleon::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 namespace pipeleon::sim {
@@ -18,16 +19,14 @@ Emulator::Emulator(NicModel model, ir::Program program,
       instrumentation_(instrumentation) {
     program_.validate();
     compile();
-    begin_window();
+    begin_window_unlocked();
 }
 
 void Emulator::compile() {
     const std::size_t n = program_.node_count();
     compiled_.assign(n, {});
     tables_.clear();
-    caches_.clear();
     tables_.resize(n);
-    caches_.resize(n);
 
     auto compile_action = [this](const ir::Action& a) {
         CompiledAction ca;
@@ -56,10 +55,7 @@ void Emulator::compile() {
         for (const ir::Action& a : node.table.actions) {
             cn.actions.push_back(compile_action(a));
         }
-        if (node.table.role == TableRole::Cache) {
-            caches_[static_cast<std::size_t>(node.id)] =
-                std::make_unique<CacheStore>(node.table.cache);
-        } else {
+        if (node.table.role != TableRole::Cache) {
             tables_[static_cast<std::size_t>(node.id)] =
                 std::make_unique<TableState>(node.table);
         }
@@ -76,9 +72,66 @@ void Emulator::compile() {
             }
         }
     }
+
+    // The steering tuple: the union of every table's key fields. Packets of
+    // one flow agree on all of them, so the RSS hash pins the flow to one
+    // worker shard.
+    steer_fields_.clear();
+    for (const CompiledNode& cn : compiled_) {
+        steer_fields_.insert(steer_fields_.end(), cn.key_fields.begin(),
+                             cn.key_fields.end());
+    }
+    std::sort(steer_fields_.begin(), steer_fields_.end());
+    steer_fields_.erase(std::unique(steer_fields_.begin(), steer_fields_.end()),
+                        steer_fields_.end());
+
+    // Every shard starts cold on a (re)compile.
+    cache_shards_.clear();
+    cache_shards_.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) cache_shards_.push_back(make_cache_set());
+
+    worker_counters_.resize(static_cast<std::size_t>(workers_));
+    for (CounterShard& shard : worker_counters_) shard.reset_for(program_);
+}
+
+Emulator::CacheSet Emulator::make_cache_set() const {
+    CacheSet set(program_.node_count());
+    for (const Node& node : program_.nodes()) {
+        if (node.is_table() && node.table.role == TableRole::Cache) {
+            set[static_cast<std::size_t>(node.id)] =
+                std::make_unique<CacheStore>(node.table.cache);
+        }
+    }
+    return set;
+}
+
+void Emulator::resize_cache_shards() {
+    while (cache_shards_.size() > static_cast<std::size_t>(workers_)) {
+        cache_shards_.pop_back();
+    }
+    while (cache_shards_.size() < static_cast<std::size_t>(workers_)) {
+        cache_shards_.push_back(make_cache_set());
+    }
+    worker_counters_.resize(static_cast<std::size_t>(workers_));
+    for (CounterShard& shard : worker_counters_) shard.reset_for(program_);
+}
+
+void Emulator::set_worker_count(int workers) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    workers = std::max(1, std::min(workers, std::max(1, model_.cores)));
+    if (workers == workers_) return;
+    workers_ = workers;
+    resize_cache_shards();
+    pool_ = workers_ > 1 ? std::make_unique<WorkerPool>(workers_) : nullptr;
+}
+
+void Emulator::set_instrumentation(profile::InstrumentationConfig cfg) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    instrumentation_ = cfg;
 }
 
 bool Emulator::insert_entry(const std::string& table, const ir::TableEntry& entry) {
+    std::lock_guard<std::mutex> lock(control_mu_);
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     return tables_[static_cast<std::size_t>(id)]->insert(entry);
@@ -86,12 +139,14 @@ bool Emulator::insert_entry(const std::string& table, const ir::TableEntry& entr
 
 bool Emulator::delete_entry(const std::string& table,
                             const std::vector<ir::FieldMatch>& key) {
+    std::lock_guard<std::mutex> lock(control_mu_);
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     return tables_[static_cast<std::size_t>(id)]->erase(key);
 }
 
 bool Emulator::modify_entry(const std::string& table, const ir::TableEntry& entry) {
+    std::lock_guard<std::mutex> lock(control_mu_);
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     return tables_[static_cast<std::size_t>(id)]->modify(entry);
@@ -99,6 +154,7 @@ bool Emulator::modify_entry(const std::string& table, const ir::TableEntry& entr
 
 bool Emulator::set_entries(const std::string& table,
                            std::vector<ir::TableEntry> entries) {
+    std::lock_guard<std::mutex> lock(control_mu_);
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     tables_[static_cast<std::size_t>(id)]->set_entries(std::move(entries));
@@ -106,32 +162,37 @@ bool Emulator::set_entries(const std::string& table,
 }
 
 std::size_t Emulator::entry_count(const std::string& table) const {
+    std::lock_guard<std::mutex> lock(control_mu_);
     NodeId id = program_.find_table(table);
     if (id == kNoNode) return 0;
-    if (tables_[static_cast<std::size_t>(id)]) {
-        return tables_[static_cast<std::size_t>(id)]->entries().size();
+    auto i = static_cast<std::size_t>(id);
+    if (tables_[i]) return tables_[i]->entries().size();
+    std::size_t total = 0;
+    for (const CacheSet& shard : cache_shards_) {
+        if (shard[i]) total += shard[i]->size();
     }
-    if (caches_[static_cast<std::size_t>(id)]) {
-        return caches_[static_cast<std::size_t>(id)]->size();
-    }
-    return 0;
+    return total;
 }
 
 const std::vector<ir::TableEntry>* Emulator::entries(
     const std::string& table) const {
+    std::lock_guard<std::mutex> lock(control_mu_);
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return nullptr;
     return &tables_[static_cast<std::size_t>(id)]->entries();
 }
 
 int Emulator::invalidate_caches_covering(const std::string& origin_table) {
+    std::lock_guard<std::mutex> lock(control_mu_);
     int cleared = 0;
     for (const Node& node : program_.nodes()) {
         if (!node.is_table() || node.table.role != TableRole::Cache) continue;
         const auto& origins = node.table.origin_tables;
         if (std::find(origins.begin(), origins.end(), origin_table) !=
             origins.end()) {
-            caches_[static_cast<std::size_t>(node.id)]->clear();
+            for (CacheSet& shard : cache_shards_) {
+                shard[static_cast<std::size_t>(node.id)]->clear();
+            }
             ++cleared;
         }
     }
@@ -139,23 +200,29 @@ int Emulator::invalidate_caches_covering(const std::string& origin_table) {
 }
 
 std::size_t Emulator::cache_size(const std::string& table) const {
+    std::lock_guard<std::mutex> lock(control_mu_);
     NodeId id = program_.find_table(table);
-    if (id == kNoNode || !caches_[static_cast<std::size_t>(id)]) return 0;
-    return caches_[static_cast<std::size_t>(id)]->size();
+    if (id == kNoNode) return 0;
+    auto i = static_cast<std::size_t>(id);
+    std::size_t total = 0;
+    for (const CacheSet& shard : cache_shards_) {
+        if (shard[i]) total += shard[i]->size();
+    }
+    return total;
 }
 
-bool Emulator::packet_sampled() {
+bool Emulator::sampled_for(std::uint64_t seq) const {
     if (!instrumentation_.enabled) return false;
     double rate = instrumentation_.sampling_rate;
     if (rate >= 1.0) return true;
     if (rate <= 0.0) return false;
     auto period = static_cast<std::uint64_t>(std::llround(1.0 / rate));
-    return period == 0 || packet_seq_ % period == 0;
+    return period == 0 || seq % period == 0;
 }
 
 bool Emulator::apply_action(const CompiledAction& action, Packet& packet,
                             const std::vector<std::uint64_t>& args, double scale,
-                            double& cycles) {
+                            double& cycles) const {
     cycles += static_cast<double>(action.primitives.size()) *
               model_.costs.l_act * scale;
     bool dropped = false;
@@ -189,10 +256,36 @@ bool Emulator::apply_action(const CompiledAction& action, Packet& packet,
     return dropped;
 }
 
-ProcessResult Emulator::process(Packet& packet) {
+std::uint64_t Emulator::flow_hash(const Packet& packet) const {
+    // FNV-1a over the steering tuple's 64-bit values, finished with a
+    // SplitMix64 avalanche so the low bits the modulo consumes are mixed.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (FieldId f : steer_fields_) {
+        h ^= packet.get(f);
+        h *= 1099511628211ULL;
+    }
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+int Emulator::steer_worker_unlocked(const Packet& packet) const {
+    if (workers_ <= 1) return 0;
+    return static_cast<int>(flow_hash(packet) %
+                            static_cast<std::uint64_t>(workers_));
+}
+
+int Emulator::steer_worker(const Packet& packet) const {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    return steer_worker_unlocked(packet);
+}
+
+ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
+                                   CounterShard& counters, CacheSet& caches) {
     ProcessResult result;
-    const bool sampled = packet_sampled();
-    ++packet_seq_;
 
     struct FillCtx {
         NodeId cache_node;
@@ -225,9 +318,9 @@ ProcessResult Emulator::process(Packet& packet) {
             if (sampled) {
                 auto idx = static_cast<std::size_t>(cur);
                 if (taken) {
-                    ++branch_true_[idx];
+                    ++counters.branch_true[idx];
                 } else {
-                    ++branch_false_[idx];
+                    ++counters.branch_false[idx];
                 }
             }
             next = taken ? n.true_next : n.false_next;
@@ -241,11 +334,13 @@ ProcessResult Emulator::process(Packet& packet) {
                                ? model_.costs.l_mat_fast
                                : model_.costs.l_mat;
             if (n.table.role == TableRole::Cache) {
-                CacheStore& store = *caches_[static_cast<std::size_t>(cur)];
+                CacheStore& store = *caches[static_cast<std::size_t>(cur)];
                 result.cycles += l_mat * scale;  // one probe
                 const CacheStore::CacheEntry* hit = store.lookup(key);
                 if (hit != nullptr) {
-                    if (sampled) ++cache_hits_[static_cast<std::size_t>(cur)];
+                    if (sampled) {
+                        ++counters.cache_hits[static_cast<std::size_t>(cur)];
+                    }
                     bool dropped = false;
                     for (const ReplayStep& step : hit->steps) {
                         const CompiledNode& origin =
@@ -255,7 +350,8 @@ ProcessResult Emulator::process(Packet& packet) {
                                     ? step.action_index
                                     : origin_node.table.default_action;
                         if (sampled) {
-                            ++replays_[{cur, step.origin_node, step.action_index}];
+                            counters.replays.add(ReplayCounterTable::pack(
+                                cur, step.origin_node, step.action_index));
                         }
                         if (a < 0) continue;  // miss with no default: no-op
                         dropped = apply_action(
@@ -266,7 +362,9 @@ ProcessResult Emulator::process(Packet& packet) {
                     if (dropped) break;
                     next = n.next_by_action.empty() ? kNoNode : n.next_by_action[0];
                 } else {
-                    if (sampled) ++cache_misses_[static_cast<std::size_t>(cur)];
+                    if (sampled) {
+                        ++counters.cache_misses[static_cast<std::size_t>(cur)];
+                    }
                     fills.push_back(FillCtx{cur, std::move(key), {}});
                     next = n.miss_next;
                 }
@@ -283,18 +381,19 @@ ProcessResult Emulator::process(Packet& packet) {
                     executed_action = e.action_index;
                     args = &e.action_data;
                     if (sampled) {
-                        ++action_hits_[static_cast<std::size_t>(cur)]
-                                      [static_cast<std::size_t>(executed_action)];
+                        ++counters.action_hits[static_cast<std::size_t>(cur)]
+                                              [static_cast<std::size_t>(
+                                                  executed_action)];
                         if (is_merged_cache) {
-                            ++cache_hits_[static_cast<std::size_t>(cur)];
+                            ++counters.cache_hits[static_cast<std::size_t>(cur)];
                         }
                     }
                 } else {
                     executed_action = n.table.default_action;
                     if (sampled) {
-                        ++misses_[static_cast<std::size_t>(cur)];
+                        ++counters.misses[static_cast<std::size_t>(cur)];
                         if (is_merged_cache) {
-                            ++cache_misses_[static_cast<std::size_t>(cur)];
+                            ++counters.cache_misses[static_cast<std::size_t>(cur)];
                         }
                     }
                 }
@@ -340,42 +439,94 @@ ProcessResult Emulator::process(Packet& packet) {
 
     // Install collected cache fills (LRU + rate limiting applied inside).
     for (auto& fill : fills) {
-        caches_[static_cast<std::size_t>(fill.cache_node)]->insert(
+        caches[static_cast<std::size_t>(fill.cache_node)]->insert(
             fill.key, std::move(fill.entry), clock_seconds_);
     }
 
     result.dropped = packet.dropped();
-    ++packets_total_;
-    if (result.dropped) ++packets_dropped_;
-    latency_.add(result.cycles);
+    ++counters.packets_total;
+    if (result.dropped) ++counters.packets_dropped;
+    counters.latency.add(result.cycles);
     return result;
 }
 
-void Emulator::begin_window() {
-    const std::size_t n = program_.node_count();
-    action_hits_.assign(n, {});
-    for (const Node& node : program_.nodes()) {
-        if (node.is_table()) {
-            action_hits_[static_cast<std::size_t>(node.id)].assign(
-                node.table.actions.size(), 0);
+ProcessResult Emulator::process_unlocked(Packet& packet) {
+    const bool sampled = sampled_for(packet_seq_);
+    ++packet_seq_;
+    return run_packet(packet, sampled, counters_, cache_shards_[0]);
+}
+
+ProcessResult Emulator::process(Packet& packet) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    return process_unlocked(packet);
+}
+
+BatchResult Emulator::process_batch(PacketBatch& batch) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    BatchResult out;
+    out.results.resize(batch.size());
+
+    if (deterministic_ || workers_ <= 1 || batch.size() < 2) {
+        out.workers_used = 1;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            out.results[i] = process_unlocked(batch[i]);
+        }
+    } else {
+        out.workers_used = workers_;
+        // Steer every packet up front (same flow -> same worker, and the
+        // packet's sampling decision keeps its arrival-order sequence
+        // number, exactly as the scalar loop would have assigned it).
+        std::vector<std::vector<std::uint32_t>> plan(
+            static_cast<std::size_t>(workers_));
+        for (auto& lane : plan) lane.reserve(batch.size() / workers_ + 1);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            plan[static_cast<std::size_t>(steer_worker_unlocked(batch[i]))]
+                .push_back(static_cast<std::uint32_t>(i));
+        }
+        const std::uint64_t base_seq = packet_seq_;
+        ProcessResult* results = out.results.data();
+        Packet* packets = batch.packets.data();
+        pool_->run([&](int w) {
+            auto wi = static_cast<std::size_t>(w);
+            CounterShard& shard = worker_counters_[wi];
+            shard.reset_for(program_);
+            for (std::uint32_t idx : plan[wi]) {
+                results[idx] = run_packet(packets[idx],
+                                          sampled_for(base_seq + idx), shard,
+                                          cache_shards_[wi]);
+            }
+        });
+        packet_seq_ += batch.size();
+        // Merge in worker order: deterministic, and counter sums are
+        // order-independent anyway (only the float latency accumulation
+        // depends on it).
+        for (const CounterShard& shard : worker_counters_) {
+            counters_.absorb(shard);
         }
     }
-    misses_.assign(n, 0);
-    branch_true_.assign(n, 0);
-    branch_false_.assign(n, 0);
-    cache_hits_.assign(n, 0);
-    cache_misses_.assign(n, 0);
-    replays_.clear();
-    latency_ = util::RunningStats{};
-    packets_total_ = 0;
-    packets_dropped_ = 0;
+
+    for (const ProcessResult& r : out.results) {
+        out.total_cycles += r.cycles;
+        out.dropped += r.dropped ? 1 : 0;
+    }
+    return out;
+}
+
+void Emulator::begin_window_unlocked() {
+    counters_.reset_for(program_);
     window_start_ = clock_seconds_;
     for (auto& t : tables_) {
         if (t) t->reset_update_count();
     }
 }
 
+void Emulator::begin_window() {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    begin_window_unlocked();
+}
+
 profile::RawCounters Emulator::read_counters() const {
+    std::lock_guard<std::mutex> lock(control_mu_);
     profile::RawCounters raw;
     raw.reset_for(program_, std::max(1e-9, clock_seconds_ - window_start_));
 
@@ -392,17 +543,19 @@ profile::RawCounters Emulator::read_counters() const {
     for (const Node& node : program_.nodes()) {
         auto i = static_cast<std::size_t>(node.id);
         if (node.is_branch()) {
-            raw.branch_true[i] = scale(branch_true_[i]);
-            raw.branch_false[i] = scale(branch_false_[i]);
+            raw.branch_true[i] = scale(counters_.branch_true[i]);
+            raw.branch_false[i] = scale(counters_.branch_false[i]);
             continue;
         }
-        for (std::size_t a = 0; a < action_hits_[i].size(); ++a) {
-            raw.action_hits[i][a] = scale(action_hits_[i][a]);
+        for (std::size_t a = 0; a < counters_.action_hits[i].size(); ++a) {
+            raw.action_hits[i][a] = scale(counters_.action_hits[i][a]);
         }
-        raw.misses[i] = scale(misses_[i]);
-        raw.cache_hits[i] = scale(cache_hits_[i]);
-        raw.cache_misses[i] = scale(cache_misses_[i]);
-        if (caches_[i]) raw.inserts_dropped[i] = caches_[i]->inserts_dropped();
+        raw.misses[i] = scale(counters_.misses[i]);
+        raw.cache_hits[i] = scale(counters_.cache_hits[i]);
+        raw.cache_misses[i] = scale(counters_.cache_misses[i]);
+        for (const CacheSet& shard : cache_shards_) {
+            if (shard[i]) raw.inserts_dropped[i] += shard[i]->inserts_dropped();
+        }
 
         if (tables_[i]) {
             profile::EntrySnapshot snap;
@@ -415,15 +568,17 @@ profile::RawCounters Emulator::read_counters() const {
     }
 
     // Replay counters keyed by (cache node, origin table name, action name).
-    for (const auto& [key, count] : replays_) {
-        const auto& [cache_node, origin_node, action_index] = key;
+    counters_.replays.for_each([&](std::uint64_t key, std::uint64_t count) {
+        NodeId cache_node = ReplayCounterTable::unpack_cache(key);
+        NodeId origin_node = ReplayCounterTable::unpack_origin(key);
+        int action_index = ReplayCounterTable::unpack_action(key);
         const Node& origin = program_.node(origin_node);
         int a = action_index >= 0 ? action_index : origin.table.default_action;
-        if (a < 0) continue;
+        if (a < 0) return;
         raw.replays[{cache_node, origin.table.name,
                      origin.table.actions[static_cast<std::size_t>(a)].name}] +=
             scale(count);
-    }
+    });
     return raw;
 }
 
@@ -435,7 +590,7 @@ double Emulator::throughput_gbps(double avg_cycles, double packet_bytes) const {
     return std::min(gbps, model_.line_rate_gbps);
 }
 
-double Emulator::reconfigure(ir::Program new_program) {
+double Emulator::reconfigure_unlocked(ir::Program new_program) {
     new_program.validate();
 
     // Preserve entries of same-named tables with identical key structure.
@@ -449,7 +604,7 @@ double Emulator::reconfigure(ir::Program new_program) {
 
     program_ = std::move(new_program);
     compile();
-    begin_window();
+    begin_window_unlocked();
 
     for (auto& [name, entries] : saved) {
         NodeId id = program_.find_table(name);
@@ -468,8 +623,14 @@ double Emulator::reconfigure(ir::Program new_program) {
     return downtime;
 }
 
+double Emulator::reconfigure(ir::Program new_program) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    return reconfigure_unlocked(std::move(new_program));
+}
+
 Emulator::ReconfigureStats Emulator::reconfigure_incremental(
     ir::Program new_program) {
+    std::lock_guard<std::mutex> lock(control_mu_);
     new_program.validate();
     ReconfigureStats stats;
 
@@ -513,14 +674,18 @@ Emulator::ReconfigureStats Emulator::reconfigure_incremental(
     }
     (void)unchanged;
 
-    // Save warm cache stores whose definition is unchanged.
-    std::map<std::string, std::unique_ptr<CacheStore>> saved_caches;
+    // Save warm cache stores (one per worker shard) whose definition is
+    // unchanged.
+    std::map<std::string, std::vector<std::unique_ptr<CacheStore>>> saved_caches;
     for (const Node& node : program_.nodes()) {
         auto i = static_cast<std::size_t>(node.id);
-        if (!node.is_table() || !caches_[i]) continue;
-        auto it = old_tables.find(node.table.name);
-        (void)it;
-        saved_caches.emplace(node.table.name, std::move(caches_[i]));
+        if (!node.is_table() || node.table.role != TableRole::Cache) continue;
+        if (!cache_shards_[0][i]) continue;
+        std::vector<std::unique_ptr<CacheStore>> stores;
+        for (CacheSet& shard : cache_shards_) {
+            stores.push_back(std::move(shard[i]));
+        }
+        saved_caches.emplace(node.table.name, std::move(stores));
     }
 
     double full_downtime = model_.live_reconfig ? 0.0 : model_.reload_downtime_s;
@@ -532,7 +697,7 @@ Emulator::ReconfigureStats Emulator::reconfigure_incremental(
                       1, stats.tables_total));
     // Full reconfigure (which would drop warm caches), then splice the
     // saved stores back where definitions match.
-    reconfigure(std::move(new_program));
+    reconfigure_unlocked(std::move(new_program));
     clock_seconds_ -= full_downtime;  // replace with the incremental cost
     stats.downtime_s = full_downtime * std::min(1.0, changed_fraction);
     clock_seconds_ += stats.downtime_s;
@@ -542,10 +707,13 @@ Emulator::ReconfigureStats Emulator::reconfigure_incremental(
         auto i = static_cast<std::size_t>(node.id);
         if (!node.is_table() || node.table.role != TableRole::Cache) continue;
         auto sit = saved_caches.find(node.table.name);
-        if (sit == saved_caches.end() || !sit->second) continue;
+        if (sit == saved_caches.end()) continue;
         auto oit = old_tables.find(node.table.name);
         if (oit != old_tables.end() && oit->second == node.table) {
-            caches_[i] = std::move(sit->second);
+            std::size_t n = std::min(sit->second.size(), cache_shards_.size());
+            for (std::size_t w = 0; w < n; ++w) {
+                if (sit->second[w]) cache_shards_[w][i] = std::move(sit->second[w]);
+            }
             ++stats.caches_kept_warm;
         }
     }

@@ -1,35 +1,46 @@
 // sim/emulator.h — the run-to-completion SmartNIC emulator. This is our
 // stand-in for the paper's three targets: it executes the (optimized) IR
-// directly, one packet at a time, charging emulated cycles according to the
-// active NicModel — m hash probes per key match, one L_act per action
-// primitive, branch cost, counter-update cost when instrumented, CPU-core
-// slowdown, and migration cost on ASIC<->CPU crossings. Flow caches learn
-// entries on misses (LRU + insertion rate limiting) and replay recorded
-// outcomes on hits. The emulator exposes P4-counter readings (RawCounters)
-// and supports live reconfiguration (or reflash downtime, per NicModel).
+// directly, charging emulated cycles according to the active NicModel — m
+// hash probes per key match, one L_act per action primitive, branch cost,
+// counter-update cost when instrumented, CPU-core slowdown, and migration
+// cost on ASIC<->CPU crossings. Flow caches learn entries on misses (LRU +
+// insertion rate limiting) and replay recorded outcomes on hits. The
+// emulator exposes P4-counter readings (RawCounters) and supports live
+// reconfiguration (or reflash downtime, per NicModel).
+//
+// Data-plane entry points:
+//   - process(Packet&): the scalar path, one packet on the calling thread.
+//   - process_batch(PacketBatch&): the batched path. With worker_count() > 1
+//     and deterministic() off, packets are steered to worker threads by an
+//     RSS-style hash over the union of table key fields (same flow -> same
+//     worker, always), each worker runs against its own cache shard and
+//     private CounterShard (no atomics on the hot path), and shards merge
+//     into the window counters in worker order at batch end. With one worker
+//     or deterministic mode the batch runs through the scalar path in input
+//     order and is bit-identical to calling process() per packet.
+//
+// Control-plane calls (entry ops, reconfiguration, cache invalidation,
+// window resets) are fenced against in-flight batches by a mutex, so engine
+// rebuilds never race data-plane lookups.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ir/program.h"
 #include "profile/counter_map.h"
 #include "profile/profile.h"
+#include "sim/batch.h"
+#include "sim/counter_shard.h"
 #include "sim/nic_model.h"
 #include "sim/packet.h"
 #include "sim/table_state.h"
+#include "sim/worker_pool.h"
 #include "util/stats.h"
 
 namespace pipeleon::sim {
-
-/// Outcome of processing one packet.
-struct ProcessResult {
-    double cycles = 0.0;
-    bool dropped = false;
-    int migrations = 0;
-    int nodes_visited = 0;
-};
 
 class Emulator {
 public:
@@ -43,9 +54,7 @@ public:
     const profile::InstrumentationConfig& instrumentation() const {
         return instrumentation_;
     }
-    void set_instrumentation(profile::InstrumentationConfig cfg) {
-        instrumentation_ = cfg;
-    }
+    void set_instrumentation(profile::InstrumentationConfig cfg);
 
     // ------------------------------------------------------- control plane
 
@@ -61,19 +70,44 @@ public:
     std::size_t entry_count(const std::string& table) const;
     const std::vector<ir::TableEntry>* entries(const std::string& table) const;
 
-    /// Number of live entries in the cache table's store.
+    /// Number of live entries in the cache table's store (summed over all
+    /// worker shards).
     std::size_t cache_size(const std::string& table) const;
 
     /// Invalidates (clears) every flow cache whose origin set contains the
     /// given table — "an update in any of the original tables will
-    /// invalidate the entire cache" (§3.2.2). Returns the number of caches
-    /// cleared.
+    /// invalidate the entire cache" (§3.2.2) — across all worker shards.
+    /// Returns the number of caches cleared (counting each node once).
     int invalidate_caches_covering(const std::string& origin_table);
 
     // ---------------------------------------------------------- data plane
 
     /// Runs the packet to completion; mutates the packet's fields.
     ProcessResult process(Packet& packet);
+
+    /// Runs a whole batch; results come back in input order. See the header
+    /// comment for the steering/shard-merge/determinism contract.
+    BatchResult process_batch(PacketBatch& batch);
+
+    // ------------------------------------------------------------- workers
+
+    /// Sets the number of data-plane workers, clamped to [1, model().cores]
+    /// (a NIC cannot run more run-to-completion pipelines than it has
+    /// cores). Worker cache shards beyond the first start cold; shard 0
+    /// stays warm, so shrinking back to one worker keeps the scalar path's
+    /// cache. Fenced like any control-plane call.
+    void set_worker_count(int workers);
+    int worker_count() const { return workers_; }
+
+    /// Deterministic mode forces every batch down the sequential scalar
+    /// path regardless of worker count — merged counters and latency stats
+    /// are then bit-identical to a process() loop.
+    void set_deterministic(bool on) { deterministic_ = on; }
+    bool deterministic() const { return deterministic_; }
+
+    /// The worker a packet's flow steers to (stable across batches: it
+    /// depends only on the packet's key-field values and the worker count).
+    int steer_worker(const Packet& packet) const;
 
     // -------------------------------------------------------- virtual time
 
@@ -92,11 +126,11 @@ public:
     profile::RawCounters read_counters() const;
 
     /// Ground-truth per-packet latency over the window (cycles).
-    const util::RunningStats& latency_stats() const { return latency_; }
+    const util::RunningStats& latency_stats() const { return counters_.latency; }
 
     /// Ground-truth totals (not subject to sampling).
-    std::uint64_t packets_processed() const { return packets_total_; }
-    std::uint64_t packets_dropped() const { return packets_dropped_; }
+    std::uint64_t packets_processed() const { return counters_.packets_total; }
+    std::uint64_t packets_dropped() const { return counters_.packets_dropped; }
 
     /// Converts an average packet latency into aggregate Gbps given the
     /// model's clock, core count, and line rate.
@@ -146,12 +180,30 @@ private:
         std::vector<ir::NodeId> covered_by;
     };
 
+    /// One worker's set of per-node cache stores (index = node id).
+    using CacheSet = std::vector<std::unique_ptr<CacheStore>>;
+
     void compile();
-    bool packet_sampled();
+    CacheSet make_cache_set() const;
+    /// Sizes cache_shards_ to workers_; existing shards (and their warm
+    /// entries) are kept, new shards start cold.
+    void resize_cache_shards();
+
+    bool sampled_for(std::uint64_t seq) const;
+    /// The scalar per-packet loop, parameterized over the counter shard and
+    /// cache shard it accounts into. Thread-safe for distinct shards.
+    ProcessResult run_packet(Packet& packet, bool sampled, CounterShard& counters,
+                             CacheSet& caches);
     /// Applies an action; returns true when the packet was dropped.
     bool apply_action(const CompiledAction& action, Packet& packet,
                       const std::vector<std::uint64_t>& args, double scale,
-                      double& cycles);
+                      double& cycles) const;
+    std::uint64_t flow_hash(const Packet& packet) const;
+    int steer_worker_unlocked(const Packet& packet) const;
+
+    ProcessResult process_unlocked(Packet& packet);
+    void begin_window_unlocked();
+    double reconfigure_unlocked(ir::Program new_program);
 
     NicModel model_;
     ir::Program program_;
@@ -160,19 +212,26 @@ private:
 
     std::vector<CompiledNode> compiled_;
     std::vector<std::unique_ptr<TableState>> tables_;  // per node (may be null)
-    std::vector<std::unique_ptr<CacheStore>> caches_;  // per node (may be null)
+    /// Per-worker cache stores: cache_shards_[worker][node]. Shard 0 is the
+    /// scalar path's cache; flows are pinned to shards by the steering hash,
+    /// so each shard's LRU evolves deterministically.
+    std::vector<CacheSet> cache_shards_;
 
-    // Window counters (sampled when instrumentation.sampling_rate < 1).
-    std::vector<std::vector<std::uint64_t>> action_hits_;
-    std::vector<std::uint64_t> misses_;
-    std::vector<std::uint64_t> branch_true_, branch_false_;
-    std::vector<std::uint64_t> cache_hits_, cache_misses_;
-    // (cache node, origin node, origin action or -1=miss) -> count
-    std::map<std::tuple<ir::NodeId, ir::NodeId, int>, std::uint64_t> replays_;
+    /// Merged window counters (sampled when instrumentation.sampling_rate
+    /// < 1). Workers accumulate into worker_counters_ and merge here.
+    CounterShard counters_;
+    std::vector<CounterShard> worker_counters_;
 
-    util::RunningStats latency_;
-    std::uint64_t packets_total_ = 0;
-    std::uint64_t packets_dropped_ = 0;
+    /// Union of every table's key fields — the emulator's RSS flow tuple.
+    std::vector<FieldId> steer_fields_;
+
+    int workers_ = 1;
+    bool deterministic_ = false;
+    std::unique_ptr<WorkerPool> pool_;
+
+    /// Fences control-plane mutations against in-flight batches.
+    mutable std::mutex control_mu_;
+
     std::uint64_t packet_seq_ = 0;
     double clock_seconds_ = 0.0;
     double window_start_ = 0.0;

@@ -1,0 +1,62 @@
+#include "sim/worker_pool.h"
+
+#include <algorithm>
+
+namespace pipeleon::sim {
+
+WorkerPool::WorkerPool(int workers) {
+    workers = std::max(1, workers);
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+WorkerPool::~WorkerPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &fn;
+    first_error_ = nullptr;
+    pending_ = size();
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void WorkerPool::worker_loop(int id) {
+    std::uint64_t seen = 0;
+    while (true) {
+        const std::function<void(int)>* job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [this, seen] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            job = job_;
+        }
+        std::exception_ptr error;
+        try {
+            (*job)(id);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (error && !first_error_) first_error_ = error;
+            if (--pending_ == 0) done_cv_.notify_one();
+        }
+    }
+}
+
+}  // namespace pipeleon::sim

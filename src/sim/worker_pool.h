@@ -1,0 +1,49 @@
+// sim/worker_pool.h — a persistent pool of host worker threads standing in
+// for the NIC's run-to-completion cores. Threads are spawned once and woken
+// per batch (spawning per batch would dominate the per-batch work the whole
+// refactor is trying to amortize). The pool runs one job at a time: run()
+// invokes fn(worker_id) on every worker and blocks until all return, which
+// is exactly the barrier the emulator's counter-shard merge needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pipeleon::sim {
+
+class WorkerPool {
+public:
+    /// Spawns `workers` threads (at least 1).
+    explicit WorkerPool(int workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    int size() const { return static_cast<int>(threads_.size()); }
+
+    /// Runs fn(worker_id) on every worker and blocks until all complete.
+    /// The first exception thrown by any worker is rethrown here after the
+    /// barrier (the batch is still fully drained first).
+    void run(const std::function<void(int)>& fn);
+
+private:
+    void worker_loop(int id);
+
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;   // workers wait here for a job
+    std::condition_variable done_cv_;   // run() waits here for the barrier
+    const std::function<void(int)>* job_ = nullptr;
+    std::uint64_t generation_ = 0;  // bumped per job so workers run it once
+    int pending_ = 0;
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace pipeleon::sim

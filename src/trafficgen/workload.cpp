@@ -81,6 +81,28 @@ sim::Packet Workload::next_packet(sim::FieldTable& fields,
     return flows_.make_packet(next_flow(), fields, wire_bytes);
 }
 
+sim::PacketBatch Workload::next_batch(sim::FieldTable& fields, std::size_t n,
+                                      std::size_t wire_bytes) {
+    // Intern the tuple once for the whole batch; make_packet would pay a
+    // string hash per field per packet.
+    std::vector<sim::FieldId> ids;
+    ids.reserve(flows_.fields().size());
+    for (const FieldRange& f : flows_.fields()) ids.push_back(fields.intern(f.field));
+
+    sim::PacketBatch batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t flow = next_flow();
+        sim::Packet packet;
+        packet.set_wire_bytes(wire_bytes);
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+            packet.set(ids[j], flows_.value_at(flow, j));
+        }
+        batch.push_back(std::move(packet));
+    }
+    return batch;
+}
+
 std::vector<std::size_t> Workload::pick_flows(double fraction) {
     std::size_t want = static_cast<std::size_t>(
         std::ceil(fraction * static_cast<double>(flows_.size())));

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ir/entry.h"
+#include "sim/batch.h"
 #include "sim/packet.h"
 #include "util/rng.h"
 
@@ -37,6 +38,12 @@ public:
     /// The value of `field` in flow `flow`; 0 if the field is not part of
     /// the tuple.
     std::uint64_t value(std::size_t flow, const std::string& field) const;
+
+    /// The value of the tuple's `field_index`-th field (no name lookup).
+    std::uint64_t value_at(std::size_t flow, std::size_t field_index) const {
+        if (flow >= values_.size() || field_index >= values_[flow].size()) return 0;
+        return values_[flow][field_index];
+    }
 
     /// Materializes a packet for the flow (all tuple fields set).
     sim::Packet make_packet(std::size_t flow, sim::FieldTable& fields,
@@ -73,6 +80,13 @@ public:
 
     /// Samples a flow and materializes its packet.
     sim::Packet next_packet(sim::FieldTable& fields, std::size_t wire_bytes = 512);
+
+    /// Samples `n` flows and materializes a batch. Equivalent to calling
+    /// next_packet() n times (same flow sequence for a given rng state), but
+    /// the tuple's field names are interned once per call instead of once
+    /// per packet, so generation amortizes with the batched data plane.
+    sim::PacketBatch next_batch(sim::FieldTable& fields, std::size_t n,
+                                std::size_t wire_bytes = 512);
 
     /// Picks ceil(fraction * size) distinct flows (for ACL targeting etc.).
     std::vector<std::size_t> pick_flows(double fraction);
