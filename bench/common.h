@@ -6,12 +6,24 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "sim/emulator.h"
 #include "trafficgen/workload.h"
 #include "util/stats.h"
 #include "util/strings.h"
 
 namespace pipeleon::bench {
+
+/// Benches measure the optimization and data-plane hot paths, so the
+/// plan-apply verifier (ISSUE 2) must stay out of the measured loops:
+/// including this header turns it off for the whole process. Correctness
+/// of optimizer output is covered by tests/test_verify.cpp, not by benches.
+struct VerifierOffForBenchmarks {
+    VerifierOffForBenchmarks() {
+        analysis::set_verify_mode(analysis::VerifyMode::Off);
+    }
+};
+inline const VerifierOffForBenchmarks kVerifierOffForBenchmarks{};
 
 /// One measurement window: streams `packets` packets and advances the
 /// emulator clock by `window_seconds`.

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/scenarios.h"
+#include "bench/common.h"
 #include "ir/builder.h"
 #include "search/optimizer.h"
 #include "sim/emulator.h"

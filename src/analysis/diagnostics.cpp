@@ -1,0 +1,111 @@
+#include "analysis/diagnostics.h"
+
+#include <atomic>
+
+namespace pipeleon::analysis {
+
+const char* to_string(Severity severity) {
+    switch (severity) {
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string to_string(const Diagnostic& diagnostic) {
+    std::string out = to_string(diagnostic.severity);
+    out += " [";
+    out += diagnostic.rule;
+    out += "]";
+    if (diagnostic.node != ir::kNoNode) {
+        out += " @node " + std::to_string(diagnostic.node);
+    }
+    out += ": ";
+    out += diagnostic.message;
+    return out;
+}
+
+void DiagnosticList::error(std::string rule, ir::NodeId node,
+                           std::string message) {
+    add(Diagnostic{Severity::Error, node, std::move(rule), std::move(message)});
+}
+
+void DiagnosticList::warning(std::string rule, ir::NodeId node,
+                             std::string message) {
+    add(Diagnostic{Severity::Warning, node, std::move(rule), std::move(message)});
+}
+
+void DiagnosticList::add(Diagnostic diagnostic) {
+    if (diagnostic.severity == Severity::Error) ++errors_;
+    items_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticList::merge(const DiagnosticList& other) {
+    for (const Diagnostic& d : other.items_) add(d);
+}
+
+bool DiagnosticList::has_rule(const std::string& rule) const {
+    for (const Diagnostic& d : items_) {
+        if (d.rule == rule) return true;
+    }
+    return false;
+}
+
+std::string DiagnosticList::to_string() const {
+    std::string out;
+    for (const Diagnostic& d : items_) {
+        if (!out.empty()) out += '\n';
+        out += analysis::to_string(d);
+    }
+    return out;
+}
+
+namespace {
+
+std::string verify_error_what(const std::string& context,
+                              const DiagnosticList& diagnostics) {
+    std::string out = context;
+    out += ": verification failed (";
+    out += std::to_string(diagnostics.error_count());
+    out += " error(s))";
+    if (!diagnostics.empty()) {
+        out += '\n';
+        out += diagnostics.to_string();
+    }
+    return out;
+}
+
+}  // namespace
+
+VerifyError::VerifyError(const std::string& context, DiagnosticList diagnostics)
+    : std::runtime_error(verify_error_what(context, diagnostics)),
+      diagnostics_(std::move(diagnostics)) {}
+
+const char* to_string(VerifyMode mode) {
+    switch (mode) {
+        case VerifyMode::Off: return "off";
+        case VerifyMode::Structure: return "structure";
+        case VerifyMode::Full: return "full";
+    }
+    return "?";
+}
+
+namespace {
+
+#ifndef NDEBUG
+constexpr VerifyMode kDefaultMode = VerifyMode::Full;
+#else
+constexpr VerifyMode kDefaultMode = VerifyMode::Structure;
+#endif
+
+std::atomic<VerifyMode> g_mode{kDefaultMode};
+
+}  // namespace
+
+VerifyMode verify_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+void set_verify_mode(VerifyMode mode) {
+    g_mode.store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace pipeleon::analysis

@@ -1,0 +1,97 @@
+// analysis/diagnostics.h — structured diagnostics for the program verifier
+// (ISSUE 2). Verification failures are collected, not thrown: a verifier
+// pass appends Diagnostic records to a DiagnosticList and the caller decides
+// whether the error set warrants aborting (VerifyError) or just reporting
+// (the lint CLI). Severity::Warning records suspicious-but-legal structure
+// (e.g. unreachable nodes before compaction); only Severity::Error makes a
+// program or plan invalid.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace pipeleon::analysis {
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+const char* to_string(Severity severity);
+
+/// One verifier finding. `rule` is a stable dotted identifier from the rule
+/// catalog (DESIGN.md), e.g. "structure.cycle" or "plan.reorder.dependency";
+/// tests and tools match on it, never on `message`.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    ir::NodeId node = ir::kNoNode;  ///< offending node; kNoNode = program-level
+    std::string rule;
+    std::string message;
+
+    bool operator==(const Diagnostic&) const = default;
+};
+
+/// Renders "error [structure.cycle] @node 3: ...".
+std::string to_string(const Diagnostic& diagnostic);
+
+/// An append-only collection of findings with severity bookkeeping.
+class DiagnosticList {
+public:
+    void error(std::string rule, ir::NodeId node, std::string message);
+    void warning(std::string rule, ir::NodeId node, std::string message);
+    void add(Diagnostic diagnostic);
+    /// Appends every finding of `other`.
+    void merge(const DiagnosticList& other);
+
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::size_t error_count() const { return errors_; }
+    /// True when no Error-severity finding was recorded.
+    bool ok() const { return errors_ == 0; }
+
+    const std::vector<Diagnostic>& items() const { return items_; }
+    const Diagnostic& operator[](std::size_t i) const { return items_[i]; }
+
+    /// True when some finding carries the given rule id.
+    bool has_rule(const std::string& rule) const;
+
+    /// One line per finding; empty string when clean.
+    std::string to_string() const;
+
+private:
+    std::vector<Diagnostic> items_;
+    std::size_t errors_ = 0;
+};
+
+/// Typed verification failure: carries the structured findings so callers
+/// (the optimizer, tests, the lint CLI) can inspect rules instead of parsing
+/// the what() text. Derives from std::runtime_error for compatibility with
+/// pre-verifier call sites.
+class VerifyError : public std::runtime_error {
+public:
+    VerifyError(const std::string& context, DiagnosticList diagnostics);
+
+    const DiagnosticList& diagnostics() const { return diagnostics_; }
+
+private:
+    DiagnosticList diagnostics_;
+};
+
+/// How much checking the transformation pipeline performs at plan-apply
+/// time (opt::apply_plans and the optimizer's candidate filter):
+///  - Off:       pre-condition checks only (the seed behavior),
+///  - Structure: Layer 1 structural well-formedness of the result,
+///  - Full:      Layer 1 + Layer 2 translation validation against the
+///               original program.
+enum class VerifyMode : std::uint8_t { Off, Structure, Full };
+
+const char* to_string(VerifyMode mode);
+
+/// Process-wide default mode: Full in debug builds (assert-style safety
+/// net), Structure in release. Benches pumping packets through repeated
+/// optimize/apply loops set Off to keep verification out of measured paths.
+VerifyMode verify_mode();
+void set_verify_mode(VerifyMode mode);
+
+}  // namespace pipeleon::analysis

@@ -1,0 +1,181 @@
+// apps/pipeleon_lint — standalone static-analysis front-end for the program
+// verifier (ISSUE 2). Loads a program JSON (our IR schema, or BMv2 with
+// --bmv2), runs the Layer-1 structural checks, and — when a plan file is
+// given — applies the plan with full Layer-2 translation validation.
+// Prints one diagnostic per line; exit code 0 when no Error-severity finding
+// was reported, 1 on verification errors, 2 on usage/IO problems.
+//
+// Plan file schema (JSON):
+//   {
+//     "max_pipelet_length": 8,          // optional, pipelet formation knob
+//     "plans": [
+//       { "pipelet_id": 0,
+//         "order": [2, 0, 1],           // optional, identity when absent
+//         "caches": [[0, 1]],           // [first, last] segments, new order
+//         "merges": [ { "seg": [2, 3], "as_cache": true } ],
+//         "cache_capacity": 4096 }      // optional CacheConfig override
+//     ]
+//   }
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/pipelet.h"
+#include "analysis/verify.h"
+#include "ir/bmv2_import.h"
+#include "ir/json_io.h"
+#include "opt/transform.h"
+#include "util/json.h"
+
+namespace {
+
+using pipeleon::analysis::DiagnosticList;
+using pipeleon::analysis::VerifyError;
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--bmv2] [--pipeline NAME] [--plan PLAN.json] "
+                 "[--quiet] PROGRAM.json\n"
+                 "  --bmv2           input is a BMv2 p4c JSON (default: "
+                 "pipeleon IR schema)\n"
+                 "  --pipeline NAME  BMv2 pipeline to import (default "
+                 "\"ingress\")\n"
+                 "  --plan FILE      verify an optimization plan against the "
+                 "program (Layer 2)\n"
+                 "  --quiet          print nothing when the program is clean\n",
+                 argv0);
+    return 2;
+}
+
+void print_diagnostics(const DiagnosticList& diagnostics) {
+    for (const auto& d : diagnostics.items()) {
+        std::fprintf(stdout, "%s\n", pipeleon::analysis::to_string(d).c_str());
+    }
+}
+
+std::vector<pipeleon::opt::PipeletPlan> parse_plans(const pipeleon::util::Json& doc) {
+    using pipeleon::opt::MergeSpec;
+    using pipeleon::opt::PipeletPlan;
+    using pipeleon::opt::Segment;
+    std::vector<PipeletPlan> plans;
+    for (const auto& p : doc.at("plans").as_array()) {
+        PipeletPlan plan;
+        plan.pipelet_id = static_cast<int>(p.get_int("pipelet_id", -1));
+        if (const auto* order = p.find("order")) {
+            for (const auto& v : order->as_array()) {
+                plan.layout.order.push_back(
+                    static_cast<std::size_t>(v.as_int()));
+            }
+        }
+        if (const auto* caches = p.find("caches")) {
+            for (const auto& seg : caches->as_array()) {
+                plan.layout.caches.push_back(
+                    Segment{static_cast<std::size_t>(seg.at(0).as_int()),
+                            static_cast<std::size_t>(seg.at(1).as_int())});
+            }
+        }
+        if (const auto* merges = p.find("merges")) {
+            for (const auto& m : merges->as_array()) {
+                MergeSpec spec;
+                spec.seg =
+                    Segment{static_cast<std::size_t>(m.at("seg").at(0).as_int()),
+                            static_cast<std::size_t>(m.at("seg").at(1).as_int())};
+                spec.as_cache = m.get_bool("as_cache", false);
+                plan.layout.merges.push_back(spec);
+            }
+        }
+        plan.layout.cache_config.capacity = static_cast<std::size_t>(
+            p.get_int("cache_capacity",
+                      static_cast<std::int64_t>(
+                          plan.layout.cache_config.capacity)));
+        plans.push_back(std::move(plan));
+    }
+    return plans;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool bmv2 = false;
+    bool quiet = false;
+    std::string pipeline = "ingress";
+    std::string plan_path;
+    std::string program_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--bmv2") {
+            bmv2 = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--pipeline" && i + 1 < argc) {
+            pipeline = argv[++i];
+        } else if (arg == "--plan" && i + 1 < argc) {
+            plan_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (program_path.empty()) {
+            program_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (program_path.empty()) return usage(argv[0]);
+
+    // Load. The load paths run Layer 1 themselves and throw a VerifyError
+    // carrying the structured findings; re-running the verifier on success
+    // also surfaces Warning-severity findings a throwing load would keep.
+    pipeleon::ir::Program program;
+    try {
+        program = bmv2 ? pipeleon::ir::load_bmv2(program_path, {pipeline})
+                       : pipeleon::ir::load_program(program_path);
+    } catch (const VerifyError& e) {
+        std::fprintf(stdout, "%s: FAIL\n", program_path.c_str());
+        print_diagnostics(e.diagnostics());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: cannot load: %s\n", program_path.c_str(),
+                     e.what());
+        return 1;
+    }
+
+    pipeleon::analysis::Verifier verifier;
+    DiagnosticList diagnostics = verifier.check_program(program);
+
+    // Optional Layer 2: apply the plan against the loaded program and
+    // translation-validate the result.
+    if (!plan_path.empty()) {
+        try {
+            pipeleon::util::Json doc = pipeleon::util::load_json_file(plan_path);
+            std::vector<pipeleon::opt::PipeletPlan> plans = parse_plans(doc);
+            pipeleon::analysis::PipeletOptions popts;
+            popts.max_length = static_cast<std::size_t>(
+                doc.get_int("max_pipelet_length", 8));
+            std::vector<pipeleon::analysis::Pipelet> pipelets =
+                pipeleon::analysis::form_pipelets(program, popts);
+            pipeleon::ir::Program optimized = pipeleon::opt::apply_plans(
+                program, pipelets, plans, pipeleon::analysis::VerifyMode::Off);
+            diagnostics.merge(
+                verifier.check_translation(program, pipelets, plans, optimized));
+        } catch (const VerifyError& e) {
+            diagnostics.merge(e.diagnostics());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s: cannot apply plan: %s\n",
+                         plan_path.c_str(), e.what());
+            return 2;
+        }
+    }
+
+    if (!diagnostics.empty()) print_diagnostics(diagnostics);
+    if (!diagnostics.ok()) {
+        std::fprintf(stdout, "%s: FAIL (%zu error(s), %zu finding(s))\n",
+                     program_path.c_str(), diagnostics.error_count(),
+                     diagnostics.size());
+        return 1;
+    }
+    if (!quiet) {
+        std::fprintf(stdout, "%s: OK (%zu nodes, %zu tables)\n",
+                     program_path.c_str(), program.node_count(),
+                     program.table_count());
+    }
+    return 0;
+}

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "analysis/verify.h"
 #include "util/strings.h"
 
 namespace pipeleon::ir {
@@ -356,7 +357,9 @@ Program import_bmv2(const Json& doc, const Bmv2ImportOptions& options) {
     std::string init = pipeline->get_string("init_table", "");
     if (init.empty()) fail("pipeline has no init_table");
     program.set_root(resolve(init));
-    program.validate();
+    // Layer-1 structural verification on every import (ISSUE 2): diagnoses
+    // dangling next_tables, cycles, and arity mismatches in one pass.
+    analysis::verify_structure_or_throw(program, "bmv2_import");
     return program;
 }
 

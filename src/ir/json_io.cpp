@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/verify.h"
 #include "util/strings.h"
 
 namespace pipeleon::ir {
@@ -212,7 +213,10 @@ Program program_from_json(const Json& json) {
         }
     }
     program.set_root(static_cast<NodeId>(json.get_int("root", 0)));
-    program.validate();
+    // Layer-1 structural verification on every load: a malformed document
+    // fails here with the full diagnostic list instead of corrupting a
+    // downstream pass.
+    analysis::verify_structure_or_throw(program, "json_io.program_from_json");
     return program;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/verify.h"
 #include "opt/cache.h"
 #include "opt/merge.h"
 #include "util/strings.h"
@@ -29,6 +30,15 @@ void repoint_edges(Program& program, NodeId from, NodeId to) {
 
 namespace {
 
+/// A plan pre-condition failure: one structured diagnostic wrapped in the
+/// typed VerifyError (the search should have filtered the plan out).
+[[noreturn]] void fail_plan(const std::string& rule, ir::NodeId node,
+                            const std::string& message) {
+    analysis::DiagnosticList d;
+    d.error(rule, node, message);
+    throw analysis::VerifyError("opt.apply_plans", std::move(d));
+}
+
 /// One element of the rewritten pipelet chain: a head node that receives
 /// the traffic and a function of "what every exit of this element should
 /// point to".
@@ -46,13 +56,16 @@ struct Element {
 
 Program apply_plans(const Program& program,
                     const std::vector<analysis::Pipelet>& pipelets,
-                    const std::vector<PipeletPlan>& plans) {
+                    const std::vector<PipeletPlan>& plans,
+                    std::optional<analysis::VerifyMode> mode) {
     Program work = program;
 
     for (const PipeletPlan& plan : plans) {
         if (plan.pipelet_id < 0 ||
             static_cast<std::size_t>(plan.pipelet_id) >= pipelets.size()) {
-            throw std::runtime_error("apply_plans: bad pipelet id");
+            fail_plan("apply.pipelet-id", ir::kNoNode,
+                      util::format("plan names pipelet %d of %zu",
+                                   plan.pipelet_id, pipelets.size()));
         }
         const analysis::Pipelet& pipelet =
             pipelets[static_cast<std::size_t>(plan.pipelet_id)];
@@ -60,12 +73,13 @@ Program apply_plans(const Program& program,
         const std::size_t n = pipelet.nodes.size();
         if (layout.is_identity()) continue;
         if (layout.order.size() != n || !layout.segments_valid(n)) {
-            throw std::runtime_error("apply_plans: malformed layout for pipelet " +
-                                     std::to_string(plan.pipelet_id));
+            fail_plan("apply.layout", pipelet.entry(),
+                      "malformed layout for pipelet " +
+                          std::to_string(plan.pipelet_id));
         }
         if (pipelet.is_switch_case) {
-            throw std::runtime_error(
-                "apply_plans: switch-case pipelets are not transformable");
+            fail_plan("apply.switch-case", pipelet.entry(),
+                      "switch-case pipelets are not transformable");
         }
 
         // Ordered node ids after reordering.
@@ -123,7 +137,9 @@ Program apply_plans(const Program& program,
                     covered.push_back(&work.node(ordered[q]).table);
                 }
                 if (!cacheable(covered)) {
-                    throw std::runtime_error("apply_plans: segment not cacheable");
+                    fail_plan("apply.cache", pipelet.entry(),
+                              "segment not cacheable in pipelet " +
+                                  std::to_string(plan.pipelet_id));
                 }
                 ir::Table cache_table =
                     build_cache_table(covered, layout.cache_config);
@@ -152,7 +168,9 @@ Program apply_plans(const Program& program,
                 auto merged =
                     build_merged_table(sources, merge_spec->as_cache);
                 if (!merged.has_value()) {
-                    throw std::runtime_error("apply_plans: segment not mergeable");
+                    fail_plan("apply.merge", pipelet.entry(),
+                              "segment not mergeable in pipelet " +
+                                  std::to_string(plan.pipelet_id));
                 }
                 NodeId merged_id = work.add_table(std::move(*merged));
 
@@ -219,14 +237,30 @@ Program apply_plans(const Program& program,
     }
 
     work.compact();
-    work.validate();
+
+    // Post-rewrite verification (ISSUE 2): Layer 1 checks the rewired DAG,
+    // Layer 2 re-derives the dependency analysis and proves the plans
+    // preserved it. Off keeps the seed's bare validate() for measured loops.
+    switch (mode.value_or(analysis::verify_mode())) {
+        case analysis::VerifyMode::Off:
+            work.validate();
+            break;
+        case analysis::VerifyMode::Structure:
+            analysis::verify_structure_or_throw(work, "opt.apply_plans");
+            break;
+        case analysis::VerifyMode::Full:
+            analysis::verify_translation_or_throw(program, pipelets, plans,
+                                                  work, "opt.apply_plans");
+            break;
+    }
     return work;
 }
 
 Program apply_plan(const Program& program,
                    const std::vector<analysis::Pipelet>& pipelets,
-                   const PipeletPlan& plan) {
-    return apply_plans(program, pipelets, {plan});
+                   const PipeletPlan& plan,
+                   std::optional<analysis::VerifyMode> mode) {
+    return apply_plans(program, pipelets, {plan}, mode);
 }
 
 }  // namespace pipeleon::opt

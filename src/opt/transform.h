@@ -8,8 +8,10 @@
 // stable while the rewrite is in progress.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "analysis/pipelet.h"
 #include "ir/program.h"
 #include "opt/candidate.h"
@@ -24,16 +26,24 @@ struct PipeletPlan {
 
 /// Applies the plans to (a copy of) `program`. `pipelets` must be the
 /// partition of `program` the plan ids refer to. Returns the optimized,
-/// compacted, validated program. Throws std::runtime_error when a plan is
-/// structurally inapplicable (the search should have filtered it).
+/// compacted, verified program.
+///
+/// Throws analysis::VerifyError (a std::runtime_error) when a plan is
+/// structurally inapplicable, or when the verifier rejects the rewritten
+/// program. `mode` selects how much checking runs on the result: nullopt
+/// uses the process default (analysis::verify_mode() — Layer 1 + Layer 2 in
+/// debug builds, Layer 1 in release); VerifyMode::Off restores the seed's
+/// bare structural validate() for measured hot loops.
 ir::Program apply_plans(const ir::Program& program,
                         const std::vector<analysis::Pipelet>& pipelets,
-                        const std::vector<PipeletPlan>& plans);
+                        const std::vector<PipeletPlan>& plans,
+                        std::optional<analysis::VerifyMode> mode = std::nullopt);
 
 /// Convenience: applies a single plan.
 ir::Program apply_plan(const ir::Program& program,
                        const std::vector<analysis::Pipelet>& pipelets,
-                       const PipeletPlan& plan);
+                       const PipeletPlan& plan,
+                       std::optional<analysis::VerifyMode> mode = std::nullopt);
 
 /// Repoints every edge in `program` that targets `from` to `to` (action
 /// edges, miss edges, branch edges, and the root). Exposed for the

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/diagnostics.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -60,7 +61,28 @@ OptimizationOutcome Optimizer::optimize(
         if (plan.chosen[g] < 0) continue;
         const opt::Candidate& cand =
             groups[g][static_cast<std::size_t>(plan.chosen[g])];
-        out.plans.push_back(opt::PipeletPlan{cand.pipelet_id, cand.layout});
+        opt::PipeletPlan chosen{cand.pipelet_id, cand.layout};
+        // Translation-validate the candidate's applied form before adopting
+        // it (ISSUE 2): a plan the verifier rejects is dropped — and its
+        // budget refunded — instead of surfacing as an exception from a
+        // background optimization round.
+        if (analysis::verify_mode() != analysis::VerifyMode::Off) {
+            try {
+                opt::apply_plan(original, pipelets, chosen,
+                                analysis::VerifyMode::Full);
+            } catch (const analysis::VerifyError& e) {
+                ++out.plans_rejected;
+                out.memory_used -= cand.memory_cost;
+                out.updates_used -= cand.update_cost;
+                plan.total_gain -= cand.gain;
+                util::log_warn(util::format(
+                    "pipelet %d: candidate %s rejected by verifier: %s",
+                    cand.pipelet_id, cand.layout.to_string().c_str(),
+                    e.diagnostics().to_string().c_str()));
+                continue;
+            }
+        }
+        out.plans.push_back(std::move(chosen));
         util::log_info(util::format(
             "pipelet %d: %s (gain %.2f, mem %.0f B, upd %.1f/s)",
             cand.pipelet_id, cand.layout.to_string().c_str(), cand.gain,
@@ -83,7 +105,23 @@ OptimizationOutcome Optimizer::optimize(
     }
 
     if (!out.plans.empty()) {
-        out.optimized = opt::apply_plans(original, pipelets, out.plans);
+        try {
+            out.optimized = opt::apply_plans(original, pipelets, out.plans);
+        } catch (const analysis::VerifyError& e) {
+            // Every plan passed individually, so a combined failure means
+            // cross-plan interference; keep the unoptimized program rather
+            // than deploying an unverified layout.
+            util::log_warn(util::format(
+                "combined plan rejected by verifier; keeping the original "
+                "program: %s",
+                e.diagnostics().to_string().c_str()));
+            out.plans_rejected += out.plans.size();
+            out.plans.clear();
+            out.optimized = original;
+            out.memory_used = 0.0;
+            out.updates_used = 0.0;
+            plan.total_gain = 0.0;
+        }
     }
     out.predicted_gain = plan.total_gain;
     out.predicted_latency = out.baseline_latency - plan.total_gain;

@@ -44,6 +44,10 @@ struct OptimizationOutcome {
     std::vector<analysis::ScoredPipelet> hot_pipelets;
     std::size_t pipelet_count = 0;
     std::size_t candidates_evaluated = 0;
+    /// Knapsack-chosen candidates the verifier rejected (ISSUE 2): their
+    /// applied form failed translation validation, so they were dropped from
+    /// the plan instead of propagating a VerifyError to the caller.
+    std::size_t plans_rejected = 0;
     /// Extra group-level gain found (informational; Fig 15).
     double group_extra_gain = 0.0;
     /// Wall-clock search time in seconds (the Fig 13 metric).

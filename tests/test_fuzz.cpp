@@ -2,6 +2,7 @@
 // survive serialization; synthesized programs survive optimizer rounds.
 #include <gtest/gtest.h>
 
+#include "analysis/verify.h"
 #include "ir/json_io.h"
 #include "profile/counter_map.h"
 #include "search/optimizer.h"
@@ -125,6 +126,148 @@ TEST_P(ProgramFuzz, SynthesizedProgramsSurviveFullRound) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzz, testing::Range(1, 16));
+
+// Verifier fuzz (ISSUE 2): random structural corruption of a synthesized
+// program. Targeted corruptions must surface as Error diagnostics; fully
+// random corruptions may be legal or not, but the verifier must never
+// crash or throw.
+class VerifierFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(VerifierFuzz, TargetedCorruptionIsDiagnosed) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 6151ULL;
+    util::Rng rng(seed);
+    synth::SynthConfig scfg;
+    scfg.pipelets = 3 + GetParam() % 6;
+    synth::ProgramSynthesizer gen(scfg, seed);
+    ir::Program program = gen.generate("vfuzz");
+    ASSERT_TRUE(analysis::verify_structure(program).ok());
+
+    auto random_table_node = [&](ir::Program& p) -> ir::Node& {
+        for (;;) {
+            ir::NodeId id = static_cast<ir::NodeId>(rng.next_below(p.node_count()));
+            if (p.node(id).is_table()) return p.node(id);
+        }
+    };
+
+    for (int round = 0; round < 30; ++round) {
+        ir::Program mutant = program;
+        switch (rng.next_below(5)) {
+            case 0: {  // dangling edge
+                ir::Node& n = random_table_node(mutant);
+                n.miss_next =
+                    static_cast<ir::NodeId>(mutant.node_count() + rng.next_below(4));
+                break;
+            }
+            case 1: {  // back edge to the root: guaranteed cycle or self-loop
+                ir::Node& n = random_table_node(mutant);
+                for (ir::NodeId& e : n.next_by_action) e = mutant.root();
+                n.miss_next = mutant.root();
+                // The mutated node may be unreachable; force the root's miss
+                // into it so the cycle is live.
+                if (mutant.node(mutant.root()).is_table() &&
+                    n.id != mutant.root()) {
+                    mutant.node(mutant.root()).miss_next = n.id;
+                } else if (n.id == mutant.root()) {
+                    // root -> root is a self-loop, also an error
+                }
+                break;
+            }
+            case 2: {  // default action out of range
+                ir::Node& n = random_table_node(mutant);
+                n.table.default_action =
+                    static_cast<int>(n.table.actions.size() + 1 +
+                                     rng.next_below(4));
+                break;
+            }
+            case 3: {  // action-edge arity mismatch
+                ir::Node& n = random_table_node(mutant);
+                n.next_by_action.push_back(ir::kNoNode);
+                break;
+            }
+            case 4: {  // duplicate table name
+                ir::Node& a = random_table_node(mutant);
+                ir::Node& b = random_table_node(mutant);
+                if (a.id == b.id) {
+                    a.table.name.clear();  // empty name, also an error
+                } else {
+                    b.table.name = a.table.name;
+                }
+                break;
+            }
+        }
+        analysis::DiagnosticList d;
+        EXPECT_NO_THROW(d = analysis::verify_structure(mutant));
+        EXPECT_FALSE(d.ok()) << "corruption went undiagnosed:\n"
+                             << d.to_string();
+    }
+}
+
+TEST_P(VerifierFuzz, ArbitraryCorruptionNeverCrashes) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 27644437ULL;
+    util::Rng rng(seed);
+    synth::SynthConfig scfg;
+    scfg.pipelets = 3 + GetParam() % 6;
+    scfg.diamond_fraction = 0.3;
+    synth::ProgramSynthesizer gen(scfg, seed);
+    ir::Program program = gen.generate("vfuzz_wild");
+
+    for (int round = 0; round < 60; ++round) {
+        ir::Program mutant = program;
+        int mutations = 1 + static_cast<int>(rng.next_below(4));
+        for (int m = 0; m < mutations; ++m) {
+            ir::NodeId id =
+                static_cast<ir::NodeId>(rng.next_below(mutant.node_count()));
+            ir::Node& n = mutant.node(id);
+            ir::NodeId target = static_cast<ir::NodeId>(
+                static_cast<int>(rng.next_below(mutant.node_count() + 4)) - 2);
+            switch (rng.next_below(6)) {
+                case 0:
+                    if (n.is_table()) n.miss_next = target;
+                    else n.false_next = target;
+                    break;
+                case 1:
+                    if (n.is_table() && !n.next_by_action.empty()) {
+                        n.next_by_action[rng.next_below(
+                            n.next_by_action.size())] = target;
+                    } else if (!n.is_table()) {
+                        n.true_next = target;
+                    }
+                    break;
+                case 2:
+                    // Illegal core assignment: flip a node across cores.
+                    n.core = (n.core == ir::CoreKind::Asic)
+                                 ? ir::CoreKind::Cpu
+                                 : ir::CoreKind::Asic;
+                    break;
+                case 3:
+                    if (n.is_table()) {
+                        n.table.role = static_cast<ir::TableRole>(
+                            rng.next_below(6));
+                    }
+                    break;
+                case 4:
+                    if (n.is_table()) {
+                        n.table.default_action = static_cast<int>(
+                            rng.next_below(8)) - 2;
+                    }
+                    break;
+                case 5:
+                    if (n.is_table() && !n.table.actions.empty() &&
+                        rng.chance(0.5)) {
+                        n.table.actions.pop_back();
+                    } else if (n.is_table()) {
+                        n.table.origin_tables.push_back("ghost");
+                    }
+                    break;
+            }
+        }
+        // Diagnostics (possibly none: some mutations are legal), never a
+        // crash or an exception.
+        EXPECT_NO_THROW(analysis::verify_structure(mutant));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierFuzz, testing::Range(1, 9));
 
 }  // namespace
 }  // namespace pipeleon

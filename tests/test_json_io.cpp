@@ -38,12 +38,24 @@ TEST(JsonIo, BranchAndSwitchCaseRoundTrip) {
 }
 
 TEST(JsonIo, PreservesRolesAndProvenance) {
+    // A structurally honest cache program: the cache fronts its covered run
+    // (miss falls through a -> b; hits bypass it), as the Layer-1 verifier
+    // on the load path now requires.
     Table cache = TableSpec("cache_x").key("f").noop_action("cache_hit").build();
     cache.role = TableRole::Cache;
     cache.origin_tables = {"a", "b"};
     cache.cache.capacity = 128;
     cache.cache.max_insert_per_sec = 55.5;
-    Program p = linear_program("roles", {cache});
+    cache.default_action = -1;
+    ProgramBuilder b("roles");
+    NodeId c = b.add(cache);
+    NodeId ta = b.add(TableSpec("a").key("f").noop_action("na").build());
+    NodeId tb = b.add(TableSpec("b").key("g").noop_action("nb").build());
+    b.connect_action(c, 0, kNoNode);
+    b.connect_miss(c, ta);
+    b.connect(ta, tb);
+    b.set_root(c);
+    Program p = b.build();
     Program q = program_from_json(program_to_json(p));
     const Table& t = q.node(q.root()).table;
     EXPECT_EQ(t.role, TableRole::Cache);
