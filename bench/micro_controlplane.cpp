@@ -1,0 +1,117 @@
+// Control-plane pipeline microbenchmark (ISSUE 3): measures what the epoch
+// queue buys the control plane — the wall-clock cost of one mutator call
+// when the data plane is idle (synchronous drain) versus while a batch is
+// in flight (enqueue-and-return), plus the latency of a full epoch swap
+// (program + remapped entries). Prints a small table; the interesting
+// number is the in-flight enqueue cost, which is a queue push instead of a
+// wait for the batch to finish.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bench/common.h"
+#include "ir/builder.h"
+#include "sim/nic_model.h"
+
+using namespace pipeleon;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_per_call(Clock::time_point t0, Clock::time_point t1, int calls) {
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(calls);
+}
+
+ir::TableEntry entry_for(std::uint64_t key) {
+    ir::TableEntry e;
+    e.key = {ir::FieldMatch::exact(key)};
+    e.action_index = 0;
+    return e;
+}
+
+}  // namespace
+
+int main() {
+    constexpr int kChainLen = 6;
+    constexpr int kOps = 20000;
+
+    ir::Program prog = ir::chain_of_exact_tables("p", kChainLen, 2, 1);
+    sim::Emulator emu(sim::bluefield2_model(), prog, {});
+    emu.set_worker_count(4);
+
+    util::Rng rng(17);
+    std::vector<trafficgen::FieldRange> tuple;
+    for (int i = 0; i < kChainLen; ++i) {
+        tuple.push_back({"f" + std::to_string(i), 0, 255});
+    }
+    trafficgen::FlowSet flows =
+        trafficgen::FlowSet::generate(tuple, 256, rng);
+    trafficgen::Workload wl(flows, trafficgen::Locality::Zipf, 1.1, 23);
+
+    // --- idle: every mutator drains its own op synchronously.
+    std::uint64_t key = 1u << 20;
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < kOps; ++i) emu.insert_entry("t0", entry_for(key++));
+    Clock::time_point t1 = Clock::now();
+    const double idle_ns = ns_per_call(t0, t1, kOps);
+
+    // --- in flight: a background thread keeps batches running; the control
+    // thread's inserts enqueue and return without waiting for the batch.
+    std::atomic<bool> stop{false};
+    std::thread data([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            sim::PacketBatch batch = wl.next_batch(emu.fields(), 4096);
+            emu.process_batch(batch);
+        }
+    });
+    // Let the data plane spin up before measuring.
+    while (!emu.batch_in_flight()) {
+        std::this_thread::yield();
+        if (stop.load()) break;
+    }
+    t0 = Clock::now();
+    for (int i = 0; i < kOps; ++i) emu.insert_entry("t0", entry_for(key++));
+    t1 = Clock::now();
+    const double inflight_ns = ns_per_call(t0, t1, kOps);
+    stop.store(true);
+    data.join();
+    emu.drain_control();
+
+    // --- epoch swap: program + full entry reload in one transition.
+    std::vector<ir::EntryLoad> loads;
+    for (int i = 0; i < kChainLen; ++i) {
+        ir::EntryLoad load;
+        load.table = "t" + std::to_string(i);
+        for (std::uint64_t k = 0; k < 256; ++k) load.entries.push_back(entry_for(k));
+        loads.push_back(std::move(load));
+    }
+    constexpr int kSwaps = 200;
+    t0 = Clock::now();
+    for (int i = 0; i < kSwaps; ++i) {
+        sim::EpochSwap swap;
+        swap.program = prog;
+        swap.entries = loads;
+        swap.incremental = true;
+        emu.apply_epoch(std::move(swap));
+    }
+    t1 = Clock::now();
+    const double swap_ns = ns_per_call(t0, t1, kSwaps);
+    const sim::Emulator::ControlPlaneStats stats = emu.control_stats();
+
+    std::printf("# micro_controlplane: control-plane op latency (ns/op)\n");
+    std::printf("%-28s %14s\n", "path", "ns/op");
+    std::printf("%-28s %14.1f\n", "insert (idle, sync drain)", idle_ns);
+    std::printf("%-28s %14.1f\n", "insert (batch in flight)", inflight_ns);
+    std::printf("%-28s %14.1f\n", "epoch swap (prog+entries)", swap_ns);
+    std::printf("\n# queue stats: submitted=%llu sync=%llu deferred=%llu "
+                "drained=%llu max_depth=%zu epoch=%llu\n",
+                static_cast<unsigned long long>(stats.ops_submitted),
+                static_cast<unsigned long long>(stats.ops_applied_sync),
+                static_cast<unsigned long long>(stats.ops_deferred),
+                static_cast<unsigned long long>(stats.ops_drained),
+                stats.max_queue_depth,
+                static_cast<unsigned long long>(stats.epoch));
+    return 0;
+}

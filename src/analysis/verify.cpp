@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "analysis/dependency.h"
@@ -342,6 +343,113 @@ DiagnosticList Verifier::check_entries(
                                      .name.c_str(),
                                  args_needed[static_cast<std::size_t>(
                                      e.action_index)]));
+        }
+    }
+    return d;
+}
+
+DiagnosticList Verifier::check_entry_remap(
+    const ir::Program& original,
+    const std::unordered_map<std::string, std::vector<ir::TableEntry>>&
+        original_store,
+    const ir::Program& deployed,
+    const std::vector<ir::EntryLoad>& loads) const {
+    DiagnosticList d;
+
+    std::unordered_map<std::string, const ir::Table*> deployed_tables;
+    for (const ir::Node& n : deployed.nodes()) {
+        if (n.is_table()) deployed_tables.emplace(n.table.name, &n.table);
+    }
+
+    std::unordered_set<std::string> loaded;
+    for (const ir::EntryLoad& load : loads) {
+        auto it = deployed_tables.find(load.table);
+        if (it == deployed_tables.end()) {
+            d.error("entry.remap.unknown-table", kNoNode,
+                    util::format("load addresses '%s', which the deployed "
+                                 "program does not define",
+                                 load.table.c_str()));
+            continue;
+        }
+        const ir::Table& t = *it->second;
+        if (t.role == TableRole::Cache) {
+            d.error("entry.remap.role", kNoNode,
+                    util::format("load addresses flow cache '%s'; caches "
+                                 "learn entries from misses, they are never "
+                                 "loaded by the control plane",
+                                 load.table.c_str()));
+            continue;
+        }
+        if (!loaded.insert(load.table).second) {
+            d.error("entry.remap.duplicate-load", kNoNode,
+                    util::format("'%s' is addressed by more than one load; "
+                                 "the later one would clobber the earlier",
+                                 load.table.c_str()));
+            continue;
+        }
+        d.merge(check_entries(t, load.entries));
+        if (t.role == TableRole::Original) {
+            auto s = original_store.find(t.name);
+            const std::size_t expected =
+                s == original_store.end() ? 0 : s->second.size();
+            if (load.entries.size() != expected) {
+                d.error("entry.remap.count", kNoNode,
+                        util::format("direct table '%s' load carries %zu "
+                                     "entries, original store holds %zu",
+                                     t.name.c_str(), load.entries.size(),
+                                     expected));
+            }
+        }
+    }
+
+    // Coverage: merged tables always need their rebuilt cross product, and
+    // a direct table with live original entries needs its load too.
+    for (const auto& [name, t] : deployed_tables) {
+        if (loaded.count(name) != 0) continue;
+        if (t->role == TableRole::Merged || t->role == TableRole::MergedCache) {
+            d.error("entry.remap.missing-load", kNoNode,
+                    util::format("merged table '%s' receives no entry load; "
+                                 "it would deploy empty and miss every packet",
+                                 name.c_str()));
+        } else if (t->role == TableRole::Original) {
+            auto s = original_store.find(name);
+            if (s != original_store.end() && !s->second.empty()) {
+                d.error("entry.remap.missing-load", kNoNode,
+                        util::format("direct table '%s' receives no entry "
+                                     "load; the original store holds %zu "
+                                     "entries for it",
+                                     name.c_str(), s->second.size()));
+            }
+        }
+    }
+
+    // No original table's entries may be silently discarded: each original
+    // table with live entries must be implemented by a loaded direct table
+    // of the same name or a loaded merged table whose origin set covers it.
+    for (const ir::Node& n : original.nodes()) {
+        if (!n.is_table()) continue;
+        auto s = original_store.find(n.table.name);
+        if (s == original_store.end() || s->second.empty()) continue;
+        bool implemented = loaded.count(n.table.name) != 0;
+        if (!implemented) {
+            for (const ir::EntryLoad& load : loads) {
+                auto it = deployed_tables.find(load.table);
+                if (it == deployed_tables.end()) continue;
+                const auto& origins = it->second->origin_tables;
+                if ((it->second->role == TableRole::Merged ||
+                     it->second->role == TableRole::MergedCache) &&
+                    std::find(origins.begin(), origins.end(), n.table.name) !=
+                        origins.end()) {
+                    implemented = true;
+                    break;
+                }
+            }
+        }
+        if (!implemented) {
+            d.error("entry.remap.dropped", kNoNode,
+                    util::format("original table '%s' holds %zu entries but "
+                                 "no load implements it in the new layout",
+                                 n.table.name.c_str(), s->second.size()));
         }
     }
     return d;

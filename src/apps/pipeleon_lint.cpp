@@ -5,17 +5,7 @@
 // Prints one diagnostic per line; exit code 0 when no Error-severity finding
 // was reported, 1 on verification errors, 2 on usage/IO problems.
 //
-// Plan file schema (JSON):
-//   {
-//     "max_pipelet_length": 8,          // optional, pipelet formation knob
-//     "plans": [
-//       { "pipelet_id": 0,
-//         "order": [2, 0, 1],           // optional, identity when absent
-//         "caches": [[0, 1]],           // [first, last] segments, new order
-//         "merges": [ { "seg": [2, 3], "as_cache": true } ],
-//         "cache_capacity": 4096 }      // optional CacheConfig override
-//     ]
-//   }
+// Plan file schema: see opt/plan_io.h.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -24,8 +14,8 @@
 #include "analysis/verify.h"
 #include "ir/bmv2_import.h"
 #include "ir/json_io.h"
+#include "opt/plan_io.h"
 #include "opt/transform.h"
-#include "util/json.h"
 
 namespace {
 
@@ -51,46 +41,6 @@ void print_diagnostics(const DiagnosticList& diagnostics) {
     for (const auto& d : diagnostics.items()) {
         std::fprintf(stdout, "%s\n", pipeleon::analysis::to_string(d).c_str());
     }
-}
-
-std::vector<pipeleon::opt::PipeletPlan> parse_plans(const pipeleon::util::Json& doc) {
-    using pipeleon::opt::MergeSpec;
-    using pipeleon::opt::PipeletPlan;
-    using pipeleon::opt::Segment;
-    std::vector<PipeletPlan> plans;
-    for (const auto& p : doc.at("plans").as_array()) {
-        PipeletPlan plan;
-        plan.pipelet_id = static_cast<int>(p.get_int("pipelet_id", -1));
-        if (const auto* order = p.find("order")) {
-            for (const auto& v : order->as_array()) {
-                plan.layout.order.push_back(
-                    static_cast<std::size_t>(v.as_int()));
-            }
-        }
-        if (const auto* caches = p.find("caches")) {
-            for (const auto& seg : caches->as_array()) {
-                plan.layout.caches.push_back(
-                    Segment{static_cast<std::size_t>(seg.at(0).as_int()),
-                            static_cast<std::size_t>(seg.at(1).as_int())});
-            }
-        }
-        if (const auto* merges = p.find("merges")) {
-            for (const auto& m : merges->as_array()) {
-                MergeSpec spec;
-                spec.seg =
-                    Segment{static_cast<std::size_t>(m.at("seg").at(0).as_int()),
-                            static_cast<std::size_t>(m.at("seg").at(1).as_int())};
-                spec.as_cache = m.get_bool("as_cache", false);
-                plan.layout.merges.push_back(spec);
-            }
-        }
-        plan.layout.cache_config.capacity = static_cast<std::size_t>(
-            p.get_int("cache_capacity",
-                      static_cast<std::int64_t>(
-                          plan.layout.cache_config.capacity)));
-        plans.push_back(std::move(plan));
-    }
-    return plans;
 }
 
 }  // namespace
@@ -145,17 +95,17 @@ int main(int argc, char** argv) {
     // translation-validate the result.
     if (!plan_path.empty()) {
         try {
-            pipeleon::util::Json doc = pipeleon::util::load_json_file(plan_path);
-            std::vector<pipeleon::opt::PipeletPlan> plans = parse_plans(doc);
+            pipeleon::opt::PlanFile plan_file =
+                pipeleon::opt::load_plan_file(plan_path);
             pipeleon::analysis::PipeletOptions popts;
-            popts.max_length = static_cast<std::size_t>(
-                doc.get_int("max_pipelet_length", 8));
+            popts.max_length = plan_file.max_pipelet_length;
             std::vector<pipeleon::analysis::Pipelet> pipelets =
                 pipeleon::analysis::form_pipelets(program, popts);
             pipeleon::ir::Program optimized = pipeleon::opt::apply_plans(
-                program, pipelets, plans, pipeleon::analysis::VerifyMode::Off);
-            diagnostics.merge(
-                verifier.check_translation(program, pipelets, plans, optimized));
+                program, pipelets, plan_file.plans,
+                pipeleon::analysis::VerifyMode::Off);
+            diagnostics.merge(verifier.check_translation(
+                program, pipelets, plan_file.plans, optimized));
         } catch (const VerifyError& e) {
             diagnostics.merge(e.diagnostics());
         } catch (const std::exception& e) {

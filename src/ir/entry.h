@@ -68,6 +68,18 @@ struct TableEntry {
                  const std::vector<MatchKey>& keys) const;
 };
 
+/// A bulk entry load addressed to one *deployed* table — the unit the
+/// control plane hands the emulator when an epoch swap installs a remapped
+/// entry set (direct tables get the original store, merged tables their
+/// rebuilt cross products). The verifier's entry.remap.* rules check a
+/// vector of these against the original store before deployment.
+struct EntryLoad {
+    std::string table;
+    std::vector<TableEntry> entries;
+
+    bool operator==(const EntryLoad&) const = default;
+};
+
 /// Counts the distinct LPM prefix lengths across entries — the paper's m
 /// multiplier for LPM tables ("implemented using multiple hash tables",
 /// one per prefix length).

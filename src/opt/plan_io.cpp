@@ -1,0 +1,48 @@
+#include "opt/plan_io.h"
+
+namespace pipeleon::opt {
+
+PlanFile parse_plan_file(const util::Json& doc) {
+    PlanFile file;
+    file.max_pipelet_length =
+        static_cast<std::size_t>(doc.get_int("max_pipelet_length", 8));
+    for (const auto& p : doc.at("plans").as_array()) {
+        PipeletPlan plan;
+        plan.pipelet_id = static_cast<int>(p.get_int("pipelet_id", -1));
+        if (const auto* order = p.find("order")) {
+            for (const auto& v : order->as_array()) {
+                plan.layout.order.push_back(
+                    static_cast<std::size_t>(v.as_int()));
+            }
+        }
+        if (const auto* caches = p.find("caches")) {
+            for (const auto& seg : caches->as_array()) {
+                plan.layout.caches.push_back(
+                    Segment{static_cast<std::size_t>(seg.at(0).as_int()),
+                            static_cast<std::size_t>(seg.at(1).as_int())});
+            }
+        }
+        if (const auto* merges = p.find("merges")) {
+            for (const auto& m : merges->as_array()) {
+                MergeSpec spec;
+                spec.seg =
+                    Segment{static_cast<std::size_t>(m.at("seg").at(0).as_int()),
+                            static_cast<std::size_t>(m.at("seg").at(1).as_int())};
+                spec.as_cache = m.get_bool("as_cache", false);
+                plan.layout.merges.push_back(spec);
+            }
+        }
+        plan.layout.cache_config.capacity = static_cast<std::size_t>(
+            p.get_int("cache_capacity",
+                      static_cast<std::int64_t>(
+                          plan.layout.cache_config.capacity)));
+        file.plans.push_back(std::move(plan));
+    }
+    return file;
+}
+
+PlanFile load_plan_file(const std::string& path) {
+    return parse_plan_file(util::load_json_file(path));
+}
+
+}  // namespace pipeleon::opt

@@ -1,0 +1,41 @@
+// opt/plan_io.h — optimization-plan (de)serialization. A plan file is the
+// committed, human-auditable form of a set of PipeletPlans; the lint CLI
+// verifies them against a program, and the control-plane tests use committed
+// known-bad plan fixtures to force verifier rejections (ISSUE 3).
+//
+// Schema (JSON):
+//   {
+//     "max_pipelet_length": 8,          // optional, pipelet formation knob
+//     "plans": [
+//       { "pipelet_id": 0,
+//         "order": [2, 0, 1],           // optional, identity when absent
+//         "caches": [[0, 1]],           // [first, last] segments, new order
+//         "merges": [ { "seg": [2, 3], "as_cache": true } ],
+//         "cache_capacity": 4096 }      // optional CacheConfig override
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opt/transform.h"
+#include "util/json.h"
+
+namespace pipeleon::opt {
+
+/// A parsed plan file: the plans plus the pipelet-formation knob they were
+/// authored against (pipelet ids only make sense under the same partition).
+struct PlanFile {
+    std::size_t max_pipelet_length = 8;
+    std::vector<PipeletPlan> plans;
+};
+
+/// Parses the schema above from an already-loaded JSON document. Throws
+/// util::JsonError (via util::Json accessors) on malformed input.
+PlanFile parse_plan_file(const util::Json& doc);
+
+/// Loads and parses a plan file from disk.
+PlanFile load_plan_file(const std::string& path);
+
+}  // namespace pipeleon::opt

@@ -1,6 +1,7 @@
 #include "runtime/api_mapper.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "opt/merge.h"
 #include "util/logging.h"
@@ -69,9 +70,11 @@ const std::vector<TableEntry>& ApiMapper::entries(const std::string& table) cons
 
 namespace {
 
-/// Rebuilds a merged table's entries from the original store.
-bool rebuild_merged(
-    sim::Emulator& emulator, const ir::Table& merged,
+/// Computes a merged table's cross-product entries from the original store
+/// (no emulator involved). nullopt when a source is unknown or the rebuild
+/// exceeds opt::build_merged_entries limits.
+std::optional<std::vector<TableEntry>> compute_merged(
+    const ir::Table& merged,
     const std::unordered_map<std::string, ir::Table>& tables,
     const std::unordered_map<std::string, std::vector<TableEntry>>& store) {
     std::vector<const ir::Table*> sources;
@@ -79,13 +82,20 @@ bool rebuild_merged(
     for (const std::string& origin : merged.origin_tables) {
         auto t = tables.find(origin);
         auto e = store.find(origin);
-        if (t == tables.end() || e == store.end()) return false;
+        if (t == tables.end() || e == store.end()) return std::nullopt;
         sources.push_back(&t->second);
         source_entries.push_back(e->second);
     }
     bool as_cache = merged.role == TableRole::MergedCache;
-    auto entries =
-        opt::build_merged_entries(sources, source_entries, merged, as_cache);
+    return opt::build_merged_entries(sources, source_entries, merged, as_cache);
+}
+
+/// Rebuilds a merged table's entries from the original store.
+bool rebuild_merged(
+    sim::Emulator& emulator, const ir::Table& merged,
+    const std::unordered_map<std::string, ir::Table>& tables,
+    const std::unordered_map<std::string, std::vector<TableEntry>>& store) {
+    auto entries = compute_merged(merged, tables, store);
     if (!entries.has_value()) {
         util::log_warn("ApiMapper: merged entry rebuild for '" + merged.name +
                        "' exceeded limits; table left unchanged");
@@ -148,6 +158,40 @@ void ApiMapper::deploy_entries(sim::Emulator& emulator) const {
                 break;
         }
     }
+}
+
+std::vector<ir::EntryLoad> ApiMapper::remapped_entries(
+    const ir::Program& deployed) const {
+    std::vector<ir::EntryLoad> loads;
+    for (const Node& n : deployed.nodes()) {
+        if (!n.is_table()) continue;
+        const ir::Table& t = n.table;
+        switch (t.role) {
+            case TableRole::Original: {
+                auto it = store_.find(t.name);
+                if (it != store_.end()) {
+                    loads.push_back(ir::EntryLoad{t.name, it->second});
+                }
+                break;
+            }
+            case TableRole::Merged:
+            case TableRole::MergedCache: {
+                auto entries = compute_merged(t, tables_, store_);
+                if (entries.has_value()) {
+                    loads.push_back(ir::EntryLoad{t.name, std::move(*entries)});
+                } else {
+                    util::log_warn("ApiMapper: merged entry rebuild for '" +
+                                   t.name + "' exceeded limits; no load");
+                }
+                break;
+            }
+            case TableRole::Cache:
+            case TableRole::Navigation:
+            case TableRole::Migration:
+                break;
+        }
+    }
+    return loads;
 }
 
 std::unordered_map<std::string, profile::EntrySnapshot> ApiMapper::snapshots()

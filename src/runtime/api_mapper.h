@@ -45,6 +45,22 @@ public:
     /// rebuilt cross products.
     void deploy_entries(sim::Emulator& emulator) const;
 
+    /// Pure compute half of deploy_entries: the entry loads (deployed table
+    /// name -> entries) a deployment of `deployed` needs, without touching
+    /// any emulator. The controller runs this off the hot path, hands the
+    /// result to the verifier's entry.remap.* pass, and ships it inside a
+    /// single EpochSwap so layout and entries install atomically. Merged
+    /// tables whose rebuild exceeds limits yield no load (the verifier
+    /// reports them as entry.remap.missing-load).
+    std::vector<ir::EntryLoad> remapped_entries(
+        const ir::Program& deployed) const;
+
+    /// The authoritative original-space store (for the verifier).
+    const std::unordered_map<std::string, std::vector<ir::TableEntry>>& store()
+        const {
+        return store_;
+    }
+
     // ------------------------------------------------------- profiling
 
     /// Per-original-table entry snapshots for the current window (counts,

@@ -30,25 +30,61 @@ profile::RuntimeProfile Controller::collect_profile() {
     return map.translate(original_, raw);
 }
 
-Controller::PumpStats Controller::pump_window(trafficgen::Workload& workload,
-                                              int packets, double window_seconds,
-                                              std::size_t batch_size) {
+Controller::PumpStats Controller::pump_window_impl(trafficgen::Workload& workload,
+                                                   int packets,
+                                                   double window_seconds,
+                                                   std::size_t batch_size,
+                                                   bool adaptive) {
     PumpStats stats;
+    if (packets <= 0) {
+        // Nothing to pump: still advance the window clock so callers that
+        // alternate empty and busy windows keep a monotonic timeline.
+        emulator_.advance_time(window_seconds);
+        return stats;
+    }
+    const std::size_t floor = std::max<std::size_t>(1, config_.batch_floor);
+    const std::size_t cap = std::max(floor, config_.batch_cap);
     if (batch_size == 0) batch_size = 1;
-    std::uint64_t remaining = packets > 0 ? static_cast<std::uint64_t>(packets) : 0;
+    if (adaptive) batch_size = std::min(cap, std::max(floor, batch_size));
+
+    auto remaining = static_cast<std::uint64_t>(packets);
+    const double seconds_per_packet =
+        window_seconds / static_cast<double>(packets);
     double total_cycles = 0.0;
     while (remaining > 0) {
         std::size_t n = static_cast<std::size_t>(
             std::min<std::uint64_t>(remaining, batch_size));
         sim::PacketBatch batch = workload.next_batch(emulator_.fields(), n);
+        if (batch.empty()) break;  // workload ran dry (phase ended early)
         sim::BatchResult r = emulator_.process_batch(batch);
         total_cycles += r.total_cycles;
         stats.dropped += r.dropped;
-        stats.packets += n;
-        emulator_.advance_time(window_seconds * static_cast<double>(n) /
-                               static_cast<double>(std::max(1, packets)));
-        remaining -= n;
+        stats.packets += batch.size();
+        // Advance by packets actually generated, not requested: a workload
+        // phase ending early must not skew the window timestamps.
+        emulator_.advance_time(seconds_per_packet *
+                               static_cast<double>(batch.size()));
+        remaining -= std::min<std::uint64_t>(remaining, batch.size());
+
+        ++stats.batches;
+        stats.last_batch = batch.size();
+        if (stats.min_batch == 0 || batch.size() < stats.min_batch) {
+            stats.min_batch = batch.size();
+        }
+        stats.max_batch = std::max(stats.max_batch, batch.size());
+
+        if (adaptive) {
+            // Cycle-budget controller: halve when the measured batch blew
+            // the budget, double when it used less than half — multiplicative
+            // moves so the size converges in a few batches either way.
+            if (r.total_cycles > config_.target_batch_cycles) {
+                batch_size = std::max(floor, batch_size / 2);
+            } else if (r.total_cycles < config_.target_batch_cycles / 2.0) {
+                batch_size = std::min(cap, batch_size * 2);
+            }
+        }
     }
+    if (adaptive) dyn_batch_ = batch_size;
     if (stats.packets > 0) {
         stats.mean_cycles = total_cycles / static_cast<double>(stats.packets);
         stats.drop_rate = static_cast<double>(stats.dropped) /
@@ -56,6 +92,63 @@ Controller::PumpStats Controller::pump_window(trafficgen::Workload& workload,
     }
     stats.throughput_gbps = emulator_.throughput_gbps(stats.mean_cycles);
     return stats;
+}
+
+Controller::PumpStats Controller::pump_window(trafficgen::Workload& workload,
+                                              int packets, double window_seconds,
+                                              std::size_t batch_size) {
+    return pump_window_impl(workload, packets, window_seconds, batch_size,
+                            /*adaptive=*/false);
+}
+
+Controller::PumpStats Controller::pump_window(trafficgen::Workload& workload,
+                                              int packets,
+                                              double window_seconds) {
+    const std::size_t seed = dyn_batch_ != 0 ? dyn_batch_ : 256;
+    return pump_window_impl(workload, packets, window_seconds, seed,
+                            /*adaptive=*/true);
+}
+
+Controller::PreparedDeploy Controller::prepare_deploy(ir::Program target) const {
+    PreparedDeploy prepared;
+    prepared.entries = api_.remapped_entries(target);
+    prepared.program = std::move(target);
+    prepared.incremental = config_.incremental_deployment;
+    return prepared;
+}
+
+analysis::DiagnosticList Controller::verify_deploy(
+    const search::OptimizationOutcome* outcome,
+    const PreparedDeploy& prepared) const {
+    analysis::Verifier verifier(config_.verify);
+    analysis::DiagnosticList diags;
+    if (outcome != nullptr) {
+        // Translation validation: the optimized program must preserve the
+        // original's semantics under the plans that produced it.
+        std::vector<analysis::Pipelet> pipelets =
+            analysis::form_pipelets(original_, config_.optimizer.pipelet);
+        diags.merge(verifier.check_translation(original_, pipelets,
+                                               outcome->plans,
+                                               prepared.program));
+    } else {
+        // Reverts re-deploy the original program: structure only.
+        diags.merge(verifier.check_program(prepared.program));
+    }
+    diags.merge(verifier.check_entry_remap(original_, api_.store(),
+                                           prepared.program, prepared.entries));
+    return diags;
+}
+
+void Controller::commit_deploy(PreparedDeploy prepared, TickResult& result) {
+    sim::EpochSwap swap;
+    swap.program = std::move(prepared.program);
+    swap.entries = std::move(prepared.entries);
+    swap.incremental = prepared.incremental;
+    sim::Emulator::ReconfigureStats stats =
+        emulator_.apply_epoch(std::move(swap));
+    result.downtime_s = stats.downtime_s;
+    if (prepared.incremental) result.caches_kept_warm = stats.caches_kept_warm;
+    result.deployed = true;
 }
 
 TickResult Controller::tick() {
@@ -76,6 +169,7 @@ TickResult Controller::tick() {
         search::Optimizer optimizer(model_, config_.optimizer);
         search::OptimizationOutcome outcome = optimizer.optimize(original_, current);
         result.searched = true;
+        if (config_.outcome_hook) config_.outcome_hook(outcome);
 
         bool worthwhile =
             outcome.baseline_latency > 0.0 &&
@@ -92,21 +186,30 @@ TickResult Controller::tick() {
                              measured * (1.0 - config_.min_relative_gain);
         }
         if (worthwhile && differs) {
-            util::log_info(util::format(
-                "controller: deploying new layout (predicted %.1f -> %.1f "
-                "cycles, %zu plans)",
-                outcome.baseline_latency, outcome.predicted_latency,
-                outcome.plans.size()));
-            if (config_.incremental_deployment) {
-                sim::Emulator::ReconfigureStats stats =
-                    emulator_.reconfigure_incremental(outcome.optimized);
-                result.downtime_s = stats.downtime_s;
-                result.caches_kept_warm = stats.caches_kept_warm;
-            } else {
-                result.downtime_s = emulator_.reconfigure(outcome.optimized);
+            // prepare -> verify -> commit: the remapped entry set is
+            // computed here, off the data-plane hot path; the verifier gates
+            // the commit; a rejected candidate never reaches the emulator.
+            PreparedDeploy prepared = prepare_deploy(outcome.optimized);
+            if (config_.verify_deploys) {
+                analysis::DiagnosticList diags =
+                    verify_deploy(&outcome, prepared);
+                if (!diags.ok()) {
+                    result.verify_rejected = true;
+                    result.verify_diagnostics = std::move(diags);
+                    util::log_warn(util::format(
+                        "controller: verifier rejected candidate layout "
+                        "(%zu findings); keeping the deployed program",
+                        result.verify_diagnostics.size()));
+                }
             }
-            api_.deploy_entries(emulator_);
-            result.deployed = true;
+            if (!result.verify_rejected) {
+                util::log_info(util::format(
+                    "controller: deploying new layout (predicted %.1f -> %.1f "
+                    "cycles, %zu plans)",
+                    outcome.baseline_latency, outcome.predicted_latency,
+                    outcome.plans.size()));
+                commit_deploy(std::move(prepared), result);
+            }
         } else if (!worthwhile && differs &&
                    !(original_ == emulator_.program())) {
             // The best found plan is not worth deploying. Keep what is
@@ -119,9 +222,21 @@ TickResult Controller::tick() {
                     outcome.baseline_latency * (1.0 + config_.min_relative_gain);
             if (deployed_is_harmful) {
                 util::log_info("controller: reverting to the original layout");
-                result.downtime_s = emulator_.reconfigure(original_);
-                api_.deploy_entries(emulator_);
-                result.deployed = true;
+                PreparedDeploy prepared = prepare_deploy(original_);
+                prepared.incremental = false;  // reverts re-flash cleanly
+                bool revert_ok = true;
+                if (config_.verify_deploys) {
+                    analysis::DiagnosticList diags =
+                        verify_deploy(nullptr, prepared);
+                    if (!diags.ok()) {
+                        // Should be impossible (the original validated at
+                        // construction); fail safe and keep serving.
+                        result.verify_rejected = true;
+                        result.verify_diagnostics = std::move(diags);
+                        revert_ok = false;
+                    }
+                }
+                if (revert_ok) commit_deploy(std::move(prepared), result);
             }
         }
         result.outcome = std::move(outcome);

@@ -8,8 +8,10 @@
 // cache-free layout (§3.2.2, the Fig 11a scenario).
 #pragma once
 
+#include <functional>
 #include <optional>
 
+#include "analysis/verify.h"
 #include "profile/change_detect.h"
 #include "runtime/api_mapper.h"
 #include "search/optimizer.h"
@@ -33,6 +35,28 @@ struct ControllerConfig {
     /// Use incremental deployment (§6): unchanged flow caches stay warm and
     /// reflash downtime scales with the changed-table fraction.
     bool incremental_deployment = false;
+
+    /// Gate every deployment behind the verifier (ISSUE 3): translation
+    /// validation of the optimized program against the original, plus
+    /// entry.remap.* consistency of the remapped entry set. A rejected
+    /// deployment never reaches Emulator::reconfigure* — the old program
+    /// keeps serving and TickResult carries the diagnostics.
+    bool verify_deploys = true;
+    analysis::VerifyOptions verify;
+
+    /// Dynamic batch sizing (pump_window without an explicit size): the
+    /// batch grows/shrinks between these bounds from the previous batch's
+    /// measured cycles, amortizing steering cost when flows are cheap and
+    /// capping tail latency when they are not.
+    std::size_t batch_floor = 32;
+    std::size_t batch_cap = 1024;
+    /// Cycle budget one batch should stay near.
+    double target_batch_cycles = 200000.0;
+
+    /// Test seam: mutates the optimizer's outcome before prepare/verify.
+    /// Lets tests inject a known-bad optimized program and assert the
+    /// verifier gate rejects it. Null in production.
+    std::function<void(search::OptimizationOutcome&)> outcome_hook;
 };
 
 /// Result of one controller tick.
@@ -44,6 +68,11 @@ struct TickResult {
     double profile_shift = 0.0;
     /// Incremental deployments only: how many caches survived warm.
     std::size_t caches_kept_warm = 0;
+    /// The verifier refused the candidate deployment: the previously
+    /// deployed program is still serving and `verify_diagnostics` explains
+    /// why the candidate was unsound.
+    bool verify_rejected = false;
+    analysis::DiagnosticList verify_diagnostics;
     std::optional<search::OptimizationOutcome> outcome;
 };
 
@@ -69,17 +98,55 @@ public:
         double throughput_gbps = 0.0;
         std::uint64_t packets = 0;
         std::uint64_t dropped = 0;
+        /// Batch-size telemetry (dynamic sizing observability).
+        std::uint64_t batches = 0;
+        std::size_t min_batch = 0;
+        std::size_t max_batch = 0;
+        std::size_t last_batch = 0;
     };
 
     /// Streams `packets` packets from the workload through the emulator's
     /// batched data plane (batches of `batch_size`) and advances virtual
     /// time by `window_seconds`. This is the harness-side pump the figure
     /// benches use between tick()s; it replaces their scalar
-    /// packet-at-a-time loops.
+    /// packet-at-a-time loops. Time advances proportionally to the packets
+    /// actually generated, so a workload phase ending early cannot skew
+    /// window timestamps.
     PumpStats pump_window(trafficgen::Workload& workload, int packets,
-                          double window_seconds, std::size_t batch_size = 256);
+                          double window_seconds, std::size_t batch_size);
+
+    /// Dynamic-batch overload: sizes each batch from the previous one's
+    /// measured cycles, halving above config().target_batch_cycles and
+    /// doubling below half of it, clamped to [batch_floor, batch_cap]. The
+    /// adapted size persists across windows.
+    PumpStats pump_window(trafficgen::Workload& workload, int packets,
+                          double window_seconds);
 
 private:
+    /// A deployment candidate, fully computed off the hot path: the program
+    /// to install and the remapped entry loads that must land with it.
+    struct PreparedDeploy {
+        ir::Program program;
+        std::vector<ir::EntryLoad> entries;
+        bool incremental = false;
+    };
+
+    /// prepare: compute the remapped entry set for `target`.
+    PreparedDeploy prepare_deploy(ir::Program target) const;
+    /// verify: translation validation (when `outcome` describes an
+    /// optimization of original_) plus entry.remap consistency.
+    analysis::DiagnosticList verify_deploy(
+        const search::OptimizationOutcome* outcome,
+        const PreparedDeploy& prepared) const;
+    /// commit: ship program + entries as one queued epoch swap.
+    void commit_deploy(PreparedDeploy prepared, TickResult& result);
+
+    /// The pump loop shared by both overloads; `adaptive` enables dynamic
+    /// sizing starting from `batch_size`.
+    PumpStats pump_window_impl(trafficgen::Workload& workload, int packets,
+                               double window_seconds, std::size_t batch_size,
+                               bool adaptive);
+
     /// Reads the emulator window, augments entry snapshots from the API
     /// mapper, and translates to original-program space.
     profile::RuntimeProfile collect_profile();
@@ -91,6 +158,8 @@ private:
     ApiMapper api_;
     profile::RuntimeProfile last_profile_;
     bool have_profile_ = false;
+    /// Dynamic pump batch size carried across windows (0 = not yet seeded).
+    std::size_t dyn_batch_ = 0;
 };
 
 }  // namespace pipeleon::runtime

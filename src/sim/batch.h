@@ -50,6 +50,8 @@ struct BatchResult {
     double total_cycles = 0.0;
     std::uint64_t dropped = 0;
     int workers_used = 1;
+    /// Control ops drained at this batch's boundary, before its packets ran.
+    std::uint64_t control_ops_applied = 0;
 };
 
 }  // namespace pipeleon::sim

@@ -1,0 +1,36 @@
+#include "sim/control_queue.h"
+
+namespace pipeleon::sim {
+
+std::uint64_t ControlQueue::push(ControlOp op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    op.seq = pushed_++;
+    std::uint64_t seq = op.seq;
+    ops_.push_back(std::move(op));
+    if (ops_.size() > max_depth_) max_depth_ = ops_.size();
+    return seq;
+}
+
+std::vector<ControlOp> ControlQueue::drain() {
+    std::vector<ControlOp> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(ops_);
+    return out;
+}
+
+std::size_t ControlQueue::depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_.size();
+}
+
+std::uint64_t ControlQueue::total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+}
+
+std::size_t ControlQueue::max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+}
+
+}  // namespace pipeleon::sim

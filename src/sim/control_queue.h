@@ -1,0 +1,93 @@
+// sim/control_queue.h — the typed MPSC control-plane op queue (ISSUE 3).
+// Real SmartNIC control paths never mutate match engines mid-burst: driver
+// update rings buffer entry ops and the datapath picks them up at safe
+// points. This queue is the emulator's update ring. Any thread may push a
+// ControlOp at any time (the push mutex is held for an append only, never
+// across packet processing), and the data-plane coordinator drains the
+// pending ops — in enqueue order — at batch boundaries, before a batch's
+// packets run. A program swap travels the same path as an entry insert: it
+// is just the heaviest op kind, carrying the new program plus the full
+// remapped entry set so the swap is observed atomically by the data plane
+// (one epoch ends, the next begins between two batches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ir/entry.h"
+#include "ir/program.h"
+#include "profile/profile.h"
+
+namespace pipeleon::sim {
+
+/// A queued program swap: the new program and the remapped (deployed-space)
+/// entry sets to install in the same epoch transition. `incremental` selects
+/// reconfigure_incremental semantics (warm caches, partial downtime).
+struct EpochSwap {
+    ir::Program program;
+    std::vector<ir::EntryLoad> entries;
+    bool incremental = false;
+};
+
+/// One queued control-plane operation. A tagged union kept as plain fields:
+/// ops are rare relative to packets, so clarity beats compactness here.
+struct ControlOp {
+    enum class Kind : std::uint8_t {
+        InsertEntry,
+        DeleteEntry,
+        ModifyEntry,
+        SetEntries,
+        InvalidateCaches,
+        BeginWindow,
+        SetInstrumentation,
+        SetWorkerCount,
+        Swap,
+    };
+
+    Kind kind = Kind::BeginWindow;
+    std::string table;                    ///< entry ops, cache invalidation
+    ir::TableEntry entry;                 ///< InsertEntry / ModifyEntry
+    std::vector<ir::FieldMatch> key;      ///< DeleteEntry
+    std::vector<ir::TableEntry> entries;  ///< SetEntries
+    profile::InstrumentationConfig instrumentation;  ///< SetInstrumentation
+    int workers = 1;                      ///< SetWorkerCount
+    /// Swap payload, boxed: programs are heavy and ops move through vectors.
+    std::shared_ptr<EpochSwap> swap;
+
+    /// Sequence number assigned by ControlQueue::push — lets a caller that
+    /// drains synchronously find its own op's result in the drained run.
+    std::uint64_t seq = 0;
+};
+
+/// Multi-producer queue of pending control ops. Producers append under a
+/// dedicated mutex; the (single) drain side swaps the whole backlog out in
+/// one critical section. Nothing here ever waits on the data plane — that
+/// is the point.
+class ControlQueue {
+public:
+    /// Appends an op; never blocks on a drain in progress longer than the
+    /// swap-out itself. Returns the op's sequence number (monotonic).
+    std::uint64_t push(ControlOp op);
+
+    /// Removes and returns every pending op, in enqueue order.
+    std::vector<ControlOp> drain();
+
+    std::size_t depth() const;
+    bool empty() const { return depth() == 0; }
+
+    /// Total ops ever pushed.
+    std::uint64_t total_pushed() const;
+    /// High-water mark of the backlog.
+    std::size_t max_depth() const;
+
+private:
+    mutable std::mutex mu_;
+    std::vector<ControlOp> ops_;
+    std::uint64_t pushed_ = 0;
+    std::size_t max_depth_ = 0;
+};
+
+}  // namespace pipeleon::sim

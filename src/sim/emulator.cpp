@@ -116,8 +116,7 @@ void Emulator::resize_cache_shards() {
     for (CounterShard& shard : worker_counters_) shard.reset_for(program_);
 }
 
-void Emulator::set_worker_count(int workers) {
-    std::lock_guard<std::mutex> lock(control_mu_);
+void Emulator::set_worker_count_unlocked(int workers) {
     workers = std::max(1, std::min(workers, std::max(1, model_.cores)));
     if (workers == workers_) return;
     workers_ = workers;
@@ -125,40 +124,81 @@ void Emulator::set_worker_count(int workers) {
     pool_ = workers_ > 1 ? std::make_unique<WorkerPool>(workers_) : nullptr;
 }
 
-void Emulator::set_instrumentation(profile::InstrumentationConfig cfg) {
-    std::lock_guard<std::mutex> lock(control_mu_);
-    instrumentation_ = cfg;
+void Emulator::set_worker_count(int workers) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::SetWorkerCount;
+    op.workers = workers;
+    submit(std::move(op));
 }
 
-bool Emulator::insert_entry(const std::string& table, const ir::TableEntry& entry) {
-    std::lock_guard<std::mutex> lock(control_mu_);
+void Emulator::set_instrumentation(profile::InstrumentationConfig cfg) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::SetInstrumentation;
+    op.instrumentation = cfg;
+    submit(std::move(op));
+}
+
+bool Emulator::insert_entry_unlocked(const std::string& table,
+                                     const ir::TableEntry& entry) {
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     return tables_[static_cast<std::size_t>(id)]->insert(entry);
 }
 
-bool Emulator::delete_entry(const std::string& table,
-                            const std::vector<ir::FieldMatch>& key) {
-    std::lock_guard<std::mutex> lock(control_mu_);
+bool Emulator::insert_entry(const std::string& table, const ir::TableEntry& entry) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::InsertEntry;
+    op.table = table;
+    op.entry = entry;
+    return submit(std::move(op));
+}
+
+bool Emulator::delete_entry_unlocked(const std::string& table,
+                                     const std::vector<ir::FieldMatch>& key) {
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     return tables_[static_cast<std::size_t>(id)]->erase(key);
 }
 
-bool Emulator::modify_entry(const std::string& table, const ir::TableEntry& entry) {
-    std::lock_guard<std::mutex> lock(control_mu_);
+bool Emulator::delete_entry(const std::string& table,
+                            const std::vector<ir::FieldMatch>& key) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::DeleteEntry;
+    op.table = table;
+    op.key = key;
+    return submit(std::move(op));
+}
+
+bool Emulator::modify_entry_unlocked(const std::string& table,
+                                     const ir::TableEntry& entry) {
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     return tables_[static_cast<std::size_t>(id)]->modify(entry);
 }
 
-bool Emulator::set_entries(const std::string& table,
-                           std::vector<ir::TableEntry> entries) {
-    std::lock_guard<std::mutex> lock(control_mu_);
+bool Emulator::modify_entry(const std::string& table, const ir::TableEntry& entry) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::ModifyEntry;
+    op.table = table;
+    op.entry = entry;
+    return submit(std::move(op));
+}
+
+bool Emulator::set_entries_unlocked(const std::string& table,
+                                    std::vector<ir::TableEntry> entries) {
     NodeId id = program_.find_table(table);
     if (id == kNoNode || !tables_[static_cast<std::size_t>(id)]) return false;
     tables_[static_cast<std::size_t>(id)]->set_entries(std::move(entries));
     return true;
+}
+
+bool Emulator::set_entries(const std::string& table,
+                           std::vector<ir::TableEntry> entries) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::SetEntries;
+    op.table = table;
+    op.entries = std::move(entries);
+    return submit(std::move(op));
 }
 
 std::size_t Emulator::entry_count(const std::string& table) const {
@@ -182,8 +222,7 @@ const std::vector<ir::TableEntry>* Emulator::entries(
     return &tables_[static_cast<std::size_t>(id)]->entries();
 }
 
-int Emulator::invalidate_caches_covering(const std::string& origin_table) {
-    std::lock_guard<std::mutex> lock(control_mu_);
+int Emulator::invalidate_caches_unlocked(const std::string& origin_table) {
     int cleared = 0;
     for (const Node& node : program_.nodes()) {
         if (!node.is_table() || node.table.role != TableRole::Cache) continue;
@@ -197,6 +236,104 @@ int Emulator::invalidate_caches_covering(const std::string& origin_table) {
         }
     }
     return cleared;
+}
+
+int Emulator::invalidate_caches_covering(const std::string& origin_table) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::InvalidateCaches;
+    op.table = origin_table;
+    int cleared = 0;
+    submit(std::move(op), &cleared);
+    return cleared;
+}
+
+// --------------------------------------------------------------- op plumbing
+
+bool Emulator::submit(ControlOp op, int* count_result,
+                      ReconfigureStats* swap_result) {
+    const std::uint64_t seq = queue_.push(std::move(op));
+    std::unique_lock<std::mutex> lock(control_mu_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        // A batch is in flight (or another control caller is applying). The
+        // op stays queued for the next drain point; report the optimistic
+        // default without waiting.
+        ops_deferred_.fetch_add(1, std::memory_order_relaxed);
+        if (count_result != nullptr) *count_result = -1;
+        return true;
+    }
+    bool ok = true;
+    drain_queue_unlocked(&seq, &ok, count_result, swap_result);
+    ops_sync_.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+}
+
+std::size_t Emulator::drain_queue_unlocked(const std::uint64_t* own_seq,
+                                           bool* own_ok, int* own_count,
+                                           ReconfigureStats* own_swap) {
+    std::vector<ControlOp> ops = queue_.drain();
+    for (ControlOp& op : ops) {
+        int count = 0;
+        ReconfigureStats swap_stats;
+        bool ok = apply_op_unlocked(op, &count, &swap_stats);
+        if (own_seq != nullptr && op.seq == *own_seq) {
+            if (own_ok != nullptr) *own_ok = ok;
+            if (own_count != nullptr) *own_count = count;
+            if (own_swap != nullptr) *own_swap = swap_stats;
+        }
+    }
+    ops_drained_.fetch_add(ops.size(), std::memory_order_relaxed);
+    return ops.size();
+}
+
+bool Emulator::apply_op_unlocked(ControlOp& op, int* count_out,
+                                 ReconfigureStats* swap_out) {
+    switch (op.kind) {
+        case ControlOp::Kind::InsertEntry:
+            return insert_entry_unlocked(op.table, op.entry);
+        case ControlOp::Kind::DeleteEntry:
+            return delete_entry_unlocked(op.table, op.key);
+        case ControlOp::Kind::ModifyEntry:
+            return modify_entry_unlocked(op.table, op.entry);
+        case ControlOp::Kind::SetEntries:
+            return set_entries_unlocked(op.table, std::move(op.entries));
+        case ControlOp::Kind::InvalidateCaches: {
+            int cleared = invalidate_caches_unlocked(op.table);
+            if (count_out != nullptr) *count_out = cleared;
+            return true;
+        }
+        case ControlOp::Kind::BeginWindow:
+            begin_window_unlocked();
+            return true;
+        case ControlOp::Kind::SetInstrumentation:
+            instrumentation_ = op.instrumentation;
+            return true;
+        case ControlOp::Kind::SetWorkerCount:
+            set_worker_count_unlocked(op.workers);
+            return true;
+        case ControlOp::Kind::Swap: {
+            ReconfigureStats stats = apply_epoch_unlocked(std::move(*op.swap));
+            if (swap_out != nullptr) *swap_out = stats;
+            return true;
+        }
+    }
+    return true;
+}
+
+std::size_t Emulator::drain_control() {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    return drain_queue_unlocked();
+}
+
+Emulator::ControlPlaneStats Emulator::control_stats() const {
+    ControlPlaneStats s;
+    s.ops_submitted = queue_.total_pushed();
+    s.ops_applied_sync = ops_sync_.load(std::memory_order_relaxed);
+    s.ops_deferred = ops_deferred_.load(std::memory_order_relaxed);
+    s.ops_drained = ops_drained_.load(std::memory_order_relaxed);
+    s.queue_depth = queue_.depth();
+    s.max_queue_depth = queue_.max_depth();
+    s.epoch = epoch_.load(std::memory_order_acquire);
+    return s;
 }
 
 std::size_t Emulator::cache_size(const std::string& table) const {
@@ -458,12 +595,29 @@ ProcessResult Emulator::process_unlocked(Packet& packet) {
 
 ProcessResult Emulator::process(Packet& packet) {
     std::lock_guard<std::mutex> lock(control_mu_);
+    if (!queue_.empty()) drain_queue_unlocked();  // drain point
     return process_unlocked(packet);
 }
+
+namespace {
+/// Clears a flag on scope exit (in_batch_ stays true for exactly the window
+/// in which control ops defer, even if a packet loop throws).
+struct FlagGuard {
+    std::atomic<bool>& flag;
+    explicit FlagGuard(std::atomic<bool>& f) : flag(f) {
+        flag.store(true, std::memory_order_release);
+    }
+    ~FlagGuard() { flag.store(false, std::memory_order_release); }
+};
+}  // namespace
 
 BatchResult Emulator::process_batch(PacketBatch& batch) {
     std::lock_guard<std::mutex> lock(control_mu_);
     BatchResult out;
+    // Drain point: apply the whole control backlog before any packet runs,
+    // so this batch observes either none or all of each op's effect.
+    out.control_ops_applied = drain_queue_unlocked();
+    FlagGuard in_batch(in_batch_);
     out.results.resize(batch.size());
 
     if (deterministic_ || workers_ <= 1 || batch.size() < 2) {
@@ -521,8 +675,14 @@ void Emulator::begin_window_unlocked() {
 }
 
 void Emulator::begin_window() {
+    ControlOp op;
+    op.kind = ControlOp::Kind::BeginWindow;
+    submit(std::move(op));
+}
+
+util::RunningStats Emulator::latency_stats() const {
     std::lock_guard<std::mutex> lock(control_mu_);
-    begin_window_unlocked();
+    return counters_.latency;
 }
 
 profile::RawCounters Emulator::read_counters() const {
@@ -624,13 +784,69 @@ double Emulator::reconfigure_unlocked(ir::Program new_program) {
 }
 
 double Emulator::reconfigure(ir::Program new_program) {
-    std::lock_guard<std::mutex> lock(control_mu_);
-    return reconfigure_unlocked(std::move(new_program));
+    EpochSwap swap;
+    swap.program = std::move(new_program);
+    return apply_epoch(std::move(swap)).downtime_s;
 }
 
 Emulator::ReconfigureStats Emulator::reconfigure_incremental(
     ir::Program new_program) {
-    std::lock_guard<std::mutex> lock(control_mu_);
+    EpochSwap swap;
+    swap.program = std::move(new_program);
+    swap.incremental = true;
+    return apply_epoch(std::move(swap));
+}
+
+Emulator::ReconfigureStats Emulator::apply_epoch(EpochSwap swap) {
+    // Validate on the caller's thread: a malformed program must throw here,
+    // not inside a later batch's drain.
+    swap.program.validate();
+    ControlOp op;
+    op.kind = ControlOp::Kind::Swap;
+    op.swap = std::make_shared<EpochSwap>(std::move(swap));
+    ReconfigureStats stats;
+    submit(std::move(op), nullptr, &stats);
+    return stats;
+}
+
+std::uint64_t Emulator::queue_epoch(EpochSwap swap) {
+    swap.program.validate();
+    ControlOp op;
+    op.kind = ControlOp::Kind::Swap;
+    op.swap = std::make_shared<EpochSwap>(std::move(swap));
+    const std::uint64_t seq = queue_.push(std::move(op));
+    ops_deferred_.fetch_add(1, std::memory_order_relaxed);
+    return seq;
+}
+
+Emulator::ReconfigureStats Emulator::apply_epoch_unlocked(EpochSwap swap) {
+    ReconfigureStats stats;
+    if (swap.incremental) {
+        stats = reconfigure_incremental_unlocked(std::move(swap.program));
+    } else {
+        for (const Node& node : swap.program.nodes()) {
+            if (node.is_table()) ++stats.tables_total;
+        }
+        stats.tables_changed = stats.tables_total;  // full redeploy
+        stats.downtime_s = reconfigure_unlocked(std::move(swap.program));
+    }
+    // Install the remapped entry sets as part of the same transition; these
+    // are deployment state, not window churn, so update counts stay zero.
+    for (ir::EntryLoad& load : swap.entries) {
+        const std::string table = load.table;
+        if (set_entries_unlocked(table, std::move(load.entries))) {
+            NodeId id = program_.find_table(table);
+            if (id != kNoNode && tables_[static_cast<std::size_t>(id)]) {
+                tables_[static_cast<std::size_t>(id)]->reset_update_count();
+            }
+        }
+    }
+    epoch_.fetch_add(1, std::memory_order_release);
+    return stats;
+}
+
+Emulator::ReconfigureStats Emulator::reconfigure_incremental_unlocked(
+    ir::Program new_program) {
     new_program.validate();
     ReconfigureStats stats;
 

@@ -19,11 +19,31 @@
 //     or deterministic mode the batch runs through the scalar path in input
 //     order and is bit-identical to calling process() per packet.
 //
-// Control-plane calls (entry ops, reconfiguration, cache invalidation,
-// window resets) are fenced against in-flight batches by a mutex, so engine
-// rebuilds never race data-plane lookups.
+// Control plane (ISSUE 3): every mutation (entry ops, cache invalidation,
+// window resets, worker/instrumentation changes, program swaps) travels a
+// typed MPSC ControlOp queue. A caller enqueues and returns immediately —
+// it NEVER blocks on a batch in flight. Pending ops are drained, in enqueue
+// order, at well-defined drain points:
+//
+//   - batch boundaries: process_batch() (and process()) drains the backlog
+//     before the batch's packets run, so a batch observes either none or
+//     all of an op's effect, never a torn one;
+//   - any control call that finds the data plane idle: the caller drains
+//     synchronously (single-threaded use is therefore exactly as strict as
+//     the old mutex fence — mutate, then read, sees the mutation);
+//   - an explicit drain_control() call.
+//
+// Mutators return their op's real result when applied synchronously and
+// optimistic defaults when deferred behind a running batch (the op applies
+// at the next boundary; ops addressing tables a queued swap removes degrade
+// to no-ops). Reads (read_counters, entry_count, latency_stats, ...) lock
+// out the data plane (they wait for an in-flight batch, never interleave
+// with one) and observe the state as of the last drain point. Program swaps
+// bump epoch(); an EpochSwap op carries the new program plus its remapped
+// entry set so both install in one epoch transition.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +53,7 @@
 #include "profile/counter_map.h"
 #include "profile/profile.h"
 #include "sim/batch.h"
+#include "sim/control_queue.h"
 #include "sim/counter_shard.h"
 #include "sim/nic_model.h"
 #include "sim/packet.h"
@@ -57,6 +78,13 @@ public:
     void set_instrumentation(profile::InstrumentationConfig cfg);
 
     // ------------------------------------------------------- control plane
+    //
+    // Every mutator below is an enqueue + opportunistic drain: the op joins
+    // the MPSC queue and, when the data plane is idle, the caller drains the
+    // backlog (its own op included) before returning — so the bool results
+    // are exact in single-threaded use. Behind an in-flight batch the call
+    // returns immediately with the optimistic default and the op applies at
+    // the next batch boundary.
 
     /// Entry operations address *deployed* table names. (The runtime layer
     /// maps original-program API calls onto deployed tables, §2.3.)
@@ -77,8 +105,41 @@ public:
     /// Invalidates (clears) every flow cache whose origin set contains the
     /// given table — "an update in any of the original tables will
     /// invalidate the entire cache" (§3.2.2) — across all worker shards.
-    /// Returns the number of caches cleared (counting each node once).
+    /// Returns the number of caches cleared (counting each node once), or
+    /// -1 when the op was queued behind an in-flight batch.
     int invalidate_caches_covering(const std::string& origin_table);
+
+    /// Applies every pending control op now (waits for an in-flight batch
+    /// first). Returns the number of ops applied. Reads already observe all
+    /// ops up to the last drain point; call this to force the epoch forward
+    /// without pumping a batch.
+    std::size_t drain_control();
+
+    /// Ops enqueued but not yet applied.
+    std::size_t control_pending() const { return queue_.depth(); }
+
+    /// True while a batch is executing on the data plane (the window in
+    /// which control ops defer instead of applying synchronously).
+    bool batch_in_flight() const {
+        return in_batch_.load(std::memory_order_acquire);
+    }
+
+    /// Control-plane pipeline observability (the micro_controlplane bench
+    /// and the stress tests read these; all counters are monotonic).
+    struct ControlPlaneStats {
+        std::uint64_t ops_submitted = 0;     ///< total ops pushed
+        std::uint64_t ops_applied_sync = 0;  ///< drained by their submitter
+        std::uint64_t ops_deferred = 0;      ///< returned before application
+        std::uint64_t ops_drained = 0;       ///< total ops applied
+        std::size_t queue_depth = 0;         ///< pending right now
+        std::size_t max_queue_depth = 0;     ///< backlog high-water mark
+        std::uint64_t epoch = 0;             ///< program swaps applied
+    };
+    ControlPlaneStats control_stats() const;
+
+    /// The deployment epoch: bumped by every applied program swap
+    /// (reconfigure, reconfigure_incremental, apply_epoch, queued Swap ops).
+    std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
     // ---------------------------------------------------------- data plane
 
@@ -125,8 +186,10 @@ public:
     /// scaled back by 1/sampling_rate so probabilities and rates read true.
     profile::RawCounters read_counters() const;
 
-    /// Ground-truth per-packet latency over the window (cycles).
-    const util::RunningStats& latency_stats() const { return counters_.latency; }
+    /// Ground-truth per-packet latency over the window (cycles). Returns a
+    /// snapshot taken under the control lock — safe to hold across a
+    /// concurrent batch (epoch semantics: state as of the last drain point).
+    util::RunningStats latency_stats() const;
 
     /// Ground-truth totals (not subject to sampling).
     std::uint64_t packets_processed() const { return counters_.packets_total; }
@@ -159,6 +222,17 @@ public:
     /// keep their learned entries, and on reflash targets the downtime
     /// scales with the fraction of tables that actually changed.
     ReconfigureStats reconfigure_incremental(ir::Program new_program);
+
+    /// Installs a program *and* its remapped entry sets in one epoch
+    /// transition — the data plane never observes the new layout with stale
+    /// or missing entries. Drains synchronously when the data plane is idle;
+    /// otherwise the swap applies at the next batch boundary and the
+    /// returned stats carry only downtime_s = 0 (live path).
+    ReconfigureStats apply_epoch(EpochSwap swap);
+
+    /// Fire-and-forget apply_epoch: always just enqueues (even when idle).
+    /// Returns the op's queue sequence number.
+    std::uint64_t queue_epoch(EpochSwap swap);
 
 private:
     struct CompiledPrimitive {
@@ -204,6 +278,38 @@ private:
     ProcessResult process_unlocked(Packet& packet);
     void begin_window_unlocked();
     double reconfigure_unlocked(ir::Program new_program);
+    ReconfigureStats reconfigure_incremental_unlocked(ir::Program new_program);
+    ReconfigureStats apply_epoch_unlocked(EpochSwap swap);
+
+    bool insert_entry_unlocked(const std::string& table,
+                               const ir::TableEntry& entry);
+    bool delete_entry_unlocked(const std::string& table,
+                               const std::vector<ir::FieldMatch>& key);
+    bool modify_entry_unlocked(const std::string& table,
+                               const ir::TableEntry& entry);
+    bool set_entries_unlocked(const std::string& table,
+                              std::vector<ir::TableEntry> entries);
+    int invalidate_caches_unlocked(const std::string& origin_table);
+    void set_worker_count_unlocked(int workers);
+
+    /// Enqueues the op, then opportunistically drains: when control_mu_ is
+    /// free (no batch in flight) the caller applies the whole backlog —
+    /// including its own op — and returns that op's real result; when a
+    /// batch holds the lock the op stays queued and the optimistic default
+    /// (true / -1) comes back. Never blocks on the data plane.
+    bool submit(ControlOp op, int* count_result = nullptr,
+                ReconfigureStats* swap_result = nullptr);
+
+    /// Applies every queued op in enqueue order. Caller holds control_mu_.
+    /// When own_seq is set, the matching op's result lands in *own_ok /
+    /// *own_count / *own_swap. Returns the number of ops applied.
+    std::size_t drain_queue_unlocked(const std::uint64_t* own_seq = nullptr,
+                                     bool* own_ok = nullptr,
+                                     int* own_count = nullptr,
+                                     ReconfigureStats* own_swap = nullptr);
+    /// Applies one op. Returns false only for a failed entry op.
+    bool apply_op_unlocked(ControlOp& op, int* count_out,
+                           ReconfigureStats* swap_out);
 
     NicModel model_;
     ir::Program program_;
@@ -229,8 +335,18 @@ private:
     bool deterministic_ = false;
     std::unique_ptr<WorkerPool> pool_;
 
-    /// Fences control-plane mutations against in-flight batches.
+    /// Serializes control-op application against in-flight batches. Callers
+    /// never wait on it to *enqueue* — only to apply (submit try-locks) or
+    /// to read.
     mutable std::mutex control_mu_;
+
+    /// Pending control ops (the "update ring").
+    ControlQueue queue_;
+    std::atomic<std::uint64_t> ops_sync_{0};      ///< applied by submitter
+    std::atomic<std::uint64_t> ops_deferred_{0};  ///< returned before apply
+    std::atomic<std::uint64_t> ops_drained_{0};   ///< total applied
+    std::atomic<std::uint64_t> epoch_{0};         ///< program swaps applied
+    std::atomic<bool> in_batch_{false};
 
     std::uint64_t packet_seq_ = 0;
     double clock_seconds_ = 0.0;

@@ -312,6 +312,114 @@ TEST(VerifyTranslation, OptimizerOutputsVerifyClean) {
     }
 }
 
+// ---------------------------------------------------------- entry.remap.*
+// The entry-remap family (ISSUE 3) checks the control plane's remapped
+// entry set against the deployed layout before an epoch swap ships it.
+
+/// Two-table original with one live entry per table in the original store.
+struct RemapFixture {
+    ir::Program original;
+    std::unordered_map<std::string, std::vector<ir::TableEntry>> store;
+
+    static RemapFixture make() {
+        RemapFixture f;
+        ir::ProgramBuilder b("remap");
+        b.append(ir::TableSpec("A").key("src").noop_action("a1").noop_action("a2").build());
+        b.append(ir::TableSpec("B").key("dst").noop_action("b1").noop_action("b2").build());
+        f.original = b.build();
+        ir::TableEntry ea;
+        ea.key = {ir::FieldMatch::exact(1)};
+        ea.action_index = 0;
+        ir::TableEntry eb;
+        eb.key = {ir::FieldMatch::exact(2)};
+        eb.action_index = 1;
+        f.store["A"] = {ea};
+        f.store["B"] = {eb};
+        return f;
+    }
+
+    std::vector<ir::EntryLoad> full_loads() const {
+        return {ir::EntryLoad{"A", store.at("A")},
+                ir::EntryLoad{"B", store.at("B")}};
+    }
+};
+
+TEST(VerifyEntryRemap, FaithfulRemapIsClean) {
+    RemapFixture f = RemapFixture::make();
+    Verifier v;
+    DiagnosticList d =
+        v.check_entry_remap(f.original, f.store, f.original, f.full_loads());
+    EXPECT_TRUE(d.ok()) << d.to_string();
+}
+
+TEST(VerifyEntryRemap, UnknownTableIsReported) {
+    RemapFixture f = RemapFixture::make();
+    auto loads = f.full_loads();
+    loads.push_back(ir::EntryLoad{"Z", {}});
+    Verifier v;
+    DiagnosticList d = v.check_entry_remap(f.original, f.store, f.original, loads);
+    EXPECT_TRUE(d.has_rule("entry.remap.unknown-table")) << d.to_string();
+}
+
+TEST(VerifyEntryRemap, LoadingAFlowCacheIsReported) {
+    RemapFixture f = RemapFixture::make();
+    auto pipelets = analysis::form_pipelets(f.original);
+    opt::PipeletPlan plan = plan_for(0, {0, 1});
+    plan.layout.caches = {opt::Segment{0, 1}};
+    ir::Program cached = opt::apply_plans(f.original, pipelets, {plan});
+
+    auto loads = f.full_loads();
+    loads.push_back(ir::EntryLoad{"cache_A_B", {}});
+    Verifier v;
+    DiagnosticList d = v.check_entry_remap(f.original, f.store, cached, loads);
+    EXPECT_TRUE(d.has_rule("entry.remap.role")) << d.to_string();
+}
+
+TEST(VerifyEntryRemap, DuplicateLoadIsReported) {
+    RemapFixture f = RemapFixture::make();
+    auto loads = f.full_loads();
+    loads.push_back(ir::EntryLoad{"A", f.store.at("A")});
+    Verifier v;
+    DiagnosticList d = v.check_entry_remap(f.original, f.store, f.original, loads);
+    EXPECT_TRUE(d.has_rule("entry.remap.duplicate-load")) << d.to_string();
+}
+
+TEST(VerifyEntryRemap, CountMismatchOnDirectTableIsReported) {
+    RemapFixture f = RemapFixture::make();
+    auto loads = f.full_loads();
+    loads[0].entries.clear();  // A's load silently drops the stored entry
+    Verifier v;
+    DiagnosticList d = v.check_entry_remap(f.original, f.store, f.original, loads);
+    EXPECT_TRUE(d.has_rule("entry.remap.count")) << d.to_string();
+}
+
+TEST(VerifyEntryRemap, MergedTableWithoutLoadIsReported) {
+    RemapFixture f = RemapFixture::make();
+    auto pipelets = analysis::form_pipelets(f.original);
+    opt::PipeletPlan plan = plan_for(0, {0, 1});
+    plan.layout.merges = {opt::MergeSpec{opt::Segment{0, 1}, false}};
+    ir::Program merged = opt::apply_plans(f.original, pipelets, {plan});
+
+    // No load at all for the merged cross-product table: it would deploy
+    // empty and miss every packet.
+    Verifier v;
+    DiagnosticList d = v.check_entry_remap(f.original, f.store, merged, {});
+    EXPECT_TRUE(d.has_rule("entry.remap.missing-load")) << d.to_string();
+}
+
+TEST(VerifyEntryRemap, DroppedOriginalEntriesAreReported) {
+    RemapFixture f = RemapFixture::make();
+    // Deployed layout lost table A entirely, and no merged table covers it.
+    ir::ProgramBuilder b("without_a");
+    b.append(ir::TableSpec("B").key("dst").noop_action("b1").noop_action("b2").build());
+    ir::Program without_a = b.build();
+
+    Verifier v;
+    DiagnosticList d = v.check_entry_remap(
+        f.original, f.store, without_a, {ir::EntryLoad{"B", f.store.at("B")}});
+    EXPECT_TRUE(d.has_rule("entry.remap.dropped")) << d.to_string();
+}
+
 TEST(VerifyMode, DefaultsAndOverridesAreScoped) {
     analysis::VerifyMode saved = analysis::verify_mode();
     analysis::set_verify_mode(analysis::VerifyMode::Off);
