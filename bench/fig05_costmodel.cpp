@@ -10,6 +10,7 @@
 // to the measurement (measurement column = 1.00), like the figure.
 #include "apps/scenarios.h"
 #include "bench/common.h"
+#include "bench/report.h"
 #include "cost/calibrate.h"
 #include "cost/model.h"
 #include "ir/builder.h"
@@ -184,5 +185,10 @@ int main() {
     std::printf("\nmean |deviation| across the 16 scenarios: %.2f%%  "
                 "(paper: ~5%% on real hardware)\n",
                 100.0 * util::mean(deviations));
+
+    bench::Reporter rep("fig05_costmodel", sim::bluefield2_model());
+    rep.param("scenarios", static_cast<std::uint64_t>(deviations.size()));
+    rep.metric("model_mean_abs_deviation", util::mean(deviations));
+    rep.write();
     return 0;
 }

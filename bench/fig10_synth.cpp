@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "bench/common.h"
+#include "bench/report.h"
 #include "analysis/pipelet.h"
 #include "search/optimizer.h"
 #include "sim/nic_model.h"
@@ -118,5 +119,12 @@ int main() {
     std::printf("paper shape: longer pipelets gain more; each category favors\n"
                 "its matching technique (drops->reordering, static->merging,\n"
                 "locality->caching); merging gains least (2-table cap).\n");
+
+    bench::Reporter rep("fig10_synth", "model");
+    rep.metric("latency_reduction_min_pct",
+               *std::min_element(all_combined.begin(), all_combined.end()));
+    rep.metric("latency_reduction_max_pct",
+               *std::max_element(all_combined.begin(), all_combined.end()));
+    rep.write();
     return 0;
 }

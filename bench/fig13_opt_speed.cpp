@@ -5,6 +5,7 @@
 // 8.2x speedup; our C++ implementation is orders of magnitude faster in
 // absolute terms, but the k-scaling shape is the result under test.
 #include "bench/common.h"
+#include "bench/report.h"
 #include "search/optimizer.h"
 #include "sim/nic_model.h"
 #include "synth/profile_synth.h"
@@ -89,5 +90,12 @@ int main() {
                 "(paper: 8.2x)\n", speedup);
     std::printf("paper shape: time grows with PN, PL, and k; top-k search is\n"
                 "several times faster than ESearch in every group.\n");
+
+    bench::Reporter rep("fig13_opt_speed", sim::bluefield2_model());
+    rep.param("programs_per_group", util::Json(std::uint64_t(programs_per_group)));
+    rep.metric("topk20_vs_esearch_speedup", speedup);
+    rep.metric("median_k20_ms", util::mean(medians_k20));
+    rep.metric("median_esearch_ms", util::mean(medians_esearch));
+    rep.write();
     return 0;
 }

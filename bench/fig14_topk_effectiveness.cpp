@@ -5,6 +5,7 @@
 // profiles, and report the CDF of (top-k gain / ESearch gain) over programs
 // for k in {20, 30, 40, 50}%.
 #include "bench/common.h"
+#include "bench/report.h"
 #include "analysis/pipelet.h"
 #include "search/optimizer.h"
 #include "sim/nic_model.h"
@@ -96,5 +97,17 @@ int main() {
     std::printf("\npaper shape: top-20%% retains >70%% of the ESearch gain for\n"
                 "(nearly) all programs at low entropy; larger k approaches 1;\n"
                 "the trend changes little across entropy levels.\n");
+
+    bench::Reporter rep("fig14_topk_effectiveness", sim::bluefield2_model());
+    rep.param("programs", util::Json(std::uint64_t(programs)));
+    auto& k20_low = ratios[10][20];
+    if (!k20_low.empty()) {
+        rep.metric("k20_median_ratio_low_entropy", util::median(k20_low));
+    }
+    auto& k50_low = ratios[10][50];
+    if (!k50_low.empty()) {
+        rep.metric("k50_median_ratio_low_entropy", util::median(k50_low));
+    }
+    rep.write();
     return 0;
 }

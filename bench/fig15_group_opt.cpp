@@ -5,6 +5,7 @@
 // reduction with and without grouping at k in {40, 50, 60}% (15a) and the
 // per-program distribution at k=50% (15b).
 #include "bench/common.h"
+#include "bench/report.h"
 #include "analysis/pipelet.h"
 #include "search/optimizer.h"
 #include "sim/nic_model.h"
@@ -77,5 +78,11 @@ int main() {
     std::printf("\npaper shape: grouping adds several points of latency\n"
                 "reduction on top of per-pipelet optimization (paper: +6.7pp\n"
                 "on average, up to 37.9%% total at k=60%%).\n");
+
+    bench::Reporter rep("fig15_group_opt", sim::bluefield2_model());
+    rep.param("programs", util::Json(std::uint64_t(programs)));
+    rep.metric("reduction_without_group_pct", util::mean(results[50].first));
+    rep.metric("reduction_with_group_pct", util::mean(results[50].second));
+    rep.write();
     return 0;
 }

@@ -4,6 +4,7 @@
 // Low entropy = traffic aggregated on few pipelets; high entropy = spread
 // out (but never uniform — the first pipelet always sees 100%).
 #include "bench/common.h"
+#include "bench/report.h"
 #include "analysis/pipelet.h"
 #include "synth/profile_synth.h"
 #include "synth/program_synth.h"
@@ -62,5 +63,12 @@ int main() {
     std::printf("\npaper shape: low-entropy profiles concentrate traffic on a\n"
                 "few pipelets; high-entropy profiles spread it, though early\n"
                 "pipelets always carry more (the root pipelet sees 100%%).\n");
+
+    bench::Reporter rep("fig18_entropy_dist", "model");
+    rep.param("profiles", util::Json(std::uint64_t(kProfiles)));
+    rep.metric("entropy_p10_bits", util::percentile(entropies, 10));
+    rep.metric("entropy_p50_bits", util::median(entropies));
+    rep.metric("entropy_p90_bits", util::percentile(entropies, 90));
+    rep.write();
     return 0;
 }

@@ -4,6 +4,7 @@
 // 1.32x / 1.37x / 1.43x — i.e. ESearch performs similarly regardless of how
 // aggregated the traffic is.
 #include "bench/common.h"
+#include "bench/report.h"
 #include "analysis/pipelet.h"
 #include "search/optimizer.h"
 #include "sim/nic_model.h"
@@ -68,5 +69,12 @@ int main() {
     }
     std::printf("paper shape: similar CDFs across entropy levels; mean\n"
                 "improvements around 1.3x-1.4x.\n");
+
+    bench::Reporter rep("fig19_esearch_gain", sim::bluefield2_model());
+    rep.param("programs", util::Json(std::uint64_t(programs)));
+    rep.metric("mean_gain_low_entropy", util::mean(gains[10]));
+    rep.metric("mean_gain_mid_entropy", util::mean(gains[50]));
+    rep.metric("mean_gain_high_entropy", util::mean(gains[90]));
+    rep.write();
     return 0;
 }

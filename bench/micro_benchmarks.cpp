@@ -6,6 +6,7 @@
 
 #include "apps/scenarios.h"
 #include "bench/common.h"
+#include "bench/report.h"
 #include "ir/builder.h"
 #include "search/optimizer.h"
 #include "sim/emulator.h"
@@ -147,3 +148,17 @@ void BM_CostModelExpectedLatency(benchmark::State& state) {
 BENCHMARK(BM_CostModelExpectedLatency)->Arg(8)->Arg(16);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the run also emits the
+// machine-readable BenchReport that every bench binary produces.
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    bench::Reporter rep("micro_benchmarks");
+    rep.metric("benchmarks_run", static_cast<double>(ran));
+    rep.write();
+    return 0;
+}

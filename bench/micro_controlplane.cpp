@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "bench/common.h"
+#include "bench/report.h"
 #include "ir/builder.h"
 #include "sim/nic_model.h"
 
@@ -35,7 +36,7 @@ ir::TableEntry entry_for(std::uint64_t key) {
 
 int main() {
     constexpr int kChainLen = 6;
-    constexpr int kOps = 20000;
+    const int kOps = bench::BenchEnv::quick() ? 2000 : 20000;
 
     ir::Program prog = ir::chain_of_exact_tables("p", kChainLen, 2, 1);
     sim::Emulator emu(sim::bluefield2_model(), prog, {});
@@ -87,7 +88,7 @@ int main() {
         for (std::uint64_t k = 0; k < 256; ++k) load.entries.push_back(entry_for(k));
         loads.push_back(std::move(load));
     }
-    constexpr int kSwaps = 200;
+    const int kSwaps = bench::BenchEnv::quick() ? 20 : 200;
     t0 = Clock::now();
     for (int i = 0; i < kSwaps; ++i) {
         sim::EpochSwap swap;
@@ -113,5 +114,14 @@ int main() {
                 static_cast<unsigned long long>(stats.ops_drained),
                 stats.max_queue_depth,
                 static_cast<unsigned long long>(stats.epoch));
+
+    bench::Reporter rep("micro_controlplane", sim::bluefield2_model());
+    rep.param("ops", util::Json(std::uint64_t(kOps)));
+    rep.param("swaps", util::Json(std::uint64_t(kSwaps)));
+    rep.metric("insert_idle_ns", idle_ns);
+    rep.metric("insert_inflight_ns", inflight_ns);
+    rep.metric("epoch_swap_ns", swap_ns);
+    rep.metric("epochs", static_cast<double>(stats.epoch));
+    rep.write();
     return 0;
 }

@@ -15,9 +15,13 @@ Controller::Controller(sim::Emulator& emulator, ir::Program original,
       config_(std::move(config)),
       api_(original_) {
     original_.validate();
+    ctl_ticks_ = emulator_.metrics().counter("ctl.ticks");
+    ctl_deploys_ = emulator_.metrics().counter("ctl.deploys");
+    ctl_rejects_ = emulator_.metrics().counter("ctl.verify_rejects");
 }
 
 profile::RuntimeProfile Controller::collect_profile() {
+    TELEMETRY_SPAN("controller.profile");
     profile::RawCounters raw = emulator_.read_counters();
     // The emulator only knows deployed tables; the API mapper supplies the
     // authoritative original-space entry snapshots (including merged-away
@@ -73,14 +77,27 @@ Controller::PumpStats Controller::pump_window_impl(trafficgen::Workload& workloa
         }
         stats.max_batch = std::max(stats.max_batch, batch.size());
 
+        const double batch_drop =
+            batch.empty() ? 0.0
+                          : static_cast<double>(r.dropped) /
+                                static_cast<double>(batch.size());
+        stats.max_batch_drop = std::max(stats.max_batch_drop, batch_drop);
+
         if (adaptive) {
-            // Cycle-budget controller: halve when the measured batch blew
-            // the budget, double when it used less than half — multiplicative
-            // moves so the size converges in a few batches either way.
-            if (r.total_cycles > config_.target_batch_cycles) {
+            // Two feedback signals, drops first: a batch shedding more than
+            // the configured fraction shrinks regardless of its cycle cost
+            // (overload is best shed in small units), then the cycle-budget
+            // controller halves above budget and doubles below half of it —
+            // multiplicative moves so the size converges in a few batches.
+            if (batch_drop > config_.max_batch_drop_rate) {
                 batch_size = std::max(floor, batch_size / 2);
+                ++stats.batch_shrinks_drops;
+            } else if (r.total_cycles > config_.target_batch_cycles) {
+                batch_size = std::max(floor, batch_size / 2);
+                ++stats.batch_shrinks_cycles;
             } else if (r.total_cycles < config_.target_batch_cycles / 2.0) {
                 batch_size = std::min(cap, batch_size * 2);
+                ++stats.batch_grows;
             }
         }
     }
@@ -110,6 +127,7 @@ Controller::PumpStats Controller::pump_window(trafficgen::Workload& workload,
 }
 
 Controller::PreparedDeploy Controller::prepare_deploy(ir::Program target) const {
+    TELEMETRY_SPAN("controller.prepare");
     PreparedDeploy prepared;
     prepared.entries = api_.remapped_entries(target);
     prepared.program = std::move(target);
@@ -120,6 +138,7 @@ Controller::PreparedDeploy Controller::prepare_deploy(ir::Program target) const 
 analysis::DiagnosticList Controller::verify_deploy(
     const search::OptimizationOutcome* outcome,
     const PreparedDeploy& prepared) const {
+    TELEMETRY_SPAN("controller.verify");
     analysis::Verifier verifier(config_.verify);
     analysis::DiagnosticList diags;
     if (outcome != nullptr) {
@@ -140,6 +159,7 @@ analysis::DiagnosticList Controller::verify_deploy(
 }
 
 void Controller::commit_deploy(PreparedDeploy prepared, TickResult& result) {
+    TELEMETRY_SPAN("controller.commit");
     sim::EpochSwap swap;
     swap.program = std::move(prepared.program);
     swap.entries = std::move(prepared.entries);
@@ -149,10 +169,17 @@ void Controller::commit_deploy(PreparedDeploy prepared, TickResult& result) {
     result.downtime_s = stats.downtime_s;
     if (prepared.incremental) result.caches_kept_warm = stats.caches_kept_warm;
     result.deployed = true;
+    if constexpr (telemetry::kEnabled) {
+        emulator_.metrics().add(ctl_deploys_);
+    }
 }
 
 TickResult Controller::tick() {
+    TELEMETRY_SPAN("controller.tick");
     TickResult result;
+    if constexpr (telemetry::kEnabled) {
+        emulator_.metrics().add(ctl_ticks_);
+    }
 
     profile::RuntimeProfile current = collect_profile();
     result.profiled = true;
@@ -167,7 +194,11 @@ TickResult Controller::tick() {
 
     if (should_search) {
         search::Optimizer optimizer(model_, config_.optimizer);
-        search::OptimizationOutcome outcome = optimizer.optimize(original_, current);
+        search::OptimizationOutcome outcome;
+        {
+            TELEMETRY_SPAN("controller.search");
+            outcome = optimizer.optimize(original_, current);
+        }
         result.searched = true;
         if (config_.outcome_hook) config_.outcome_hook(outcome);
 
@@ -242,6 +273,9 @@ TickResult Controller::tick() {
         result.outcome = std::move(outcome);
     }
 
+    if constexpr (telemetry::kEnabled) {
+        if (result.verify_rejected) emulator_.metrics().add(ctl_rejects_);
+    }
     last_profile_ = std::move(current);
     have_profile_ = true;
     api_.begin_window();

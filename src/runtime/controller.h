@@ -52,6 +52,11 @@ struct ControllerConfig {
     std::size_t batch_cap = 1024;
     /// Cycle budget one batch should stay near.
     double target_batch_cycles = 200000.0;
+    /// Drop-rate feedback (ISSUE 4): a batch whose measured drop fraction
+    /// exceeds this shrinks the next batch (overload sheds in smaller
+    /// units), taking priority over the cycle-budget move. 0.5 by default so
+    /// workloads with policy drops (ACL deny) don't thrash the size.
+    double max_batch_drop_rate = 0.5;
 
     /// Test seam: mutates the optimizer's outcome before prepare/verify.
     /// Lets tests inject a known-bad optimized program and assert the
@@ -103,6 +108,13 @@ public:
         std::size_t min_batch = 0;
         std::size_t max_batch = 0;
         std::size_t last_batch = 0;
+        /// Why the adaptive controller moved (counts per decision): drops
+        /// feedback shrank, cycle budget shrank, cycle budget grew.
+        std::uint64_t batch_shrinks_drops = 0;
+        std::uint64_t batch_shrinks_cycles = 0;
+        std::uint64_t batch_grows = 0;
+        /// Worst single-batch drop fraction seen this window.
+        double max_batch_drop = 0.0;
     };
 
     /// Streams `packets` packets from the workload through the emulator's
@@ -160,6 +172,10 @@ private:
     bool have_profile_ = false;
     /// Dynamic pump batch size carried across windows (0 = not yet seeded).
     std::size_t dyn_batch_ = 0;
+    /// ctl.* counters registered in the emulator's metrics registry.
+    telemetry::MetricId ctl_ticks_ = 0;
+    telemetry::MetricId ctl_deploys_ = 0;
+    telemetry::MetricId ctl_rejects_ = 0;
 };
 
 }  // namespace pipeleon::runtime

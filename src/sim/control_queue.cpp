@@ -1,36 +1,87 @@
 #include "sim/control_queue.h"
 
+#include <thread>
+
 namespace pipeleon::sim {
 
+ControlQueue::ControlQueue() {
+    // Vyukov stub node: the queue always holds at least one node, so a
+    // producer never has to race for an empty→non-empty transition.
+    Node* stub = new Node;
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+}
+
+ControlQueue::~ControlQueue() {
+    Node* node = head_;
+    while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+    }
+}
+
 std::uint64_t ControlQueue::push(ControlOp op) {
-    std::lock_guard<std::mutex> lock(mu_);
-    op.seq = pushed_++;
-    std::uint64_t seq = op.seq;
-    ops_.push_back(std::move(op));
-    if (ops_.size() > max_depth_) max_depth_ = ops_.size();
+    const std::uint64_t seq = pushed_.fetch_add(1, std::memory_order_relaxed);
+    op.seq = seq;
+    Node* node = new Node;
+    node->op = std::move(op);
+    // The exchange claims our position in the global order; the store links
+    // us behind our predecessor. Between the two, the chain has a momentary
+    // gap that drain() waits out.
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+
+    // Backlog high-water mark. seq/drained_ are sampled racily, so this is
+    // approximate under contention — it is a diagnostic, not a correctness
+    // input — but exact whenever pushes don't overlap a drain.
+    const std::uint64_t drained = drained_.load(std::memory_order_relaxed);
+    const std::size_t depth_now =
+        static_cast<std::size_t>(seq + 1 > drained ? seq + 1 - drained : 0);
+    std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+    while (depth_now > seen &&
+           !max_depth_.compare_exchange_weak(seen, depth_now,
+                                             std::memory_order_relaxed)) {
+    }
     return seq;
 }
 
 std::vector<ControlOp> ControlQueue::drain() {
     std::vector<ControlOp> out;
-    std::lock_guard<std::mutex> lock(mu_);
-    out.swap(ops_);
+    Node* node = head_;
+    while (true) {
+        Node* next = node->next.load(std::memory_order_acquire);
+        if (next == nullptr) {
+            // Either the queue is empty (node is the tail) or a producer has
+            // swung the tail past `node` but not yet stored the link. Spin
+            // the gap out — it is two producer instructions wide.
+            if (tail_.load(std::memory_order_acquire) == node) break;
+            std::this_thread::yield();
+            continue;
+        }
+        out.push_back(std::move(next->op));
+        // Seeing next non-null (acquire) proves the producer that held
+        // `node` as its predecessor finished with it — safe to free.
+        delete node;
+        node = next;
+    }
+    head_ = node;  // last consumed node becomes the new stub
+    drained_.fetch_add(out.size(), std::memory_order_relaxed);
     return out;
 }
 
 std::size_t ControlQueue::depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return ops_.size();
+    const std::uint64_t pushed = pushed_.load(std::memory_order_relaxed);
+    const std::uint64_t drained = drained_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(pushed > drained ? pushed - drained : 0);
 }
 
 std::uint64_t ControlQueue::total_pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return pushed_;
+    return pushed_.load(std::memory_order_relaxed);
 }
 
 std::size_t ControlQueue::max_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return max_depth_;
+    return max_depth_.load(std::memory_order_relaxed);
 }
 
 }  // namespace pipeleon::sim

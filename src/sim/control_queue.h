@@ -2,18 +2,28 @@
 // Real SmartNIC control paths never mutate match engines mid-burst: driver
 // update rings buffer entry ops and the datapath picks them up at safe
 // points. This queue is the emulator's update ring. Any thread may push a
-// ControlOp at any time (the push mutex is held for an append only, never
-// across packet processing), and the data-plane coordinator drains the
-// pending ops — in enqueue order — at batch boundaries, before a batch's
-// packets run. A program swap travels the same path as an entry insert: it
-// is just the heaviest op kind, carrying the new program plus the full
-// remapped entry set so the swap is observed atomically by the data plane
-// (one epoch ends, the next begins between two batches).
+// ControlOp at any time, and the data-plane coordinator drains the pending
+// ops — in enqueue order — at batch boundaries, before a batch's packets
+// run. A program swap travels the same path as an entry insert: it is just
+// the heaviest op kind, carrying the new program plus the full remapped
+// entry set so the swap is observed atomically by the data plane (one epoch
+// ends, the next begins between two batches).
+//
+// The push side is an intrusive lock-free MPSC linked list (Vyukov's
+// algorithm, ISSUE 4): a producer allocates its node, swings the shared
+// tail with one exchange, and links its predecessor — two wait-free atomic
+// ops, no mutex, so a control caller can never be descheduled while holding
+// a lock the data plane's drain would then spin on. The (single) consumer
+// walks the chain from the stub; a node whose `next` is still null while
+// the tail says more exist marks a producer between its exchange and its
+// link store — the consumer yields until the link lands (the classic
+// momentary gap of this algorithm; bounded by two instructions on the
+// producer side).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,19 +72,27 @@ struct ControlOp {
     std::uint64_t seq = 0;
 };
 
-/// Multi-producer queue of pending control ops. Producers append under a
-/// dedicated mutex; the (single) drain side swaps the whole backlog out in
-/// one critical section. Nothing here ever waits on the data plane — that
-/// is the point.
+/// Multi-producer, single-consumer queue of pending control ops. Producers
+/// push lock-free (two atomic ops); the single drain side — serialized by
+/// the emulator's control lock — takes the whole backlog in enqueue order.
+/// Nothing here ever waits on the data plane — that is the point.
 class ControlQueue {
 public:
-    /// Appends an op; never blocks on a drain in progress longer than the
-    /// swap-out itself. Returns the op's sequence number (monotonic).
+    ControlQueue();
+    ~ControlQueue();
+    ControlQueue(const ControlQueue&) = delete;
+    ControlQueue& operator=(const ControlQueue&) = delete;
+
+    /// Lock-free append from any thread. Returns the op's sequence number
+    /// (assigned at push; monotonic per queue).
     std::uint64_t push(ControlOp op);
 
-    /// Removes and returns every pending op, in enqueue order.
+    /// Removes and returns every pending op, in enqueue order. Single
+    /// consumer only (the emulator calls this under its control lock).
     std::vector<ControlOp> drain();
 
+    /// Pending-op count from the push/drain counters. Exact when quiescent;
+    /// momentarily conservative (never negative) against racing pushes.
     std::size_t depth() const;
     bool empty() const { return depth() == 0; }
 
@@ -84,10 +102,19 @@ public:
     std::size_t max_depth() const;
 
 private:
-    mutable std::mutex mu_;
-    std::vector<ControlOp> ops_;
-    std::uint64_t pushed_ = 0;
-    std::size_t max_depth_ = 0;
+    struct Node {
+        std::atomic<Node*> next{nullptr};
+        ControlOp op;
+    };
+
+    /// Producers swing tail_; the consumer owns head_ (the stub / last
+    /// consumed node, kept allocated until the next drain passes it).
+    std::atomic<Node*> tail_;
+    Node* head_;
+
+    std::atomic<std::uint64_t> pushed_{0};
+    std::atomic<std::uint64_t> drained_{0};
+    std::atomic<std::size_t> max_depth_{0};
 };
 
 }  // namespace pipeleon::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace pipeleon::sim {
 
 namespace {
@@ -78,6 +80,7 @@ void CounterShard::reset_for(const ir::Program& program) {
             std::fill(cache_misses.begin(), cache_misses.end(), 0);
             replays.clear();
             latency = util::RunningStats{};
+            if constexpr (telemetry::kEnabled) latency_hist.reset();
             packets_total = 0;
             packets_dropped = 0;
             return;
@@ -97,6 +100,7 @@ void CounterShard::reset_for(const ir::Program& program) {
     cache_misses.assign(n, 0);
     replays.clear();
     latency = util::RunningStats{};
+    if constexpr (telemetry::kEnabled) latency_hist.reset();
     packets_total = 0;
     packets_dropped = 0;
 }
@@ -123,6 +127,7 @@ void CounterShard::absorb(const CounterShard& other) {
     other.replays.for_each(
         [this](std::uint64_t key, std::uint64_t count) { replays.add(key, count); });
     latency.merge(other.latency);
+    if constexpr (telemetry::kEnabled) latency_hist.merge(other.latency_hist);
     packets_total += other.packets_total;
     packets_dropped += other.packets_dropped;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ir/program.h"
+#include "telemetry/histogram.h"
 #include "util/stats.h"
 
 namespace pipeleon::sim {
@@ -85,6 +86,10 @@ struct CounterShard {
     ReplayCounterTable replays;
 
     util::RunningStats latency;
+    /// Per-packet emulated latency (cycles) bucketed HDR-style — recorded
+    /// alongside `latency` on the hot path when telemetry is compiled in,
+    /// merged shard-wise like every other counter (ISSUE 4).
+    telemetry::LatencyHistogram latency_hist;
     std::uint64_t packets_total = 0;
     std::uint64_t packets_dropped = 0;
 

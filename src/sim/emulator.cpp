@@ -1,8 +1,10 @@
 #include "sim/emulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <stdexcept>
 
 namespace pipeleon::sim {
@@ -18,6 +20,17 @@ Emulator::Emulator(NicModel model, ir::Program program,
       program_(std::move(program)),
       instrumentation_(instrumentation) {
     program_.validate();
+    mid_.packets = metrics_.counter("sim.packets");
+    mid_.drops = metrics_.counter("sim.drops");
+    mid_.batches = metrics_.counter("sim.batches");
+    mid_.control_ops = metrics_.counter("sim.control_ops");
+    mid_.epochs = metrics_.counter("sim.epochs");
+    mid_.worker_packets = metrics_.counter("sim.worker_packets");
+    mid_.workers_gauge = metrics_.gauge("sim.workers");
+    mid_.batch_wall_ns = metrics_.histogram("sim.batch_wall_ns");
+    mid_.batch_cycles = metrics_.histogram("sim.batch_cycles");
+    metrics_.set_shard_count(static_cast<std::size_t>(workers_));
+    metrics_.set_gauge(mid_.workers_gauge, static_cast<double>(workers_));
     compile();
     begin_window_unlocked();
 }
@@ -122,6 +135,12 @@ void Emulator::set_worker_count_unlocked(int workers) {
     workers_ = workers;
     resize_cache_shards();
     pool_ = workers_ > 1 ? std::make_unique<WorkerPool>(workers_) : nullptr;
+    if constexpr (telemetry::kEnabled) {
+        // Fold before shrinking so no lane counts are lost.
+        metrics_.merge_shards();
+        metrics_.set_shard_count(static_cast<std::size_t>(workers_));
+        metrics_.set_gauge(mid_.workers_gauge, static_cast<double>(workers_));
+    }
 }
 
 void Emulator::set_worker_count(int workers) {
@@ -270,6 +289,12 @@ bool Emulator::submit(ControlOp op, int* count_result,
 std::size_t Emulator::drain_queue_unlocked(const std::uint64_t* own_seq,
                                            bool* own_ok, int* own_count,
                                            ReconfigureStats* own_swap) {
+#if PIPELEON_TELEMETRY
+    // Span only non-empty drains: batch boundaries drain unconditionally,
+    // and an empty drain is two atomic loads — tracing it would be noise.
+    std::optional<telemetry::ScopedSpan> span;
+    if (!queue_.empty()) span.emplace("emulator.drain_control");
+#endif
     std::vector<ControlOp> ops = queue_.drain();
     for (ControlOp& op : ops) {
         int count = 0;
@@ -584,12 +609,20 @@ ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
     ++counters.packets_total;
     if (result.dropped) ++counters.packets_dropped;
     counters.latency.add(result.cycles);
+    if constexpr (telemetry::kEnabled) {
+        counters.latency_hist.record(result.cycles);
+    }
     return result;
 }
 
 ProcessResult Emulator::process_unlocked(Packet& packet) {
     const bool sampled = sampled_for(packet_seq_);
     ++packet_seq_;
+    if constexpr (telemetry::kEnabled) {
+        // Scalar path runs under control_mu_ with no batch in flight, so
+        // lane 0 is exclusively ours here.
+        metrics_.shard_add(0, mid_.worker_packets);
+    }
     return run_packet(packet, sampled, counters_, cache_shards_[0]);
 }
 
@@ -620,6 +653,11 @@ BatchResult Emulator::process_batch(PacketBatch& batch) {
     FlagGuard in_batch(in_batch_);
     out.results.resize(batch.size());
 
+    std::chrono::steady_clock::time_point wall_start;
+    if constexpr (telemetry::kEnabled) {
+        wall_start = std::chrono::steady_clock::now();
+    }
+
     if (deterministic_ || workers_ <= 1 || batch.size() < 2) {
         out.workers_used = 1;
         for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -648,6 +686,10 @@ BatchResult Emulator::process_batch(PacketBatch& batch) {
                 results[idx] = run_packet(packets[idx],
                                           sampled_for(base_seq + idx), shard,
                                           cache_shards_[wi]);
+                if constexpr (telemetry::kEnabled) {
+                    // Lane write: non-atomic, this worker owns lane wi.
+                    metrics_.shard_add(wi, mid_.worker_packets);
+                }
             }
         });
         packet_seq_ += batch.size();
@@ -662,6 +704,23 @@ BatchResult Emulator::process_batch(PacketBatch& batch) {
     for (const ProcessResult& r : out.results) {
         out.total_cycles += r.cycles;
         out.dropped += r.dropped ? 1 : 0;
+    }
+
+    if constexpr (telemetry::kEnabled) {
+        const auto wall_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        // Batch boundary: lane writers are quiesced, control_mu_ is held —
+        // fold the per-worker lanes and account the batch in the master.
+        metrics_.merge_shards();
+        metrics_.add(mid_.batches);
+        metrics_.add(mid_.packets, static_cast<std::uint64_t>(batch.size()));
+        metrics_.add(mid_.drops, static_cast<std::uint64_t>(out.dropped));
+        metrics_.add(mid_.control_ops,
+                     static_cast<std::uint64_t>(out.control_ops_applied));
+        metrics_.record(mid_.batch_wall_ns, static_cast<double>(wall_ns));
+        metrics_.record(mid_.batch_cycles, out.total_cycles);
     }
     return out;
 }
@@ -683,6 +742,17 @@ void Emulator::begin_window() {
 util::RunningStats Emulator::latency_stats() const {
     std::lock_guard<std::mutex> lock(control_mu_);
     return counters_.latency;
+}
+
+telemetry::LatencyHistogram Emulator::latency_histogram() const {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    return counters_.latency_hist;
+}
+
+telemetry::MetricsSnapshot Emulator::telemetry_snapshot() const {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    metrics_.merge_shards();
+    return metrics_.snapshot();
 }
 
 profile::RawCounters Emulator::read_counters() const {
@@ -820,6 +890,7 @@ std::uint64_t Emulator::queue_epoch(EpochSwap swap) {
 }
 
 Emulator::ReconfigureStats Emulator::apply_epoch_unlocked(EpochSwap swap) {
+    TELEMETRY_SPAN("emulator.epoch_swap");
     ReconfigureStats stats;
     if (swap.incremental) {
         stats = reconfigure_incremental_unlocked(std::move(swap.program));
@@ -842,6 +913,7 @@ Emulator::ReconfigureStats Emulator::apply_epoch_unlocked(EpochSwap swap) {
         }
     }
     epoch_.fetch_add(1, std::memory_order_release);
+    if constexpr (telemetry::kEnabled) metrics_.add(mid_.epochs);
     return stats;
 }
 

@@ -59,6 +59,8 @@
 #include "sim/packet.h"
 #include "sim/table_state.h"
 #include "sim/worker_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 #include "util/stats.h"
 
 namespace pipeleon::sim {
@@ -190,6 +192,24 @@ public:
     /// snapshot taken under the control lock — safe to hold across a
     /// concurrent batch (epoch semantics: state as of the last drain point).
     util::RunningStats latency_stats() const;
+
+    /// The same window's per-packet latency as an HDR-style histogram
+    /// (percentiles within ~3% relative error) — empty when the build has
+    /// PIPELEON_TELEMETRY OFF. Copy taken under the control lock, same
+    /// epoch semantics as latency_stats().
+    telemetry::LatencyHistogram latency_histogram() const;
+
+    // ------------------------------------------------------------ telemetry
+
+    /// Lifetime metrics registry (sim.* names: packets/drops/batches/
+    /// control_ops/epochs counters, workers gauge, batch_wall_ns and
+    /// batch_cycles histograms). Register extra app metrics freely; lane
+    /// writes are reserved for the emulator's workers.
+    telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+    /// Locks out the data plane, folds pending per-worker lanes into the
+    /// master, and returns a consistent snapshot.
+    telemetry::MetricsSnapshot telemetry_snapshot() const;
 
     /// Ground-truth totals (not subject to sampling).
     std::uint64_t packets_processed() const { return counters_.packets_total; }
@@ -327,6 +347,19 @@ private:
     /// < 1). Workers accumulate into worker_counters_ and merge here.
     CounterShard counters_;
     std::vector<CounterShard> worker_counters_;
+
+    /// Lifetime telemetry (ISSUE 4): lanes take per-worker hot-path bumps,
+    /// folded into the master under control_mu_ at batch end. Mutable so
+    /// const readers (telemetry_snapshot) can fold pending lanes — the
+    /// registry observes, it is not emulator state.
+    mutable telemetry::MetricsRegistry metrics_;
+    struct MetricIds {
+        telemetry::MetricId packets = 0, drops = 0, batches = 0;
+        telemetry::MetricId control_ops = 0, epochs = 0;
+        telemetry::MetricId worker_packets = 0;  ///< sharded lane counter
+        telemetry::MetricId workers_gauge = 0;
+        telemetry::MetricId batch_wall_ns = 0, batch_cycles = 0;
+    } mid_;
 
     /// Union of every table's key fields — the emulator's RSS flow tuple.
     std::vector<FieldId> steer_fields_;

@@ -1,0 +1,142 @@
+#include "telemetry/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace pipeleon::telemetry {
+
+const std::vector<std::string>& BenchReport::required_metrics() {
+    static const std::vector<std::string> keys = {
+        "throughput_gbps", "latency_p50", "latency_p99", "drops", "epochs"};
+    return keys;
+}
+
+BenchReport::BenchReport(std::string bench, std::string nic_model)
+    : bench_(std::move(bench)), nic_model_(std::move(nic_model)) {
+    for (const std::string& key : required_metrics()) {
+        metrics_.as_object().set(key, util::Json(0.0));
+    }
+}
+
+void BenchReport::set_param(const std::string& name, util::Json value) {
+    params_.as_object().set(name, std::move(value));
+}
+
+void BenchReport::set_metric(const std::string& name, double value) {
+    metrics_.as_object().set(name, util::Json(value));
+}
+
+double BenchReport::metric(const std::string& name) const {
+    const util::Json* v = metrics_.find(name);
+    return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+util::Json BenchReport::to_json() const {
+    util::Json out = util::Json::object();
+    out.as_object().set("schema", util::Json(kSchema));
+    out.as_object().set("bench", util::Json(bench_));
+    out.as_object().set("nic_model", util::Json(nic_model_));
+    out.as_object().set("params", params_);
+    out.as_object().set("metrics", metrics_);
+    return out;
+}
+
+std::vector<std::string> BenchReport::validate(const util::Json& report) {
+    std::vector<std::string> problems;
+    if (!report.is_object()) {
+        problems.push_back("report is not a JSON object");
+        return problems;
+    }
+    const util::Json* schema = report.find("schema");
+    if (schema == nullptr || !schema->is_string()) {
+        problems.push_back("missing string field 'schema'");
+    } else if (schema->as_string() != kSchema) {
+        problems.push_back("unknown schema '" + schema->as_string() +
+                           "' (want '" + kSchema + "')");
+    }
+    for (const char* key : {"bench", "nic_model"}) {
+        const util::Json* v = report.find(key);
+        if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+            problems.push_back(std::string("missing non-empty string field '") +
+                               key + "'");
+        }
+    }
+    const util::Json* params = report.find("params");
+    if (params == nullptr || !params->is_object()) {
+        problems.push_back("missing object field 'params'");
+    }
+    const util::Json* metrics = report.find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+        problems.push_back("missing object field 'metrics'");
+        return problems;
+    }
+    for (const std::string& key : required_metrics()) {
+        const util::Json* v = metrics->find(key);
+        if (v == nullptr || !v->is_number()) {
+            problems.push_back("metrics." + key + " missing or not a number");
+        }
+    }
+    return problems;
+}
+
+std::string BenchReport::default_path() const {
+    std::string dir;
+    if (const char* env = std::getenv("PIPELEON_BENCH_DIR")) dir = env;
+    std::string file = "BENCH_" + bench_ + ".json";
+    return dir.empty() ? file : dir + "/" + file;
+}
+
+std::string BenchReport::csv_path() const {
+    std::string dir;
+    if (const char* env = std::getenv("PIPELEON_BENCH_DIR")) dir = env;
+    std::string file = "BENCH_" + bench_ + ".csv";
+    return dir.empty() ? file : dir + "/" + file;
+}
+
+std::string BenchReport::write() const {
+    std::string path = default_path();
+    util::save_json_file(path, to_json());
+    return path;
+}
+
+CsvSeries::CsvSeries(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void CsvSeries::add_row(const std::vector<double>& values) {
+    if (values.size() != columns_.size()) {
+        throw std::invalid_argument(util::format(
+            "CsvSeries: row has %zu values, expected %zu columns",
+            values.size(), columns_.size()));
+    }
+    rows_.push_back(values);
+}
+
+std::string CsvSeries::to_csv() const {
+    std::string out;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += columns_[i];
+    }
+    out += "\n";
+    for (const std::vector<double>& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i != 0) out += ",";
+            out += util::format("%.6g", row[i]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+void CsvSeries::write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) {
+        throw std::runtime_error("CsvSeries: cannot open " + path);
+    }
+    f << to_csv();
+}
+
+}  // namespace pipeleon::telemetry

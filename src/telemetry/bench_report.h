@@ -1,0 +1,87 @@
+// telemetry/bench_report.h — the machine-readable bench export. Every
+// bench/ binary emits one BENCH_<name>.json conforming to the
+// "pipeleon.bench_report/1" schema so CI can collect a perf trajectory
+// across PRs instead of diffing free-form text:
+//
+//   {
+//     "schema":    "pipeleon.bench_report/1",
+//     "bench":     "<binary name>",            // non-empty string
+//     "nic_model": "<NicModel name or host>",  // non-empty string
+//     "params":    { ... free-form scalars ... },
+//     "metrics":   {                            // required keys, extras ok
+//       "throughput_gbps": <number>,
+//       "latency_p50":     <number>,
+//       "latency_p99":     <number>,
+//       "drops":           <number>,
+//       "epochs":          <number>,
+//       ...
+//     }
+//   }
+//
+// Required metric keys are pre-seeded to 0 so a bench that has no natural
+// value for one of them still emits a conformant report. CsvSeries is the
+// companion window-level time-series export (one row per measurement
+// window).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace pipeleon::telemetry {
+
+class BenchReport {
+public:
+    static constexpr const char* kSchema = "pipeleon.bench_report/1";
+    /// Metric keys every report must carry.
+    static const std::vector<std::string>& required_metrics();
+
+    BenchReport(std::string bench, std::string nic_model);
+
+    const std::string& bench() const { return bench_; }
+
+    void set_param(const std::string& name, util::Json value);
+    void set_metric(const std::string& name, double value);
+    double metric(const std::string& name) const;
+
+    util::Json to_json() const;
+
+    /// Validates a parsed report against the schema. Returns a list of
+    /// problems; empty means conformant.
+    static std::vector<std::string> validate(const util::Json& report);
+
+    /// "BENCH_<bench>.json", under $PIPELEON_BENCH_DIR when set, else the
+    /// working directory.
+    std::string default_path() const;
+    /// The companion CsvSeries path: same directory, "BENCH_<bench>.csv".
+    std::string csv_path() const;
+
+    /// Writes to default_path() (pretty-printed). Returns the path.
+    std::string write() const;
+
+private:
+    std::string bench_;
+    std::string nic_model_;
+    util::Json params_ = util::Json::object();
+    util::Json metrics_ = util::Json::object();
+};
+
+/// A window-level time series written as CSV ("BENCH_<name>.csv" alongside
+/// the JSON report): fixed columns, one row per measurement window.
+class CsvSeries {
+public:
+    explicit CsvSeries(std::vector<std::string> columns);
+
+    void add_row(const std::vector<double>& values);  // size must match
+    std::size_t rows() const { return rows_.size(); }
+
+    std::string to_csv() const;
+    void write(const std::string& path) const;
+
+private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace pipeleon::telemetry

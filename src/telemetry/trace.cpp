@@ -1,0 +1,92 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace pipeleon::telemetry {
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+    // One buffer per (tracer, thread); the tracer owns the storage so a
+    // thread exiting never invalidates an export in progress.
+    thread_local ThreadBuffer* cached = nullptr;
+    thread_local const Tracer* cached_owner = nullptr;
+    if (cached != nullptr && cached_owner == this) return *cached;
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size());
+    cached = buffers_.back().get();
+    cached_owner = this;
+    return *cached;
+}
+
+void Tracer::record(const char* name, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns) {
+    ThreadBuffer& buf = buffer_for_this_thread();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    if (buf.events.size() >= kMaxEventsPerThread) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf.events.push_back(TraceEvent{name, ts_ns, dur_ns, buf.tid});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+    std::vector<TraceEvent> out;
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& buf : buffers_) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.ts_ns < b.ts_ns;
+                     });
+    return out;
+}
+
+util::Json Tracer::to_chrome_json() const {
+    util::Json trace_events = util::Json::array();
+    for (const TraceEvent& e : events()) {
+        util::Json ev = util::Json::object();
+        ev.as_object().set("name", util::Json(std::string(e.name)));
+        ev.as_object().set("cat", util::Json("pipeleon"));
+        ev.as_object().set("ph", util::Json("X"));
+        // Chrome's trace-event format wants microseconds.
+        ev.as_object().set("ts", util::Json(static_cast<double>(e.ts_ns) / 1e3));
+        ev.as_object().set("dur",
+                           util::Json(static_cast<double>(e.dur_ns) / 1e3));
+        ev.as_object().set("pid", util::Json(1));
+        ev.as_object().set("tid", util::Json(static_cast<std::int64_t>(e.tid)));
+        trace_events.push_back(std::move(ev));
+    }
+    util::Json out = util::Json::object();
+    out.as_object().set("traceEvents", std::move(trace_events));
+    out.as_object().set("displayTimeUnit", util::Json("ms"));
+    return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+    util::save_json_file(path, to_chrome_json());
+}
+
+void Tracer::clear() {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& buf : buffers_) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        buf->events.clear();
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pipeleon::telemetry

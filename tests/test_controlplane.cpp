@@ -318,6 +318,59 @@ TEST(ControlQueue, StressEnqueuesDoNotBlockOnInFlightBatch) {
     EXPECT_EQ(stats.ops_applied_sync + stats.ops_deferred, stats.ops_submitted);
 }
 
+/// The lock-free MPSC push (ISSUE 4): many producer threads enqueue
+/// concurrently with each other AND with the data plane's consumer drains.
+/// Under TSan this exercises the Vyukov push/drain pairing; functionally,
+/// every op must survive (drained == submitted, all entries land).
+TEST(ControlQueue, MultiProducerConcurrentEnqueues) {
+    ir::Program prog = ir::chain_of_exact_tables("p", 6, 2, 1);
+    sim::Emulator emu(sim::bluefield2_model(), prog, {});
+    emu.set_worker_count(4);
+
+    util::Rng rng(3);
+    std::vector<trafficgen::FieldRange> tuple;
+    for (int i = 0; i < 6; ++i) tuple.push_back({"f" + std::to_string(i), 0, 255});
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(tuple, 128, rng);
+    apps::install_flow_entries(emu, flows);
+    const std::size_t base_entries = emu.entry_count("t0");
+    trafficgen::Workload wl(flows, trafficgen::Locality::Zipf, 1.1, 5);
+
+    std::atomic<bool> stop{false};
+    std::thread data([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            sim::PacketBatch batch = wl.next_batch(emu.fields(), 1024);
+            emu.process_batch(batch);  // drains the queue at the boundary
+        }
+    });
+
+    // Each producer owns one table so the per-table capacity (1024) is never
+    // exceeded — a failed insert would make entry counts unpredictable.
+    constexpr int kProducers = 4;
+    constexpr std::uint64_t kOpsPerProducer = 800;
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&, t] {
+            const std::string table = "t" + std::to_string(t);
+            std::uint64_t key = 1u << 20;
+            for (std::uint64_t i = 0; i < kOpsPerProducer; ++i) {
+                ASSERT_TRUE(emu.insert_entry(table, exact_entry(key++, 0)));
+            }
+        });
+    }
+    for (auto& th : producers) th.join();
+    stop.store(true);
+    data.join();
+    emu.drain_control();
+
+    sim::Emulator::ControlPlaneStats stats = emu.control_stats();
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.ops_drained, stats.ops_submitted);
+    for (int t = 0; t < kProducers; ++t) {
+        EXPECT_EQ(emu.entry_count("t" + std::to_string(t)),
+                  base_entries + kOpsPerProducer);
+    }
+}
+
 // ------------------------------------------------------------ runtime layer
 
 /// The acceptance fixture: a committed known-bad plan (reorders across a
@@ -455,6 +508,64 @@ TEST(ControllerPump, DynamicBatchSizingAdaptsToCycleBudget) {
     runtime::Controller::PumpStats s3 = ctl.pump_window(wl, 100, 1.0, 7);
     EXPECT_EQ(s3.packets, 100u);
     EXPECT_EQ(s3.max_batch, 7u);
+}
+
+/// Drop-rate feedback (ISSUE 4): a batch whose measured drop fraction
+/// exceeds config.max_batch_drop_rate shrinks the next batch even when the
+/// cycle budget would have grown it, and PumpStats reports which rule moved
+/// the size.
+TEST(ControllerPump, DropRateFeedbackShrinksBatch) {
+    // Every packet misses the one table and hits the drop default.
+    ProgramBuilder b("drops");
+    b.append(TableSpec("D")
+                 .key("src")
+                 .noop_action("allow", 1)
+                 .drop_action("deny")
+                 .default_to("deny")
+                 .build());
+    Program p = b.build();
+
+    util::Rng rng(6);
+    trafficgen::FlowSet flows = trafficgen::FlowSet::generate(
+        {{"src", 0, 255}}, 64, rng);
+
+    {
+        sim::Emulator emu(nic(), p, {});
+        runtime::ControllerConfig cfg = controller_config();
+        cfg.batch_floor = 8;
+        cfg.batch_cap = 512;
+        cfg.target_batch_cycles = 1e15;  // cycle rule alone would only grow
+        cfg.max_batch_drop_rate = 0.5;
+        runtime::Controller ctl(emu, p, model(), cfg);
+        trafficgen::Workload wl(flows, trafficgen::Locality::Uniform, 1.0, 2);
+
+        runtime::Controller::PumpStats s = ctl.pump_window(wl, 2000, 1.0);
+        EXPECT_EQ(s.packets, 2000u);
+        EXPECT_DOUBLE_EQ(s.drop_rate, 1.0);
+        EXPECT_DOUBLE_EQ(s.max_batch_drop, 1.0);
+        EXPECT_GT(s.batch_shrinks_drops, 0u);
+        EXPECT_EQ(s.batch_grows, 0u);  // drops take priority over the budget
+        EXPECT_EQ(s.last_batch, 8u);   // shrunk to the floor
+    }
+    {
+        // Same workload with the feedback disabled (threshold above 1.0):
+        // the infinite budget grows the batch to the cap instead.
+        sim::Emulator emu(nic(), p, {});
+        runtime::ControllerConfig cfg = controller_config();
+        cfg.batch_floor = 8;
+        cfg.batch_cap = 512;
+        cfg.target_batch_cycles = 1e15;
+        cfg.max_batch_drop_rate = 1.1;
+        runtime::Controller ctl(emu, p, model(), cfg);
+        trafficgen::Workload wl(flows, trafficgen::Locality::Uniform, 1.0, 2);
+
+        runtime::Controller::PumpStats s = ctl.pump_window(wl, 2000, 1.0);
+        EXPECT_EQ(s.batch_shrinks_drops, 0u);
+        EXPECT_GT(s.batch_grows, 0u);
+        EXPECT_EQ(s.max_batch, 512u);
+        EXPECT_DOUBLE_EQ(s.max_batch_drop, 1.0);  // still observed, just not
+                                                  // acted on
+    }
 }
 
 /// Time accounting: the window clock advances by exactly window_seconds when
