@@ -52,7 +52,10 @@ void ReplayCounterTable::grow() {
 }
 
 void ReplayCounterTable::clear() {
-    slots_.clear();
+    // Zero in place: shards call clear() once per batch, and dropping the
+    // slot array here would put a reallocation on every batch's first
+    // replayed cache hit.
+    std::fill(slots_.begin(), slots_.end(), Slot{});
     size_ = 0;
 }
 

@@ -98,13 +98,10 @@ void Emulator::compile() {
     steer_fields_.erase(std::unique(steer_fields_.begin(), steer_fields_.end()),
                         steer_fields_.end());
 
-    // Every shard starts cold on a (re)compile.
+    // Every shard starts cold on a (re)compile; the rebuild happens on the
+    // owning workers (first touch) when the pool exists.
     cache_shards_.clear();
-    cache_shards_.reserve(static_cast<std::size_t>(workers_));
-    for (int w = 0; w < workers_; ++w) cache_shards_.push_back(make_cache_set());
-
-    worker_counters_.resize(static_cast<std::size_t>(workers_));
-    for (CounterShard& shard : worker_counters_) shard.reset_for(program_);
+    populate_worker_state();
 }
 
 Emulator::CacheSet Emulator::make_cache_set() const {
@@ -118,29 +115,86 @@ Emulator::CacheSet Emulator::make_cache_set() const {
     return set;
 }
 
-void Emulator::resize_cache_shards() {
-    while (cache_shards_.size() > static_cast<std::size_t>(workers_)) {
-        cache_shards_.pop_back();
+WorkerPoolOptions Emulator::pool_options() const {
+    WorkerPoolOptions opts;
+    opts.pin = pin_workers_;
+    opts.topology = &topology_;
+    return opts;
+}
+
+void Emulator::init_worker_state(int w) {
+    // Runs on worker w itself when dispatched through the pool: the shard's
+    // vectors, the cache store's slot/index arrays, and the scratch buffers
+    // are then allocated and first-touched by the (pinned) owner, so the OS
+    // places their pages on the worker's NUMA node.
+    auto wi = static_cast<std::size_t>(w);
+    if (cache_shards_[wi].empty()) cache_shards_[wi] = make_cache_set();
+    worker_counters_[wi].reset_for(program_);
+    scratch_[wi].key.reserve(16);
+    scratch_[wi].fills.reserve(8);
+    // First-touch this worker's slice of the steering scatter buffer (the
+    // "lane"); lanes are equal slices until the first real batch re-sizes
+    // the plan.
+    if (!steer_.idx.empty() && workers_ > 0) {
+        const std::size_t stride = steer_.idx.size() / static_cast<std::size_t>(
+                                                           workers_);
+        const std::size_t begin = wi * stride;
+        const std::size_t end =
+            w == workers_ - 1 ? steer_.idx.size() : begin + stride;
+        for (std::size_t i = begin; i < end; i += 1024) steer_.idx[i] = 0;
     }
-    while (cache_shards_.size() < static_cast<std::size_t>(workers_)) {
-        cache_shards_.push_back(make_cache_set());
+}
+
+void Emulator::populate_worker_state() {
+    const auto n = static_cast<std::size_t>(workers_);
+    // Cheap bookkeeping on the control thread; heavy allocations deferred to
+    // init_worker_state on the owners. Shard 0 (the scalar path's cache) and
+    // any other surviving shard keep their warm entries.
+    cache_shards_.resize(n);
+    worker_counters_.resize(n);
+    scratch_.resize(n);
+    if (steer_.idx.empty()) steer_.idx.resize(4096);  // pre-size the lanes
+    if (pool_ && workers_ > 1) {
+        pool_->run([this](int w) { init_worker_state(w); });
+    } else {
+        for (int w = 0; w < workers_; ++w) init_worker_state(w);
     }
-    worker_counters_.resize(static_cast<std::size_t>(workers_));
-    for (CounterShard& shard : worker_counters_) shard.reset_for(program_);
 }
 
 void Emulator::set_worker_count_unlocked(int workers) {
     workers = std::max(1, std::min(workers, std::max(1, model_.cores)));
     if (workers == workers_) return;
     workers_ = workers;
-    resize_cache_shards();
-    pool_ = workers_ > 1 ? std::make_unique<WorkerPool>(workers_) : nullptr;
+    // Pool first, then populate: new shards are built by the pinned workers
+    // themselves (first touch), not by this control thread.
+    pool_ = workers_ > 1
+                ? std::make_unique<WorkerPool>(workers_, pool_options())
+                : nullptr;
+    populate_worker_state();
     if constexpr (telemetry::kEnabled) {
         // Fold before shrinking so no lane counts are lost.
         metrics_.merge_shards();
         metrics_.set_shard_count(static_cast<std::size_t>(workers_));
         metrics_.set_gauge(mid_.workers_gauge, static_cast<double>(workers_));
     }
+}
+
+void Emulator::set_pin_workers(bool on) {
+    // A host-emulation knob, not a data-plane control op: takes the control
+    // lock directly (waits for an in-flight batch) and recreates the pool so
+    // the policy applies to live workers immediately.
+    std::lock_guard<std::mutex> lock(control_mu_);
+    if (pin_workers_ == on) return;
+    pin_workers_ = on;
+    if (pool_) {
+        pool_ = std::make_unique<WorkerPool>(workers_, pool_options());
+        populate_worker_state();
+    }
+}
+
+int Emulator::pinned_workers() const {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    return pool_ ? pool_->pinned_count() : 0;
 }
 
 void Emulator::set_worker_count(int workers) {
@@ -446,15 +500,14 @@ int Emulator::steer_worker(const Packet& packet) const {
 }
 
 ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
-                                   CounterShard& counters, CacheSet& caches) {
+                                   CounterShard& counters, CacheSet& caches,
+                                   WorkerScratch& scratch) {
     ProcessResult result;
 
-    struct FillCtx {
-        NodeId cache_node;
-        KeyVec key;
-        CacheStore::CacheEntry entry;
-    };
-    std::vector<FillCtx> fills;
+    // Reused per-worker buffers: clear() keeps capacity, so the warm hit
+    // path gathers keys and walks the pipeline without touching the heap.
+    std::vector<FillCtx>& fills = scratch.fills;
+    fills.clear();
 
     static const std::vector<std::uint64_t> kNoArgs;
 
@@ -487,8 +540,8 @@ ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
             }
             next = taken ? n.true_next : n.false_next;
         } else {
-            KeyVec key;
-            key.reserve(cn.key_fields.size());
+            KeyVec& key = scratch.key;
+            key.clear();
             for (FieldId f : cn.key_fields) key.push_back(packet.get(f));
 
             double l_mat = n.table.tier == ir::MemTier::Fast &&
@@ -527,7 +580,9 @@ ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
                     if (sampled) {
                         ++counters.cache_misses[static_cast<std::size_t>(cur)];
                     }
-                    fills.push_back(FillCtx{cur, std::move(key), {}});
+                    // Miss path: copy the scratch key into the pending fill
+                    // (the scratch buffer is reused by downstream nodes).
+                    fills.push_back(FillCtx{cur, key, {}});
                     next = n.miss_next;
                 }
             } else {
@@ -623,7 +678,7 @@ ProcessResult Emulator::process_unlocked(Packet& packet) {
         // lane 0 is exclusively ours here.
         metrics_.shard_add(0, mid_.worker_packets);
     }
-    return run_packet(packet, sampled, counters_, cache_shards_[0]);
+    return run_packet(packet, sampled, counters_, cache_shards_[0], scratch_[0]);
 }
 
 ProcessResult Emulator::process(Packet& packet) {
@@ -644,9 +699,46 @@ struct FlagGuard {
 };
 }  // namespace
 
+void Emulator::build_steer_plan(const PacketBatch& batch) {
+    // Counting-sort scatter into the reusable flat plan: count per worker,
+    // prefix-sum into lane offsets, then scatter packet indices. All four
+    // buffers grow amortized (assign/resize never shrink capacity), so a
+    // steady-state batch loop builds the plan with zero heap allocations.
+    const std::size_t n = batch.size();
+    const auto w = static_cast<std::size_t>(workers_);
+    steer_.counts.assign(w, 0);
+    if (steer_.offsets.size() < w + 1) steer_.offsets.resize(w + 1);
+    if (steer_.idx.size() < n) steer_.idx.resize(n);
+    if (steer_.worker_of.size() < n) steer_.worker_of.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto wk =
+            static_cast<std::uint32_t>(steer_worker_unlocked(batch[i]));
+        steer_.worker_of[i] = wk;
+        ++steer_.counts[wk];
+    }
+    steer_.offsets[0] = 0;
+    for (std::size_t k = 0; k < w; ++k) {
+        steer_.offsets[k + 1] = steer_.offsets[k] + steer_.counts[k];
+    }
+    // Reuse counts as scatter cursors.
+    for (std::size_t k = 0; k < w; ++k) steer_.counts[k] = steer_.offsets[k];
+    for (std::size_t i = 0; i < n; ++i) {
+        steer_.idx[steer_.counts[steer_.worker_of[i]]++] =
+            static_cast<std::uint32_t>(i);
+    }
+}
+
 BatchResult Emulator::process_batch(PacketBatch& batch) {
-    std::lock_guard<std::mutex> lock(control_mu_);
     BatchResult out;
+    process_batch(batch, out);
+    return out;
+}
+
+void Emulator::process_batch(PacketBatch& batch, BatchResult& out) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    out.total_cycles = 0.0;
+    out.dropped = 0;
+    out.workers_used = 1;
     // Drain point: apply the whole control backlog before any packet runs,
     // so this batch observes either none or all of each op's effect.
     out.control_ops_applied = drain_queue_unlocked();
@@ -668,30 +760,32 @@ BatchResult Emulator::process_batch(PacketBatch& batch) {
         // Steer every packet up front (same flow -> same worker, and the
         // packet's sampling decision keeps its arrival-order sequence
         // number, exactly as the scalar loop would have assigned it).
-        std::vector<std::vector<std::uint32_t>> plan(
-            static_cast<std::size_t>(workers_));
-        for (auto& lane : plan) lane.reserve(batch.size() / workers_ + 1);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            plan[static_cast<std::size_t>(steer_worker_unlocked(batch[i]))]
-                .push_back(static_cast<std::uint32_t>(i));
-        }
+        build_steer_plan(batch);
         const std::uint64_t base_seq = packet_seq_;
         ProcessResult* results = out.results.data();
         Packet* packets = batch.packets.data();
-        pool_->run([&](int w) {
+        const std::uint32_t* lane_idx = steer_.idx.data();
+        const std::uint32_t* offsets = steer_.offsets.data();
+        // The job reaches the pool as a function pointer + reference to this
+        // lambda (WorkerPool::run is a template) — no std::function, so the
+        // dispatch itself is allocation-free too.
+        auto job = [&](int w) {
             auto wi = static_cast<std::size_t>(w);
             CounterShard& shard = worker_counters_[wi];
             shard.reset_for(program_);
-            for (std::uint32_t idx : plan[wi]) {
+            WorkerScratch& scratch = scratch_[wi];
+            for (std::uint32_t k = offsets[wi]; k < offsets[wi + 1]; ++k) {
+                const std::uint32_t idx = lane_idx[k];
                 results[idx] = run_packet(packets[idx],
                                           sampled_for(base_seq + idx), shard,
-                                          cache_shards_[wi]);
+                                          cache_shards_[wi], scratch);
                 if constexpr (telemetry::kEnabled) {
                     // Lane write: non-atomic, this worker owns lane wi.
                     metrics_.shard_add(wi, mid_.worker_packets);
                 }
             }
-        });
+        };
+        pool_->run(job);
         packet_seq_ += batch.size();
         // Merge in worker order: deterministic, and counter sums are
         // order-independent anyway (only the float latency accumulation
@@ -722,7 +816,6 @@ BatchResult Emulator::process_batch(PacketBatch& batch) {
         metrics_.record(mid_.batch_wall_ns, static_cast<double>(wall_ns));
         metrics_.record(mid_.batch_cycles, out.total_cycles);
     }
-    return out;
 }
 
 void Emulator::begin_window_unlocked() {
@@ -751,7 +844,18 @@ telemetry::LatencyHistogram Emulator::latency_histogram() const {
 
 telemetry::MetricsSnapshot Emulator::telemetry_snapshot() const {
     std::lock_guard<std::mutex> lock(control_mu_);
-    metrics_.merge_shards();
+    // Invariant (ISSUE 5 satellite): merge_shards() may only run while lane
+    // writers are quiesced. Holding control_mu_ guarantees that — a batch
+    // owns the lock for its whole flight, so acquiring it here means no
+    // worker is writing lanes. in_batch_ is re-checked defensively anyway:
+    // if a future code path ever snapshots mid-batch (e.g. a monitoring
+    // thread handed the lock by mistake), we merge only the master and skip
+    // the lanes rather than race their writers — the snapshot then simply
+    // reflects the state as of the last batch boundary, which is the
+    // documented epoch-read contract.
+    if (!in_batch_.load(std::memory_order_acquire)) {
+        metrics_.merge_shards();
+    }
     return metrics_.snapshot();
 }
 

@@ -152,6 +152,13 @@ public:
     /// comment for the steering/shard-merge/determinism contract.
     BatchResult process_batch(PacketBatch& batch);
 
+    /// Same, but reuses the caller's BatchResult buffers: `out.results` is
+    /// resized in place (capacity retained across calls), so a steady-state
+    /// pump loop performs zero per-batch heap allocations — the steering
+    /// scatter buffer, per-worker scratch, and result vector are all
+    /// reused. Aggregates in `out` are reset before the batch runs.
+    void process_batch(PacketBatch& batch, BatchResult& out);
+
     // ------------------------------------------------------------- workers
 
     /// Sets the number of data-plane workers, clamped to [1, model().cores]
@@ -171,6 +178,24 @@ public:
     /// The worker a packet's flow steers to (stable across batches: it
     /// depends only on the packet's key-field values and the worker count).
     int steer_worker(const Packet& packet) const;
+
+    /// Host-topology pinning policy (ISSUE 5). On by default: each worker
+    /// thread pins to a CPU picked locality-first from the host topology,
+    /// and its counter shard / cache shard / steering lane are first-touched
+    /// from that CPU. The PIPELEON_PIN_WORKERS=0 environment variable is a
+    /// process-wide override; this setter is the per-emulator one. Takes
+    /// the control lock directly (it recreates the worker pool), so unlike
+    /// the queued mutators it waits for an in-flight batch.
+    void set_pin_workers(bool on);
+    bool pin_workers() const { return pin_workers_; }
+
+    /// The host topology this emulator pins against (detected once at
+    /// construction; synthetic single-node fallback off-Linux).
+    const util::Topology& topology() const { return topology_; }
+
+    /// Workers whose affinity call succeeded (0 with no pool or pinning
+    /// off). Settles once the pool has run its warm pass.
+    int pinned_workers() const;
 
     // -------------------------------------------------------- virtual time
 
@@ -277,17 +302,55 @@ private:
     /// One worker's set of per-node cache stores (index = node id).
     using CacheSet = std::vector<std::unique_ptr<CacheStore>>;
 
+    /// A pending cache fill collected while a packet walks the pipeline:
+    /// the missed cache node, the missed key, and the replay steps recorded
+    /// from the covered tables downstream.
+    struct FillCtx {
+        ir::NodeId cache_node;
+        KeyVec key;
+        CacheStore::CacheEntry entry;
+    };
+
+    /// Per-worker reusable scratch (ISSUE 5): the key gather buffer and the
+    /// pending-fill list run_packet used to construct per packet. Owned and
+    /// first-touched by the worker, so the hot path performs no heap
+    /// allocation on cache hits (misses still allocate for the fill copy).
+    struct WorkerScratch {
+        KeyVec key;
+        std::vector<FillCtx> fills;
+    };
+
+    /// The reusable counting-sort steering plan (ISSUE 5). One flat scatter
+    /// buffer replaces the per-batch std::vector<std::vector<uint32_t>>:
+    /// worker w's lane is idx[offsets[w] .. offsets[w+1]). All four buffers
+    /// grow amortized and are reused across batches.
+    struct SteerPlan {
+        std::vector<std::uint32_t> counts;     ///< per worker; reused as cursors
+        std::vector<std::uint32_t> offsets;    ///< workers_ + 1 prefix sums
+        std::vector<std::uint32_t> idx;        ///< packet indices, lane-grouped
+        std::vector<std::uint32_t> worker_of;  ///< per packet steering result
+    };
+
     void compile();
     CacheSet make_cache_set() const;
-    /// Sizes cache_shards_ to workers_; existing shards (and their warm
-    /// entries) are kept, new shards start cold.
-    void resize_cache_shards();
+    /// Sizes per-worker state (cache shards, counter shards, scratch) to
+    /// workers_. Existing cache shards (and their warm entries) are kept;
+    /// new shards are constructed on their owning worker thread when the
+    /// pool exists, so the backing pages are first-touched on the worker's
+    /// (pinned) CPU/NUMA node.
+    void populate_worker_state();
+    /// Builds or resets worker `w`'s shard state; runs on the owning worker
+    /// when called through the pool's warm pass.
+    void init_worker_state(int w);
+    WorkerPoolOptions pool_options() const;
+    /// Fills steer_ for the batch (counting sort by steering hash).
+    void build_steer_plan(const PacketBatch& batch);
 
     bool sampled_for(std::uint64_t seq) const;
-    /// The scalar per-packet loop, parameterized over the counter shard and
-    /// cache shard it accounts into. Thread-safe for distinct shards.
+    /// The scalar per-packet loop, parameterized over the counter shard,
+    /// cache shard, and scratch it uses. Thread-safe for distinct shards.
     ProcessResult run_packet(Packet& packet, bool sampled, CounterShard& counters,
-                             CacheSet& caches);
+                             CacheSet& caches, WorkerScratch& scratch);
     /// Applies an action; returns true when the packet was dropped.
     bool apply_action(const CompiledAction& action, Packet& packet,
                       const std::vector<std::uint64_t>& args, double scale,
@@ -364,8 +427,15 @@ private:
     /// Union of every table's key fields — the emulator's RSS flow tuple.
     std::vector<FieldId> steer_fields_;
 
+    /// Per-worker scratch, indexed like cache_shards_ / worker_counters_.
+    std::vector<WorkerScratch> scratch_;
+    /// Reusable steering plan (control thread only, under control_mu_).
+    SteerPlan steer_;
+
     int workers_ = 1;
     bool deterministic_ = false;
+    bool pin_workers_ = true;
+    util::Topology topology_ = util::Topology::detect();
     std::unique_ptr<WorkerPool> pool_;
 
     /// Serializes control-op application against in-flight batches. Callers

@@ -57,13 +57,109 @@ int TableState::ternary_mask_count() const { return ir::distinct_masks(entries_)
 CacheStore::CacheStore(const ir::CacheConfig& config)
     : config_(config), tokens_(config.max_insert_per_sec) {}
 
+// ---------------------------------------------------------- hash index
+
+std::size_t CacheStore::probe(const KeyVec& key, std::uint64_t h) const {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (true) {
+        const IndexCell& cell = index_[i];
+        if (cell.slot == kNil) return i;
+        if (cell.hash == h && slots_[cell.slot].key == key) return i;
+        i = (i + 1) & mask;
+    }
+}
+
+void CacheStore::index_insert(std::uint64_t h, std::uint32_t slot) {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (index_[i].slot != kNil) i = (i + 1) & mask;
+    index_[i].hash = h;
+    index_[i].slot = slot;
+}
+
+void CacheStore::index_erase(std::size_t pos) {
+    // Backward-shift deletion: close the hole by sliding back any later
+    // cluster member whose home position precedes the hole, so probes never
+    // need tombstones.
+    const std::size_t mask = index_.size() - 1;
+    std::size_t hole = pos;
+    std::size_t i = pos;
+    while (true) {
+        i = (i + 1) & mask;
+        if (index_[i].slot == kNil) break;
+        const std::size_t home = static_cast<std::size_t>(index_[i].hash) & mask;
+        // Cell i may move into the hole iff the hole lies on i's probe path:
+        // distance(home -> i) >= distance(hole -> i) (cyclic).
+        if (((i - home) & mask) >= ((i - hole) & mask)) {
+            index_[hole] = index_[i];
+            hole = i;
+        }
+    }
+    index_[hole].slot = kNil;
+    index_[hole].hash = 0;
+}
+
+void CacheStore::index_grow() {
+    std::size_t want = index_.empty() ? 16 : index_.size() * 2;
+    index_.assign(want, IndexCell{});
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+        index_insert(KeyVecHash{}(slots_[s].key), s);
+    }
+}
+
+// ------------------------------------------------------------ LRU links
+
+void CacheStore::lru_unlink(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    if (slot.prev != kNil) {
+        slots_[slot.prev].next = slot.next;
+    } else {
+        head_ = slot.next;
+    }
+    if (slot.next != kNil) {
+        slots_[slot.next].prev = slot.prev;
+    } else {
+        tail_ = slot.prev;
+    }
+    slot.prev = slot.next = kNil;
+}
+
+void CacheStore::lru_push_front(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    slot.prev = kNil;
+    slot.next = head_;
+    if (head_ != kNil) slots_[head_].prev = s;
+    head_ = s;
+    if (tail_ == kNil) tail_ = s;
+}
+
+void CacheStore::evict_tail() {
+    const std::uint32_t victim = tail_;
+    index_erase(probe(slots_[victim].key, KeyVecHash{}(slots_[victim].key)));
+    lru_unlink(victim);
+    // Recycle: the slot keeps its key/steps vector capacity for the next
+    // insert (the allocation-free refill path).
+    slots_[victim].key.clear();
+    slots_[victim].entry.steps.clear();
+    free_.push_back(victim);
+    --live_;
+}
+
+// ------------------------------------------------------------ operations
+
 const CacheStore::CacheEntry* CacheStore::lookup(const KeyVec& key) {
-    auto it = index_.find(key);
-    if (it == index_.end()) return nullptr;
-    // Touch: move to the front of the LRU list.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    it->second = lru_.begin();
-    return &lru_.front().second;
+    if (live_ == 0) return nullptr;
+    const std::uint64_t h = KeyVecHash{}(key);
+    const std::size_t pos = probe(key, h);
+    if (index_[pos].slot == kNil) return nullptr;
+    const std::uint32_t s = index_[pos].slot;
+    // Touch: move to the front of the LRU order.
+    if (head_ != s) {
+        lru_unlink(s);
+        lru_push_front(s);
+    }
+    return &slots_[s].entry;
 }
 
 bool CacheStore::insert(const KeyVec& key, CacheEntry entry, double now_seconds) {
@@ -79,29 +175,56 @@ bool CacheStore::insert(const KeyVec& key, CacheEntry entry, double now_seconds)
         return false;
     }
 
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-        // Refresh the existing entry.
-        it->second->second = std::move(entry);
-        lru_.splice(lru_.begin(), lru_, it->second);
-        it->second = lru_.begin();
-        tokens_ -= 1.0;
-        return true;
+    const std::uint64_t h = KeyVecHash{}(key);
+    if (!index_.empty()) {
+        const std::size_t pos = probe(key, h);
+        if (index_[pos].slot != kNil) {
+            // Refresh the existing entry.
+            const std::uint32_t s = index_[pos].slot;
+            slots_[s].entry = std::move(entry);
+            if (head_ != s) {
+                lru_unlink(s);
+                lru_push_front(s);
+            }
+            tokens_ -= 1.0;
+            return true;
+        }
     }
-    while (lru_.size() >= config_.capacity && !lru_.empty()) {
-        index_.erase(lru_.back().first);
-        lru_.pop_back();
-    }
+    while (live_ >= config_.capacity && live_ > 0) evict_tail();
     if (config_.capacity == 0) return false;
-    lru_.emplace_front(key, std::move(entry));
-    index_.emplace(key, lru_.begin());
+
+    // Keep the linear-probe clusters short: grow at ~70% occupancy.
+    if (index_.empty() || (live_ + 1) * 10 >= index_.size() * 7) index_grow();
+
+    std::uint32_t s;
+    if (!free_.empty()) {
+        s = free_.back();
+        free_.pop_back();
+        slots_[s].key = key;  // reuses the recycled vector's capacity
+        slots_[s].entry = std::move(entry);
+    } else {
+        s = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(Slot{key, std::move(entry), kNil, kNil});
+    }
+    lru_push_front(s);
+    index_insert(h, s);
+    ++live_;
     tokens_ -= 1.0;
     return true;
 }
 
 void CacheStore::clear() {
-    lru_.clear();
-    index_.clear();
+    for (std::uint32_t s = head_; s != kNil;) {
+        const std::uint32_t next = slots_[s].next;
+        slots_[s].key.clear();
+        slots_[s].entry.steps.clear();
+        slots_[s].prev = slots_[s].next = kNil;
+        free_.push_back(s);
+        s = next;
+    }
+    head_ = tail_ = kNil;
+    live_ = 0;
+    std::fill(index_.begin(), index_.end(), IndexCell{});
 }
 
 }  // namespace pipeleon::sim

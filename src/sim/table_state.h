@@ -6,10 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ir/program.h"
@@ -63,6 +60,20 @@ struct ReplayStep {
 };
 
 /// Exact-match LRU flow cache with an insertion rate limiter.
+///
+/// Storage (ISSUE 5): one contiguous slot array with *intrusive* prev/next
+/// LRU indices plus a flat open-addressing (linear-probe, backward-shift
+/// delete) hash index mapping key hash -> slot. The previous
+/// std::list + unordered_map layout paid two node allocations and several
+/// dependent pointer loads per probe/insert; here a probe is a linear scan
+/// of (hash, slot) cells and an LRU touch is three index writes. Slot and
+/// index storage grow geometrically and are recycled through a free list,
+/// so a warm cache performs zero heap allocations per lookup, touch,
+/// insert, or eviction (recycled slots reuse their key/replay-vector
+/// capacity). Semantics — LRU eviction order, refresh-on-reinsert, the
+/// token-bucket insertion limiter, and zero-capacity behavior — are
+/// bit-identical to the list-based store (tests mirror randomized op
+/// sequences against a reference implementation).
 class CacheStore {
 public:
     explicit CacheStore(const ir::CacheConfig& config);
@@ -71,7 +82,8 @@ public:
         std::vector<ReplayStep> steps;
     };
 
-    /// Looks up and LRU-touches the entry; nullptr on miss.
+    /// Looks up and LRU-touches the entry; nullptr on miss. The pointer is
+    /// valid until the next insert/clear (slot storage may be recycled).
     const CacheEntry* lookup(const KeyVec& key);
 
     /// Attempts to install an entry at virtual time `now_seconds`. Evicts
@@ -79,17 +91,54 @@ public:
     /// limiter has no budget.
     bool insert(const KeyVec& key, CacheEntry entry, double now_seconds);
 
-    /// Full invalidation (covered-table update, or redeployment).
+    /// Full invalidation (covered-table update, or redeployment). Slot and
+    /// index capacity are retained — invalidations are frequent (§3.2.2)
+    /// and refilling into recycled storage is the allocation-free path.
     void clear();
 
-    std::size_t size() const { return lru_.size(); }
+    std::size_t size() const { return live_; }
     std::uint64_t inserts_dropped() const { return inserts_dropped_; }
 
 private:
-    using LruList = std::list<std::pair<KeyVec, CacheEntry>>;
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+    /// One cached flow: payload plus intrusive LRU links (slot indices, not
+    /// pointers — stable across slot-array growth).
+    struct Slot {
+        KeyVec key;
+        CacheEntry entry;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+    /// One open-addressing cell: the key's hash (so probes compare one word
+    /// before touching the slot, and deletes can recompute home positions)
+    /// plus the slot it points at; slot == kNil marks the cell empty.
+    struct IndexCell {
+        std::uint64_t hash = 0;
+        std::uint32_t slot = kNil;
+    };
+
+    /// Index cell holding `key` (with hash `h`), or the empty cell where it
+    /// would go.
+    std::size_t probe(const KeyVec& key, std::uint64_t h) const;
+    void index_insert(std::uint64_t h, std::uint32_t slot);
+    /// Backward-shift deletion starting at cell `pos` (no tombstones).
+    void index_erase(std::size_t pos);
+    /// Doubles the index table and reinserts every live slot.
+    void index_grow();
+
+    void lru_unlink(std::uint32_t s);
+    void lru_push_front(std::uint32_t s);
+    /// Evicts the LRU tail back into the free list.
+    void evict_tail();
+
     ir::CacheConfig config_;
-    LruList lru_;  // front = most recent
-    std::unordered_map<KeyVec, LruList::iterator, KeyVecHash> index_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;  ///< recycled slot indices (LIFO)
+    std::vector<IndexCell> index_;    ///< size is a power of two
+    std::uint32_t head_ = kNil;        ///< most recently used
+    std::uint32_t tail_ = kNil;        ///< least recently used (evicted first)
+    std::size_t live_ = 0;
     // Token-bucket limiter for insertions.
     double tokens_;
     double last_refill_ = 0.0;

@@ -1,11 +1,55 @@
 #include "sim/worker_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace pipeleon::sim {
 
-WorkerPool::WorkerPool(int workers) {
+namespace {
+
+/// Best-effort affinity for the calling thread; false when unsupported or
+/// denied (cgroup cpusets, non-Linux). The thread keeps running unpinned.
+bool pin_self_to_cpu(int cpu_id) {
+#if defined(__linux__)
+    if (cpu_id < 0 || cpu_id >= CPU_SETSIZE) return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu_id), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)cpu_id;
+    return false;
+#endif
+}
+
+}  // namespace
+
+bool WorkerPool::pin_enabled_from_env() {
+    const char* v = std::getenv("PIPELEON_PIN_WORKERS");
+    return v == nullptr || *v == '\0' || *v != '0';
+}
+
+WorkerPool::WorkerPool(int workers, WorkerPoolOptions options) {
     workers = std::max(1, workers);
+    const bool pin = options.pin && pin_enabled_from_env();
+    if (pin) {
+        if (options.topology != nullptr) {
+            cpu_assignment_ = options.topology->assign(workers);
+        } else {
+            // Detect once per pool: pools live as long as the worker count
+            // is stable, so this is control-plane-rate.
+            cpu_assignment_ = util::Topology::detect().assign(workers);
+        }
+    } else {
+        cpu_assignment_.assign(static_cast<std::size_t>(workers), -1);
+    }
+
+    slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(workers));
     threads_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
         threads_.emplace_back([this, i] { worker_loop(i); });
@@ -13,49 +57,81 @@ WorkerPool::WorkerPool(int workers) {
 }
 
 WorkerPool::~WorkerPool() {
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
+    stop_.store(true, std::memory_order_release);
+    for (int i = 0; i < size(); ++i) {
+        // Bump past any generation the worker could be waiting on.
+        slots_[static_cast<std::size_t>(i)].seq.fetch_add(
+            1, std::memory_order_release);
+        slots_[static_cast<std::size_t>(i)].seq.notify_one();
     }
-    work_cv_.notify_all();
     for (std::thread& t : threads_) t.join();
 }
 
-void WorkerPool::run(const std::function<void(int)>& fn) {
-    std::unique_lock<std::mutex> lock(mu_);
-    job_ = &fn;
-    first_error_ = nullptr;
-    pending_ = size();
-    ++generation_;
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
-    job_ = nullptr;
-    if (first_error_) std::rethrow_exception(first_error_);
+int WorkerPool::cpu_of(int id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= cpu_assignment_.size()) {
+        return -1;
+    }
+    return cpu_assignment_[static_cast<std::size_t>(id)];
+}
+
+void WorkerPool::run_raw(RawFn fn, void* ctx) {
+    job_ = fn;
+    job_ctx_ = ctx;
+    {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        first_error_ = nullptr;
+    }
+    const std::uint64_t gen = ++generation_;
+    // Wake: one release-store + notify per worker — no shared mutex, no
+    // broadcast herd.
+    for (int i = 0; i < size(); ++i) {
+        Slot& slot = slots_[static_cast<std::size_t>(i)];
+        slot.seq.store(gen, std::memory_order_release);
+        slot.seq.notify_one();
+    }
+    // Join: wait on each worker's done echo. Workers that finished already
+    // cost one acquire load; stragglers park the caller on their futex.
+    for (int i = 0; i < size(); ++i) {
+        Slot& slot = slots_[static_cast<std::size_t>(i)];
+        std::uint64_t d = slot.done.load(std::memory_order_acquire);
+        while (d != gen) {
+            slot.done.wait(d, std::memory_order_acquire);
+            d = slot.done.load(std::memory_order_acquire);
+        }
+    }
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        err = first_error_;
+    }
+    if (err) std::rethrow_exception(err);
 }
 
 void WorkerPool::worker_loop(int id) {
+    Slot& slot = slots_[static_cast<std::size_t>(id)];
+    const int cpu = cpu_of(id);
+    if (cpu >= 0 && pin_self_to_cpu(cpu)) {
+        pinned_.fetch_add(1, std::memory_order_release);
+    }
+
     std::uint64_t seen = 0;
     while (true) {
-        const std::function<void(int)>* job = nullptr;
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock,
-                          [this, seen] { return stop_ || generation_ != seen; });
-            if (stop_) return;
-            seen = generation_;
-            job = job_;
+        std::uint64_t s = slot.seq.load(std::memory_order_acquire);
+        while (s == seen) {
+            if (stop_.load(std::memory_order_acquire)) return;
+            slot.seq.wait(s, std::memory_order_acquire);
+            s = slot.seq.load(std::memory_order_acquire);
         }
-        std::exception_ptr error;
+        if (stop_.load(std::memory_order_acquire)) return;
+        seen = s;
         try {
-            (*job)(id);
+            job_(job_ctx_, id);
         } catch (...) {
-            error = std::current_exception();
+            std::lock_guard<std::mutex> lock(error_mu_);
+            if (!first_error_) first_error_ = std::current_exception();
         }
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            if (error && !first_error_) first_error_ = error;
-            if (--pending_ == 0) done_cv_.notify_one();
-        }
+        slot.done.store(seen, std::memory_order_release);
+        slot.done.notify_one();
     }
 }
 

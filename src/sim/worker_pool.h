@@ -4,22 +4,52 @@
 // refactor is trying to amortize). The pool runs one job at a time: run()
 // invokes fn(worker_id) on every worker and blocks until all return, which
 // is exactly the barrier the emulator's counter-shard merge needs.
+//
+// Topology awareness (ISSUE 5): each worker pins itself to a concrete CPU —
+// locality-first assignment from util::Topology — via pthread_setaffinity_np
+// so its counter shard, cache shard, and steering lane stay on the CPU (and
+// NUMA node) that first touched them. Pinning is best-effort: non-Linux
+// hosts, denied affinity syscalls, and the PIPELEON_PIN_WORKERS=0 escape
+// hatch all degrade to floating threads with identical semantics.
+//
+// Wake protocol: instead of one mutex + two broadcast condvars (every wake
+// contending one cache line and paying a thundering herd), each worker owns
+// a cache-line-aligned slot of two futex-backed atomics (C++20 atomic
+// wait/notify): `seq` is stored-released by run() to hand the worker a new
+// generation, `done` is stored-released by the worker when it finishes. A
+// batch wake is therefore O(workers) uncontended stores + notifies, and the
+// join is a per-slot wait — no shared mutex on the batch path at all. The
+// job itself is passed as a raw function pointer + context (run() is a
+// template over the callable), so dispatch allocates nothing.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "util/topology.h"
+
 namespace pipeleon::sim {
+
+/// Pool construction knobs. Defaults give the topology-pinned pool; tests
+/// and the PIPELEON_PIN_WORKERS=0 environment escape hatch turn pinning off.
+struct WorkerPoolOptions {
+    /// Pin worker threads to CPUs. Effective only when the process-level
+    /// gate (PIPELEON_PIN_WORKERS, default on) also allows it.
+    bool pin = true;
+    /// Topology to assign CPUs from; nullptr = detect the live host once.
+    const util::Topology* topology = nullptr;
+};
 
 class WorkerPool {
 public:
     /// Spawns `workers` threads (at least 1).
-    explicit WorkerPool(int workers);
+    explicit WorkerPool(int workers, WorkerPoolOptions options = {});
     ~WorkerPool();
 
     WorkerPool(const WorkerPool&) = delete;
@@ -29,20 +59,54 @@ public:
 
     /// Runs fn(worker_id) on every worker and blocks until all complete.
     /// The first exception thrown by any worker is rethrown here after the
-    /// barrier (the batch is still fully drained first).
-    void run(const std::function<void(int)>& fn);
+    /// barrier (the batch is still fully drained first). The callable is
+    /// invoked through a function pointer + reference — no std::function,
+    /// no allocation, so a batch dispatch is allocation-free.
+    template <typename Fn>
+    void run(Fn&& fn) {
+        using F = std::remove_reference_t<Fn>;
+        run_raw([](void* ctx, int id) { (*static_cast<F*>(ctx))(id); },
+                const_cast<std::remove_const_t<F>*>(std::addressof(fn)));
+    }
+
+    /// CPU id worker `id` was asked to pin to, or -1 when unpinned.
+    int cpu_of(int id) const;
+    /// Workers whose affinity call actually succeeded.
+    int pinned_count() const {
+        return pinned_.load(std::memory_order_acquire);
+    }
+
+    /// Process-level pinning gate: PIPELEON_PIN_WORKERS unset / "1" = on,
+    /// "0" (or any string starting with '0') = off. Read once per call so
+    /// tests and benches can flip it between pools.
+    static bool pin_enabled_from_env();
 
 private:
+    using RawFn = void (*)(void* ctx, int worker_id);
+
+    /// One worker's wake/join mailbox. Its own cache line: the per-batch
+    /// stores to one worker's slot never false-share with another's.
+    struct alignas(64) Slot {
+        std::atomic<std::uint64_t> seq{0};   ///< run() bumps to wake
+        std::atomic<std::uint64_t> done{0};  ///< worker echoes seq when done
+    };
+
+    void run_raw(RawFn fn, void* ctx);
     void worker_loop(int id);
 
     std::vector<std::thread> threads_;
-    std::mutex mu_;
-    std::condition_variable work_cv_;   // workers wait here for a job
-    std::condition_variable done_cv_;   // run() waits here for the barrier
-    const std::function<void(int)>* job_ = nullptr;
-    std::uint64_t generation_ = 0;  // bumped per job so workers run it once
-    int pending_ = 0;
-    bool stop_ = false;
+    std::vector<int> cpu_assignment_;  ///< per worker, -1 = unpinned
+    std::unique_ptr<Slot[]> slots_;    ///< one per worker, stable addresses
+
+    // Published by run_raw() before the seq release-stores, read by workers
+    // after their acquire-loads — ordered without any lock.
+    RawFn job_ = nullptr;
+    void* job_ctx_ = nullptr;
+    std::uint64_t generation_ = 0;  ///< run() is single-caller, plain is fine
+
+    std::atomic<bool> stop_{false};
+    std::atomic<int> pinned_{0};
+    std::mutex error_mu_;  ///< cold path: first worker exception only
     std::exception_ptr first_error_;
 };
 

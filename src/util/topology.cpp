@@ -1,0 +1,161 @@
+#include "util/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace pipeleon::util {
+
+namespace {
+
+/// Reads a whole small file; empty string when unreadable.
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Reads a file holding one integer; `fallback` when absent/malformed.
+int read_int(const std::string& path, int fallback) {
+    std::string text = slurp(path);
+    if (text.empty()) return fallback;
+    try {
+        return std::stoi(text);
+    } catch (...) {
+        return fallback;
+    }
+}
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+    std::vector<int> cpus;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto parse_num = [&](int& out) {
+        std::size_t start = i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+        if (i == start) return false;
+        out = std::stoi(text.substr(start, i - start));
+        return true;
+    };
+    while (i < n) {
+        // Skip separators and whitespace between chunks.
+        while (i < n && !std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+        int lo = 0;
+        if (!parse_num(lo)) break;
+        int hi = lo;
+        if (i < n && text[i] == '-') {
+            ++i;
+            if (!parse_num(hi)) hi = lo;  // "3-" — treat as the single CPU 3
+        }
+        if (hi < lo) std::swap(lo, hi);
+        // Guard against absurd ranges from corrupt input.
+        if (hi - lo > 1 << 16) hi = lo;
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+Topology Topology::fallback(int cpus) {
+    if (cpus <= 0) {
+        cpus = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (cpus <= 0) cpus = 1;
+    Topology t;
+    t.cpus_.reserve(static_cast<std::size_t>(cpus));
+    for (int i = 0; i < cpus; ++i) t.cpus_.push_back(Cpu{i, 0, i, 0});
+    t.node_count_ = 1;
+    t.from_sysfs_ = false;
+    return t;
+}
+
+Topology Topology::detect() { return from_root("/sys"); }
+
+Topology Topology::from_root(const std::string& root) {
+    const std::string cpu_dir = root + "/devices/system/cpu";
+    std::vector<int> online = parse_cpu_list(slurp(cpu_dir + "/online"));
+    if (online.empty()) return fallback();
+
+    Topology t;
+    t.from_sysfs_ = true;
+    t.cpus_.reserve(online.size());
+    for (int id : online) {
+        const std::string topo = cpu_dir + "/cpu" + std::to_string(id) +
+                                 "/topology";
+        Cpu c;
+        c.id = id;
+        c.core = read_int(topo + "/core_id", -1);
+        c.package = read_int(topo + "/physical_package_id", -1);
+        t.cpus_.push_back(c);
+    }
+
+    // NUMA nodes: nodeN/cpulist names the CPUs each node owns. Offline CPUs
+    // may appear in a node's list; only online ones were kept above.
+    int max_node = 0;
+    bool any_node = false;
+    for (int node = 0; node < 1024; ++node) {
+        const std::string list =
+            slurp(root + "/devices/system/node/node" + std::to_string(node) +
+                  "/cpulist");
+        if (list.empty()) {
+            // Node ids are contiguous in practice; stop at the first gap
+            // (but always probe node0 and node1 so a missing node0 dir on a
+            // weird layout doesn't hide node1).
+            if (node > 1) break;
+            continue;
+        }
+        any_node = true;
+        for (int id : parse_cpu_list(list)) {
+            for (Cpu& c : t.cpus_) {
+                if (c.id == id) c.node = node;
+            }
+        }
+        max_node = std::max(max_node, node);
+    }
+    t.node_count_ = any_node ? max_node + 1 : 1;
+    return t;
+}
+
+int Topology::node_of(int cpu_id) const {
+    for (const Cpu& c : cpus_) {
+        if (c.id == cpu_id) return c.node;
+    }
+    return 0;
+}
+
+std::vector<int> Topology::assign(int workers) const {
+    std::vector<int> picks;
+    if (workers <= 0) return picks;
+    picks.reserve(static_cast<std::size_t>(workers));
+
+    // Locality-first order: node by node, ascending CPU id within a node.
+    std::vector<int> order;
+    order.reserve(cpus_.size());
+    for (int node = 0; node < node_count_; ++node) {
+        for (const Cpu& c : cpus_) {
+            if (c.node == node) order.push_back(c.id);
+        }
+    }
+    if (order.empty()) order.push_back(0);
+    for (int w = 0; w < workers; ++w) {
+        picks.push_back(order[static_cast<std::size_t>(w) % order.size()]);
+    }
+    return picks;
+}
+
+std::string Topology::summary() const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d cpus / %d nodes [%s]", cpu_count(),
+                  node_count_, from_sysfs_ ? "sysfs" : "fallback");
+    return buf;
+}
+
+}  // namespace pipeleon::util

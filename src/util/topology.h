@@ -1,0 +1,77 @@
+// util/topology.h — host CPU/NUMA topology discovery. The paper's whole
+// argument is that placement must respect the target's core/memory topology
+// (§3.1 cost model); the emulator applies the same discipline to the host it
+// runs on: sim::WorkerPool pins each worker to a concrete CPU and the
+// emulator first-touches each worker's shard memory from that CPU, so shards
+// land on the worker's NUMA node instead of wherever the control thread
+// happened to allocate them.
+//
+// Discovery parses the Linux sysfs layout (/sys/devices/system/cpu/online,
+// cpuN/topology/{core_id,physical_package_id}, and
+// /sys/devices/system/node/nodeN/cpulist). Every path is optional: a missing
+// or malformed sysfs (non-Linux, sandboxed CI, containers with masked /sys)
+// degrades to a clean single-node fallback sized by hardware_concurrency —
+// callers never branch on the platform, only on the Topology they got.
+// Tests parse committed fixture trees via from_root().
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pipeleon::util {
+
+/// Expands a sysfs cpulist string ("0-3,8,10-11") into sorted CPU ids.
+/// Whitespace/newlines are tolerated; malformed chunks are skipped.
+std::vector<int> parse_cpu_list(const std::string& text);
+
+class Topology {
+public:
+    struct Cpu {
+        int id = 0;        ///< kernel CPU number (as used by sched_setaffinity)
+        int node = 0;      ///< NUMA node, 0 when unknown
+        int core = -1;     ///< physical core id (SMT siblings share it), -1 unknown
+        int package = -1;  ///< socket id, -1 unknown
+    };
+
+    /// Parses the live host's /sys. Falls back (see fallback()) when the
+    /// layout is absent or unreadable.
+    static Topology detect();
+
+    /// Parses a sysfs-shaped tree rooted at `root` (fixtures use this:
+    /// `root` stands in for "/sys"). Returns a fallback topology when the
+    /// tree has no readable online-CPU list.
+    static Topology from_root(const std::string& root);
+
+    /// Synthetic single-node topology with `cpus` CPUs (or
+    /// hardware_concurrency when <= 0, or 1 when even that is unknown).
+    static Topology fallback(int cpus = 0);
+
+    /// True when the topology came from a real sysfs parse (pinning to its
+    /// CPU ids is meaningful), false for the synthetic fallback.
+    bool from_sysfs() const { return from_sysfs_; }
+
+    int cpu_count() const { return static_cast<int>(cpus_.size()); }
+    int node_count() const { return node_count_; }
+    const std::vector<Cpu>& cpus() const { return cpus_; }
+
+    /// NUMA node of a CPU id; 0 when the id is unknown.
+    int node_of(int cpu_id) const;
+
+    /// Picks the CPU each of `workers` workers should pin to. Policy:
+    /// locality-first — fill every core of node 0, then node 1, ... (worker
+    /// shards are independent, so packing a node keeps the per-batch
+    /// wake/merge traffic on one socket as long as it fits); when workers
+    /// exceed the online CPU count, assignment wraps around.
+    std::vector<int> assign(int workers) const;
+
+    /// One-line human rendering ("8 cpus / 2 nodes [sysfs]") for bench
+    /// reports and logs.
+    std::string summary() const;
+
+private:
+    std::vector<Cpu> cpus_;
+    int node_count_ = 1;
+    bool from_sysfs_ = false;
+};
+
+}  // namespace pipeleon::util

@@ -3,8 +3,16 @@
 // end-to-end; these pin down the data-structure contracts).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "ir/builder.h"
 #include "sim/table_state.h"
+#include "util/rng.h"
 
 namespace pipeleon::sim {
 namespace {
@@ -148,6 +156,178 @@ TEST(CacheStore, ZeroCapacityNeverStores) {
     CacheStore store(cfg);
     EXPECT_FALSE(store.insert({1}, make_payload(1), 0.0));
     EXPECT_EQ(store.size(), 0u);
+}
+
+// ------------------------------------------------- flat-LRU equivalence
+//
+// ISSUE 5 replaced the std::list + unordered_map LRU with a flat
+// open-addressing table (intrusive prev/next indices). These tests mirror
+// randomized op sequences against ReferenceLruStore — a verbatim port of
+// the old list-based implementation — and require identical observable
+// behavior: hit/miss per lookup, accept/drop per insert, size, the
+// rate-limiter drop count, and (the sharp edge) identical eviction order.
+
+/// The pre-ISSUE-5 list-based store, kept here as the behavioral oracle.
+class ReferenceLruStore {
+public:
+    explicit ReferenceLruStore(const ir::CacheConfig& config)
+        : config_(config), tokens_(config.max_insert_per_sec) {}
+
+    const CacheStore::CacheEntry* lookup(const KeyVec& key) {
+        auto it = index_.find(key);
+        if (it == index_.end()) return nullptr;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        it->second = lru_.begin();
+        return &lru_.front().second;
+    }
+
+    bool insert(const KeyVec& key, CacheStore::CacheEntry entry,
+                double now_seconds) {
+        if (now_seconds > last_refill_) {
+            tokens_ = std::min(config_.max_insert_per_sec,
+                               tokens_ + (now_seconds - last_refill_) *
+                                             config_.max_insert_per_sec);
+            last_refill_ = now_seconds;
+        }
+        if (tokens_ < 1.0) {
+            ++inserts_dropped_;
+            return false;
+        }
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(entry);
+            lru_.splice(lru_.begin(), lru_, it->second);
+            it->second = lru_.begin();
+            tokens_ -= 1.0;
+            return true;
+        }
+        while (lru_.size() >= config_.capacity && !lru_.empty()) {
+            index_.erase(lru_.back().first);
+            lru_.pop_back();
+        }
+        if (config_.capacity == 0) return false;
+        lru_.emplace_front(key, std::move(entry));
+        index_.emplace(key, lru_.begin());
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    void clear() {
+        lru_.clear();
+        index_.clear();
+    }
+
+    std::size_t size() const { return lru_.size(); }
+    std::uint64_t inserts_dropped() const { return inserts_dropped_; }
+
+    /// Keys in LRU order, most recent first (eviction-order oracle).
+    std::vector<KeyVec> keys_mru_to_lru() const {
+        std::vector<KeyVec> keys;
+        for (const auto& [k, v] : lru_) keys.push_back(k);
+        return keys;
+    }
+
+private:
+    using LruList = std::list<std::pair<KeyVec, CacheStore::CacheEntry>>;
+    ir::CacheConfig config_;
+    LruList lru_;
+    std::unordered_map<KeyVec, LruList::iterator, KeyVecHash> index_;
+    double tokens_;
+    double last_refill_ = 0.0;
+    std::uint64_t inserts_dropped_ = 0;
+};
+
+/// Drives both stores through the same randomized op sequence and checks
+/// every observable after every op.
+void mirror_random_ops(std::uint64_t seed, ir::CacheConfig cfg, int ops,
+                       std::uint64_t key_space) {
+    CacheStore flat(cfg);
+    ReferenceLruStore ref(cfg);
+    util::Rng rng(seed);
+    double now = 0.0;
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t k = rng.next_below(key_space);
+        const KeyVec key{k, k ^ 0xABCDu};
+        const int what = static_cast<int>(rng.next_below(10));
+        if (what < 5) {
+            const CacheStore::CacheEntry* a = flat.lookup(key);
+            const CacheStore::CacheEntry* b = ref.lookup(key);
+            ASSERT_EQ(a != nullptr, b != nullptr) << "lookup divergence op " << op;
+            if (a != nullptr) {
+                ASSERT_EQ(a->steps.size(), b->steps.size());
+                ASSERT_EQ(a->steps[0].origin_node, b->steps[0].origin_node);
+            }
+        } else if (what < 9) {
+            auto payload_id = static_cast<ir::NodeId>(op);
+            const bool a = flat.insert(key, make_payload(payload_id), now);
+            const bool b = ref.insert(key, make_payload(payload_id), now);
+            ASSERT_EQ(a, b) << "insert divergence op " << op;
+        } else if (what == 9 && rng.next_below(8) == 0) {
+            flat.clear();
+            ref.clear();
+        } else {
+            now += 0.001 * static_cast<double>(rng.next_below(50));
+        }
+        ASSERT_EQ(flat.size(), ref.size()) << "size divergence op " << op;
+        ASSERT_EQ(flat.inserts_dropped(), ref.inserts_dropped())
+            << "drop-count divergence op " << op;
+    }
+    // Final eviction-order check: evicting one by one from the flat store
+    // (by inserting fresh keys into a full store) must remove the exact
+    // keys the reference says are least recent. Simpler equivalent probe:
+    // every key the reference still holds must hit in the flat store.
+    for (const KeyVec& k : ref.keys_mru_to_lru()) {
+        EXPECT_NE(flat.lookup(k), nullptr);
+    }
+}
+
+TEST(CacheStoreEquivalence, RandomizedMirrorSmallCache) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 8;  // constant eviction pressure
+    cfg.max_insert_per_sec = 1e9;
+    mirror_random_ops(1, cfg, 4000, 32);
+}
+
+TEST(CacheStoreEquivalence, RandomizedMirrorRateLimited) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 64;
+    cfg.max_insert_per_sec = 50.0;  // limiter actively dropping
+    mirror_random_ops(2, cfg, 4000, 256);
+}
+
+TEST(CacheStoreEquivalence, RandomizedMirrorLargeKeySpace) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 512;  // mostly misses + growth/rehash churn
+    cfg.max_insert_per_sec = 1e9;
+    mirror_random_ops(3, cfg, 6000, 100000);
+}
+
+TEST(CacheStoreEquivalence, EvictionOrderIdenticalUnderTouches) {
+    ir::CacheConfig cfg;
+    cfg.capacity = 4;
+    cfg.max_insert_per_sec = 1e9;
+    CacheStore flat(cfg);
+    ReferenceLruStore ref(cfg);
+    util::Rng rng(7);
+    // Fill, touch a random subset, then overflow one key at a time and
+    // verify both stores evict the same victim at every step.
+    for (std::uint64_t k = 0; k < 4; ++k) {
+        flat.insert({k}, make_payload(1), 0.0);
+        ref.insert({k}, make_payload(1), 0.0);
+    }
+    for (int round = 0; round < 200; ++round) {
+        const std::uint64_t t = rng.next_below(1000);
+        flat.lookup({t % 7});
+        ref.lookup({t % 7});
+        const KeyVec fresh{1000 + static_cast<std::uint64_t>(round)};
+        flat.insert(fresh, make_payload(2), 0.0);
+        ref.insert(fresh, make_payload(2), 0.0);
+        ASSERT_EQ(flat.size(), ref.size());
+        for (const KeyVec& k : ref.keys_mru_to_lru()) {
+            ASSERT_NE(flat.lookup(k), nullptr) << "round " << round;
+            ref.lookup(k);  // keep the two LRU orders in lockstep
+        }
+    }
 }
 
 }  // namespace

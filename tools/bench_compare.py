@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Compare two directories of pipeleon bench reports and flag regressions.
+
+Each directory holds BENCH_<name>.json files in the pipeleon.bench_report/1
+schema. For every report present in BOTH directories, the gated metrics are
+diffed with a relative tolerance:
+
+  throughput_gbps  higher is better: regression when
+                   current < baseline * (1 - tolerance)
+  latency_p99      lower is better: regression when
+                   current > baseline * (1 + tolerance)
+
+Reports only in one directory (new or retired benches) are listed but never
+fail the gate, and metrics missing or zero on either side are skipped (a
+zero baseline means the bench didn't exercise that path — there is nothing
+meaningful to gate against). Exit status: 0 = no regression, 1 = at least
+one regression, 2 = usage/IO error.
+
+Usage:
+  tools/bench_compare.py BASELINE_DIR CURRENT_DIR [--tolerance 0.15]
+                         [--metrics throughput_gbps,latency_p99]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "pipeleon.bench_report/1"
+
+# metric name -> direction ("higher" / "lower" is better)
+DEFAULT_METRICS = {
+    "throughput_gbps": "higher",
+    "latency_p99": "lower",
+}
+
+
+def load_reports(directory: Path) -> dict[str, dict]:
+    """Maps bench name -> report dict for every BENCH_*.json in directory."""
+    reports = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            with path.open() as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}")
+            continue
+        if report.get("schema") != SCHEMA:
+            print(f"warning: skipping {path}: schema {report.get('schema')!r}")
+            continue
+        reports[report.get("bench", path.stem)] = report
+    return reports
+
+
+def compare(baseline: dict[str, dict], current: dict[str, dict],
+            metrics: dict[str, str], tolerance: float) -> int:
+    regressions = 0
+    common = sorted(set(baseline) & set(current))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  new   {name}: no baseline, not gated")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  gone  {name}: present only in baseline, not gated")
+
+    for name in common:
+        base_m = baseline[name].get("metrics", {})
+        cur_m = current[name].get("metrics", {})
+        for metric, direction in metrics.items():
+            base = base_m.get(metric)
+            cur = cur_m.get(metric)
+            if not isinstance(base, (int, float)) or not isinstance(
+                    cur, (int, float)) or base <= 0 or cur < 0:
+                continue
+            delta = (cur - base) / base
+            if direction == "higher":
+                regressed = cur < base * (1.0 - tolerance)
+                arrow = "↓" if delta < 0 else "↑"
+            else:
+                regressed = cur > base * (1.0 + tolerance)
+                arrow = "↑" if delta > 0 else "↓"
+            verdict = "REGRESSION" if regressed else "ok"
+            print(f"  {verdict:>10}  {name}.{metric}: "
+                  f"{base:g} -> {cur:g} ({arrow}{abs(delta) * 100:.1f}%, "
+                  f"tolerance {tolerance * 100:.0f}%)")
+            regressions += regressed
+    return regressions
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", type=Path, help="directory of baseline reports")
+    parser.add_argument("current", type=Path, help="directory of current reports")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative change (default 0.15 = 15%%)")
+    parser.add_argument("--metrics", default=None,
+                        help="comma-separated list; prefix a name with '-' for "
+                             "lower-is-better (default: throughput_gbps,"
+                             "-latency_p99)")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.is_dir() or not args.current.is_dir():
+        print(f"error: {args.baseline} and {args.current} must be directories")
+        return 2
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"error: tolerance {args.tolerance} outside [0, 1)")
+        return 2
+
+    metrics = dict(DEFAULT_METRICS)
+    if args.metrics is not None:
+        metrics = {}
+        for raw in args.metrics.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if raw.startswith("-"):
+                metrics[raw[1:]] = "lower"
+            else:
+                metrics[raw] = "higher"
+
+    baseline = load_reports(args.baseline)
+    current = load_reports(args.current)
+    if not current:
+        print(f"error: no {SCHEMA} reports found in {args.current}")
+        return 2
+    if not baseline:
+        # First run on a fresh main: nothing to gate against yet.
+        print(f"no baseline reports in {args.baseline}; gate passes trivially")
+        return 0
+
+    print(f"comparing {len(current)} report(s) against "
+          f"{len(baseline)} baseline report(s):")
+    regressions = compare(baseline, current, metrics, args.tolerance)
+    if regressions:
+        print(f"\n{regressions} regression(s) beyond "
+              f"{args.tolerance * 100:.0f}% tolerance")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
