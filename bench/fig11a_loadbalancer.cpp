@@ -142,6 +142,7 @@ int main() {
                              runtime::ApiMapper& api, int packets, int churn) {
         util::RunningStats cycles;
         int gap = churn > 0 ? std::max(1, packets / churn) : packets;
+        bench::RingPump pump(emu, static_cast<std::size_t>(gap));
         for (int i = 0; i < packets; i += gap) {
             if (churn > 0) {
                 ir::TableEntry e;
@@ -158,7 +159,7 @@ int main() {
             }
             std::size_t n = static_cast<std::size_t>(std::min(gap, packets - i));
             sim::PacketBatch batch = wl.next_batch(emu.fields(), n);
-            sim::BatchResult r = emu.process_batch(batch);
+            const sim::BatchResult& r = pump.pump(batch);
             for (const sim::ProcessResult& pr : r.results) cycles.add(pr.cycles);
             emu.advance_time(5.0 * static_cast<double>(n) / packets);
         }

@@ -91,6 +91,7 @@ int main() {
                 sim::FieldId vip_f = emu.fields().intern("is_vip_traffic");
                 sim::FieldId ct_f = emu.fields().intern("needs_conntrack");
                 sim::FieldId l2_f = emu.fields().intern("is_l2");
+                bench::RingPump rings(emu, 500);
                 for (int done = 0; done < packets; done += 500) {
                     sim::PacketBatch batch = w.next_batch(emu.fields(), 500);
                     for (sim::Packet& p : batch) {
@@ -98,7 +99,7 @@ int main() {
                         p.set(ct_f, phase.needs_ct);
                         p.set(l2_f, phase.is_l2);
                     }
-                    sim::BatchResult r = emu.process_batch(batch);
+                    const sim::BatchResult& r = rings.pump(batch);
                     for (const sim::ProcessResult& pr : r.results)
                         lat.add(pr.cycles);
                     emu.advance_time(5.0 * 500 / packets);

@@ -34,6 +34,21 @@ profile::RuntimeProfile Controller::collect_profile() {
     return map.translate(original_, raw);
 }
 
+void Controller::ensure_rings(std::size_t capacity) {
+    const int workers = emulator_.worker_count();
+    const bool det = emulator_.deterministic();
+    if (rings_.has_value() && rings_capacity_ == capacity &&
+        rings_workers_ == workers && rings_deterministic_ == det) {
+        return;
+    }
+    sim::RingConfig cfg;
+    cfg.rx_capacity = capacity;
+    rings_.emplace(emulator_.make_rings(cfg));
+    rings_capacity_ = capacity;
+    rings_workers_ = workers;
+    rings_deterministic_ = det;
+}
+
 Controller::PumpStats Controller::pump_window_impl(trafficgen::Workload& workload,
                                                    int packets,
                                                    double window_seconds,
@@ -51,19 +66,38 @@ Controller::PumpStats Controller::pump_window_impl(trafficgen::Workload& workloa
     if (batch_size == 0) batch_size = 1;
     if (adaptive) batch_size = std::min(cap, std::max(floor, batch_size));
 
+    // The ring front end: bursts dispatch through RSS into per-worker RX
+    // rings and a poll services them (poll == batch boundary == control
+    // drain point). Auto capacity covers the largest burst twice over, so
+    // the closed-loop pump only overflow-drops when the user configured a
+    // smaller ring on purpose.
+    const std::size_t capacity =
+        config_.ring_capacity != 0 ? config_.ring_capacity
+                                   : 2 * std::max(cap, batch_size);
+
     auto remaining = static_cast<std::uint64_t>(packets);
     const double seconds_per_packet =
         window_seconds / static_cast<double>(packets);
     double total_cycles = 0.0;
+    std::uint64_t completed = 0;
     while (remaining > 0) {
+        // Worker count / determinism may change mid-window via drained
+        // control ops; the rings are empty between polls, so rebuilding
+        // here never strands descriptors.
+        ensure_rings(capacity);
         std::size_t n = static_cast<std::size_t>(
             std::min<std::uint64_t>(remaining, batch_size));
         sim::PacketBatch batch = workload.next_batch(emulator_.fields(), n);
         if (batch.empty()) break;  // workload ran dry (phase ended early)
-        sim::BatchResult r = emulator_.process_batch(batch);
-        total_cycles += r.total_cycles;
-        stats.dropped += r.dropped;
+        const std::size_t accepted =
+            rings_->dispatch_batch(batch, emulator_.now_seconds());
+        emulator_.poll(*rings_, pump_out_);
+        total_cycles += pump_out_.total_cycles;
+        stats.dropped += pump_out_.dropped;
         stats.packets += batch.size();
+        stats.offered += batch.size();
+        stats.ring_drops += batch.size() - accepted;
+        completed += pump_out_.results.size();
         // Advance by packets actually generated, not requested: a workload
         // phase ending early must not skew the window timestamps.
         emulator_.advance_time(seconds_per_packet *
@@ -77,35 +111,39 @@ Controller::PumpStats Controller::pump_window_impl(trafficgen::Workload& workloa
         }
         stats.max_batch = std::max(stats.max_batch, batch.size());
 
-        const double batch_drop =
-            batch.empty() ? 0.0
-                          : static_cast<double>(r.dropped) /
-                                static_cast<double>(batch.size());
-        stats.max_batch_drop = std::max(stats.max_batch_drop, batch_drop);
+        // The overload signal is the ring counters — descriptors the RX
+        // rings actually refused — not the policy verdicts of processed
+        // packets (a deny-all ACL drops everything by policy while the
+        // rings idle along).
+        const double burst_overflow =
+            static_cast<double>(batch.size() - accepted) /
+            static_cast<double>(batch.size());
+        stats.max_batch_drop = std::max(stats.max_batch_drop, burst_overflow);
 
         if (adaptive) {
-            // Two feedback signals, drops first: a batch shedding more than
-            // the configured fraction shrinks regardless of its cycle cost
-            // (overload is best shed in small units), then the cycle-budget
-            // controller halves above budget and doubles below half of it —
-            // multiplicative moves so the size converges in a few batches.
-            if (batch_drop > config_.max_batch_drop_rate) {
+            // Two feedback signals, overflow first: a burst the rings shed
+            // shrinks regardless of its cycle cost (overload is best shed
+            // in small units), then the cycle-budget controller halves
+            // above budget and doubles below half of it — multiplicative
+            // moves so the size converges in a few batches.
+            if (burst_overflow > config_.max_batch_drop_rate) {
                 batch_size = std::max(floor, batch_size / 2);
                 ++stats.batch_shrinks_drops;
-            } else if (r.total_cycles > config_.target_batch_cycles) {
+            } else if (pump_out_.total_cycles > config_.target_batch_cycles) {
                 batch_size = std::max(floor, batch_size / 2);
                 ++stats.batch_shrinks_cycles;
-            } else if (r.total_cycles < config_.target_batch_cycles / 2.0) {
+            } else if (pump_out_.total_cycles <
+                       config_.target_batch_cycles / 2.0) {
                 batch_size = std::min(cap, batch_size * 2);
                 ++stats.batch_grows;
             }
         }
     }
     if (adaptive) dyn_batch_ = batch_size;
-    if (stats.packets > 0) {
-        stats.mean_cycles = total_cycles / static_cast<double>(stats.packets);
+    if (completed > 0) {
+        stats.mean_cycles = total_cycles / static_cast<double>(completed);
         stats.drop_rate = static_cast<double>(stats.dropped) /
-                          static_cast<double>(stats.packets);
+                          static_cast<double>(completed);
     }
     stats.throughput_gbps = emulator_.throughput_gbps(stats.mean_cycles);
     return stats;

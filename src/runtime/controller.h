@@ -52,11 +52,19 @@ struct ControllerConfig {
     std::size_t batch_cap = 1024;
     /// Cycle budget one batch should stay near.
     double target_batch_cycles = 200000.0;
-    /// Drop-rate feedback (ISSUE 4): a batch whose measured drop fraction
-    /// exceeds this shrinks the next batch (overload sheds in smaller
-    /// units), taking priority over the cycle-budget move. 0.5 by default so
-    /// workloads with policy drops (ACL deny) don't thrash the size.
+    /// Overflow drop-rate feedback (ISSUE 6): a burst whose RX-ring overflow
+    /// drop fraction exceeds this shrinks the next burst (overload sheds in
+    /// smaller units), taking priority over the cycle-budget move. The
+    /// signal is the ring drop *counters* — actual descriptors the rings
+    /// refused — not the per-packet policy verdicts: an ACL deny-all
+    /// workload drops 100% of its packets by policy yet overloads nothing,
+    /// and must not thrash the batch size.
     double max_batch_drop_rate = 0.5;
+    /// RX descriptors per queue for the pump's ring front end. 0 = auto:
+    /// 2 × the largest burst the pump can issue, rounded up to a power of
+    /// two, so the closed-loop pump never overflow-drops. Set it small to
+    /// exercise overload shedding.
+    std::size_t ring_capacity = 0;
 
     /// Test seam: mutates the optimizer's outcome before prepare/verify.
     /// Lets tests inject a known-bad optimized program and assert the
@@ -96,13 +104,20 @@ public:
     /// window. The harness decides the cadence (virtual time).
     TickResult tick();
 
-    /// Aggregate measurements of one pumped window.
+    /// Aggregate measurements of one pumped window. `packets` counts
+    /// packets offered (generated); `dropped`/`drop_rate` are the policy
+    /// verdicts of processed packets; `ring_drops` are descriptors the RX
+    /// rings refused (overload shed before processing).
     struct PumpStats {
         double mean_cycles = 0.0;
         double drop_rate = 0.0;
         double throughput_gbps = 0.0;
         std::uint64_t packets = 0;
         std::uint64_t dropped = 0;
+        /// Ring front end (ISSUE 6): packets offered to the dispatcher and
+        /// RX overflow drops over the window.
+        std::uint64_t offered = 0;
+        std::uint64_t ring_drops = 0;
         /// Batch-size telemetry (dynamic sizing observability).
         std::uint64_t batches = 0;
         std::size_t min_batch = 0;
@@ -113,17 +128,19 @@ public:
         std::uint64_t batch_shrinks_drops = 0;
         std::uint64_t batch_shrinks_cycles = 0;
         std::uint64_t batch_grows = 0;
-        /// Worst single-batch drop fraction seen this window.
+        /// Worst single-burst ring-overflow drop fraction seen this window
+        /// (the shrink-feedback signal).
         double max_batch_drop = 0.0;
     };
 
     /// Streams `packets` packets from the workload through the emulator's
-    /// batched data plane (batches of `batch_size`) and advances virtual
-    /// time by `window_seconds`. This is the harness-side pump the figure
-    /// benches use between tick()s; it replaces their scalar
-    /// packet-at-a-time loops. Time advances proportionally to the packets
-    /// actually generated, so a workload phase ending early cannot skew
-    /// window timestamps.
+    /// descriptor-ring data plane (bursts of `batch_size` dispatched via
+    /// RSS, then polled to completion) and advances virtual time by
+    /// `window_seconds`. This is the harness-side pump the figure benches
+    /// use between tick()s. Each poll is a control-plane drain point (ring
+    /// drain == batch boundary). Time advances proportionally to the
+    /// packets actually generated, so a workload phase ending early cannot
+    /// skew window timestamps.
     PumpStats pump_window(trafficgen::Workload& workload, int packets,
                           double window_seconds, std::size_t batch_size);
 
@@ -159,6 +176,11 @@ private:
                                double window_seconds, std::size_t batch_size,
                                bool adaptive);
 
+    /// (Re)builds the pump's dispatcher when the ring capacity, worker
+    /// count, or deterministic flag it was built for changed. The pump
+    /// drains its rings every poll, so a rebuild never strands descriptors.
+    void ensure_rings(std::size_t capacity);
+
     /// Reads the emulator window, augments entry snapshots from the API
     /// mapper, and translates to original-program space.
     profile::RuntimeProfile collect_profile();
@@ -172,6 +194,13 @@ private:
     bool have_profile_ = false;
     /// Dynamic pump batch size carried across windows (0 = not yet seeded).
     std::size_t dyn_batch_ = 0;
+    /// The pump's ring front end, rebuilt lazily by ensure_rings().
+    std::optional<sim::RssDispatcher> rings_;
+    std::size_t rings_capacity_ = 0;
+    int rings_workers_ = 0;
+    bool rings_deterministic_ = false;
+    /// Reused poll output (results vector keeps its capacity).
+    sim::BatchResult pump_out_;
     /// ctl.* counters registered in the emulator's metrics registry.
     telemetry::MetricId ctl_ticks_ = 0;
     telemetry::MetricId ctl_deploys_ = 0;

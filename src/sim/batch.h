@@ -18,6 +18,13 @@ struct ProcessResult {
     bool dropped = false;
     int migrations = 0;
     int nodes_visited = 0;
+    /// Ring path only (Emulator::poll): cycles the packet waited in its RX
+    /// ring before a worker picked it up, from the descriptor's enqueue
+    /// timestamp. 0 on the direct process/process_batch paths and for
+    /// descriptors dispatched without a timestamp. Kept out of `cycles` (and
+    /// the latency counters) so service latency stays comparable across
+    /// paths; closed-loop benches add the two for sojourn time.
+    double queue_cycles = 0.0;
 };
 
 /// A contiguous run of packets handed to the emulator in one call. Packets
@@ -52,6 +59,12 @@ struct BatchResult {
     int workers_used = 1;
     /// Control ops drained at this batch's boundary, before its packets ran.
     std::uint64_t control_ops_applied = 0;
+    /// Ring path only (Emulator::poll): RX overflow drops accounted to this
+    /// poll, completions reaped, and RX backlog left behind (nonzero when a
+    /// cycle budget stopped the workers early). Zero on process_batch.
+    std::uint64_t ring_dropped = 0;
+    std::uint64_t ring_completed = 0;
+    std::uint64_t ring_backlog = 0;
 };
 
 }  // namespace pipeleon::sim

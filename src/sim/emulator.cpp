@@ -29,6 +29,11 @@ Emulator::Emulator(NicModel model, ir::Program program,
     mid_.workers_gauge = metrics_.gauge("sim.workers");
     mid_.batch_wall_ns = metrics_.histogram("sim.batch_wall_ns");
     mid_.batch_cycles = metrics_.histogram("sim.batch_cycles");
+    mid_.ring_enqueued = metrics_.counter("ring.enqueued");
+    mid_.ring_dequeued = metrics_.counter("ring.dequeued");
+    mid_.ring_dropped = metrics_.counter("ring.dropped");
+    mid_.ring_depth = metrics_.gauge("ring.depth");
+    mid_.ring_drop_rate = metrics_.histogram("ring.drop_rate");
     metrics_.set_shard_count(static_cast<std::size_t>(workers_));
     metrics_.set_gauge(mid_.workers_gauge, static_cast<double>(workers_));
     compile();
@@ -473,19 +478,9 @@ bool Emulator::apply_action(const CompiledAction& action, Packet& packet,
 }
 
 std::uint64_t Emulator::flow_hash(const Packet& packet) const {
-    // FNV-1a over the steering tuple's 64-bit values, finished with a
-    // SplitMix64 avalanche so the low bits the modulo consumes are mixed.
-    std::uint64_t h = 1469598103934665603ULL;
-    for (FieldId f : steer_fields_) {
-        h ^= packet.get(f);
-        h *= 1099511628211ULL;
-    }
-    h ^= h >> 30;
-    h *= 0xbf58476d1ce4e5b9ULL;
-    h ^= h >> 27;
-    h *= 0x94d049bb133111ebULL;
-    h ^= h >> 31;
-    return h;
+    // The shared RSS hash (sim/rss.h), so ring dispatch and batch steering
+    // agree packet-for-packet on which worker owns a flow.
+    return rss_hash(packet, steer_fields_.data(), steer_fields_.size());
 }
 
 int Emulator::steer_worker_unlocked(const Packet& packet) const {
@@ -813,6 +808,163 @@ void Emulator::process_batch(PacketBatch& batch, BatchResult& out) {
         metrics_.add(mid_.drops, static_cast<std::uint64_t>(out.dropped));
         metrics_.add(mid_.control_ops,
                      static_cast<std::uint64_t>(out.control_ops_applied));
+        metrics_.record(mid_.batch_wall_ns, static_cast<double>(wall_ns));
+        metrics_.record(mid_.batch_cycles, out.total_cycles);
+    }
+}
+
+RssDispatcher Emulator::make_rings(const RingConfig& cfg) const {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    // One queue per worker so each RX ring stays SPSC against its consumer;
+    // deterministic/single-worker mode collapses to one in-order queue, the
+    // configuration whose poll is bit-identical to a process() loop.
+    const std::size_t queues =
+        (deterministic_ || workers_ <= 1) ? 1
+                                          : static_cast<std::size_t>(workers_);
+    RssDispatcher io(queues, steer_fields_, cfg);
+    io.set_steer_fields(steer_fields_,
+                        epoch_.load(std::memory_order_acquire));
+    return io;
+}
+
+BatchResult Emulator::poll(RssDispatcher& io, double cycle_budget) {
+    BatchResult out;
+    poll(io, out, cycle_budget);
+    return out;
+}
+
+void Emulator::poll(RssDispatcher& io, BatchResult& out, double cycle_budget) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    out.results.clear();
+    out.total_cycles = 0.0;
+    out.dropped = 0;
+    out.workers_used = 1;
+    out.ring_dropped = 0;
+    out.ring_completed = 0;
+    out.ring_backlog = 0;
+    // Ring-drain boundary == batch boundary: the whole control backlog
+    // applies before any descriptor is consumed.
+    out.control_ops_applied = drain_queue_unlocked();
+    // An epoch swap may have recompiled the program (new steering tuple);
+    // re-sync the dispatcher so post-swap arrivals steer by the deployed
+    // key set.
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (io.steer_epoch() != epoch) io.set_steer_fields(steer_fields_, epoch);
+    FlagGuard in_batch(in_batch_);
+
+    std::chrono::steady_clock::time_point wall_start;
+    if constexpr (telemetry::kEnabled) {
+        wall_start = std::chrono::steady_clock::now();
+    }
+
+    const std::size_t nq = io.queue_count();
+    const double cps = model_.cycles_per_second;
+    const bool parallel = !deterministic_ && workers_ > 1 &&
+                          nq == static_cast<std::size_t>(workers_);
+
+    if (!parallel) {
+        // In-order service on the calling thread, queue-major. With the
+        // single-queue dispatcher make_rings builds for deterministic or
+        // single-worker mode this replicates the scalar process() loop
+        // exactly — same seq numbering, same shard-0 counters, same float
+        // accumulation order — so ring and pre-ring paths are bit-identical.
+        double used = 0.0;  // one budget across all queues: one serving core
+        for (std::size_t q = 0; q < nq; ++q) {
+            if (cycle_budget > 0.0 && used >= cycle_budget) break;
+            QueuePair& qp = io.queue(q);
+            qp.rx().consume([&](RxDesc& d) {
+                if constexpr (telemetry::kEnabled) {
+                    metrics_.shard_add(0, mid_.worker_packets);
+                }
+                ProcessResult r =
+                    run_packet(d.packet, sampled_for(packet_seq_), counters_,
+                               cache_shards_[0], scratch_[0]);
+                ++packet_seq_;
+                if (d.enq_time >= 0.0) {
+                    r.queue_cycles =
+                        std::max(0.0, clock_seconds_ - d.enq_time) * cps;
+                }
+                used += r.cycles;
+                qp.tx().try_push(TxCompletion{r, d.seq});
+                return cycle_budget <= 0.0 || used < cycle_budget;
+            });
+        }
+    } else {
+        out.workers_used = workers_;
+        const double per_budget =
+            cycle_budget > 0.0 ? cycle_budget / static_cast<double>(workers_)
+                               : 0.0;
+        const std::uint64_t dequeued_before = io.stats().dequeued;
+        auto job = [&](int w) {
+            auto wi = static_cast<std::size_t>(w);
+            CounterShard& shard = worker_counters_[wi];
+            shard.reset_for(program_);
+            WorkerScratch& scratch = scratch_[wi];
+            QueuePair& qp = io.queue(wi);
+            double used = 0.0;
+            qp.rx().consume([&](RxDesc& d) {
+                // The descriptor keeps its arrival seq, so the sampling
+                // decision matches what the scalar loop would have made at
+                // that arrival.
+                ProcessResult r = run_packet(d.packet, sampled_for(d.seq),
+                                             shard, cache_shards_[wi], scratch);
+                if (d.enq_time >= 0.0) {
+                    r.queue_cycles =
+                        std::max(0.0, clock_seconds_ - d.enq_time) * cps;
+                }
+                used += r.cycles;
+                qp.tx().try_push(TxCompletion{r, d.seq});
+                if constexpr (telemetry::kEnabled) {
+                    metrics_.shard_add(wi, mid_.worker_packets);
+                }
+                return per_budget <= 0.0 || used < per_budget;
+            });
+        };
+        pool_->run(job);
+        packet_seq_ += io.stats().dequeued - dequeued_before;
+        // Merge in worker order: deterministic given deterministic per-queue
+        // consumption.
+        for (const CounterShard& shard : worker_counters_) {
+            counters_.absorb(shard);
+        }
+    }
+
+    // Reap completions queue-major (FIFO within a queue) into the reused
+    // result vector.
+    for (std::size_t q = 0; q < nq; ++q) {
+        io.queue(q).tx().consume([&](TxCompletion& c) {
+            out.results.push_back(c.result);
+            out.total_cycles += c.result.cycles;
+            out.dropped += c.result.dropped ? 1 : 0;
+            return true;
+        });
+    }
+    out.ring_completed = out.results.size();
+
+    const RingStats delta = io.take_delta();
+    out.ring_dropped = delta.dropped;
+    out.ring_backlog = delta.depth;
+
+    if constexpr (telemetry::kEnabled) {
+        const auto wall_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        metrics_.merge_shards();
+        metrics_.add(mid_.batches);
+        metrics_.add(mid_.packets, out.ring_completed);
+        metrics_.add(mid_.drops, out.dropped);
+        metrics_.add(mid_.control_ops, out.control_ops_applied);
+        metrics_.add(mid_.ring_enqueued, delta.enqueued);
+        metrics_.add(mid_.ring_dequeued, delta.dequeued);
+        metrics_.add(mid_.ring_dropped, delta.dropped);
+        metrics_.set_gauge(mid_.ring_depth, static_cast<double>(delta.depth));
+        const std::uint64_t offered = delta.enqueued + delta.dropped;
+        if (offered > 0) {
+            metrics_.record(mid_.ring_drop_rate,
+                            static_cast<double>(delta.dropped) /
+                                static_cast<double>(offered));
+        }
         metrics_.record(mid_.batch_wall_ns, static_cast<double>(wall_ns));
         metrics_.record(mid_.batch_cycles, out.total_cycles);
     }

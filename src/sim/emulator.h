@@ -57,6 +57,7 @@
 #include "sim/counter_shard.h"
 #include "sim/nic_model.h"
 #include "sim/packet.h"
+#include "sim/rss.h"
 #include "sim/table_state.h"
 #include "sim/worker_pool.h"
 #include "telemetry/metrics.h"
@@ -158,6 +159,32 @@ public:
     /// scatter buffer, per-worker scratch, and result vector are all
     /// reused. Aggregates in `out` are reset before the batch runs.
     void process_batch(PacketBatch& batch, BatchResult& out);
+
+    // -------------------------------------------------- descriptor-ring I/O
+    //
+    // The NIC-realistic front end (ISSUE 6): producers enqueue packets into
+    // per-worker RX rings through the RSS dispatcher (drop-on-overflow,
+    // never blocking), and poll() services the rings — each worker drains
+    // its own RX queue run-to-completion and posts completions to its TX
+    // ring, which the driver thread reaps. Batch size is ring occupancy,
+    // not a caller-chosen count.
+
+    /// Builds a dispatcher wired to this emulator: one queue per worker
+    /// (exactly one in deterministic or single-worker mode — the in-order
+    /// configuration), steering by the same flow hash as process_batch.
+    RssDispatcher make_rings(const RingConfig& cfg = {}) const;
+
+    /// Services the rings once. A poll is a batch boundary: the control
+    /// backlog drains before any descriptor is consumed (ring-drain
+    /// boundary), then every RX queue is drained — in parallel when the
+    /// dispatcher has one queue per worker, else in order on the calling
+    /// thread (deterministic mode, single worker, or a stale queue count
+    /// after a worker-count change). `cycle_budget > 0` bounds the emulated
+    /// cycles spent (split evenly across workers); unconsumed descriptors
+    /// stay queued for the next poll. Completions land in `out.results` in
+    /// reap order (queue-major, FIFO within a queue).
+    void poll(RssDispatcher& io, BatchResult& out, double cycle_budget = 0.0);
+    BatchResult poll(RssDispatcher& io, double cycle_budget = 0.0);
 
     // ------------------------------------------------------------- workers
 
@@ -422,6 +449,13 @@ private:
         telemetry::MetricId worker_packets = 0;  ///< sharded lane counter
         telemetry::MetricId workers_gauge = 0;
         telemetry::MetricId batch_wall_ns = 0, batch_cycles = 0;
+        /// Descriptor-ring I/O (ISSUE 6): per-poll deltas from the serviced
+        /// dispatcher, plus the RX backlog gauge and the per-poll drop-rate
+        /// histogram (drops / offered, recorded when packets were offered).
+        telemetry::MetricId ring_enqueued = 0, ring_dequeued = 0;
+        telemetry::MetricId ring_dropped = 0;
+        telemetry::MetricId ring_depth = 0;
+        telemetry::MetricId ring_drop_rate = 0;
     } mid_;
 
     /// Union of every table's key fields — the emulator's RSS flow tuple.

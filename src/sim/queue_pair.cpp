@@ -1,0 +1,18 @@
+#include "sim/queue_pair.h"
+
+namespace pipeleon::sim {
+
+QueuePair::QueuePair(const RingConfig& cfg)
+    : rx_(cfg.rx_capacity),
+      tx_(cfg.tx_capacity != 0 ? cfg.tx_capacity : cfg.rx_capacity) {}
+
+RingStats QueuePair::rx_stats() const {
+    RingStats s;
+    s.enqueued = rx_.enqueued();
+    s.dequeued = rx_.dequeued();
+    s.dropped = rx_.dropped();
+    s.depth = rx_.size();
+    return s;
+}
+
+}  // namespace pipeleon::sim

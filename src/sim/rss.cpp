@@ -1,0 +1,86 @@
+#include "sim/rss.h"
+
+namespace pipeleon::sim {
+
+std::uint64_t rss_hash(const Packet& packet, const FieldId* fields,
+                       std::size_t n_fields) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < n_fields; ++i) {
+        h ^= packet.get(fields[i]);
+        h *= 1099511628211ULL;
+    }
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+RssDispatcher::RssDispatcher(std::size_t queues,
+                             std::vector<FieldId> steer_fields,
+                             const RingConfig& cfg)
+    : steer_(std::move(steer_fields)) {
+    if (queues == 0) queues = 1;
+    queues_.reserve(queues);
+    for (std::size_t i = 0; i < queues; ++i) {
+        queues_.push_back(std::make_unique<QueuePair>(cfg));
+    }
+}
+
+void RssDispatcher::set_steer_fields(std::vector<FieldId> fields,
+                                     std::uint64_t epoch) {
+    steer_ = std::move(fields);
+    steer_epoch_ = epoch;
+}
+
+int RssDispatcher::dispatch(const Packet& packet, double now) {
+    const std::size_t q =
+        queues_.size() > 1
+            ? static_cast<std::size_t>(
+                  rss_hash(packet, steer_.data(), steer_.size()) %
+                  static_cast<std::uint64_t>(queues_.size()))
+            : 0;
+    // Fill the ring slot in place: the slot packet's field vector reuses its
+    // capacity, so a steady-state dispatch is allocation-free.
+    const bool ok = queues_[q]->rx().try_emplace([&](RxDesc& d) {
+        d.packet = packet;
+        d.seq = seq_;
+        d.enq_time = now;
+    });
+    ++seq_;  // a dropped packet still consumes an arrival number
+    return ok ? static_cast<int>(q) : -1;
+}
+
+std::size_t RssDispatcher::dispatch_batch(const PacketBatch& batch, double now) {
+    std::size_t accepted = 0;
+    for (const Packet& p : batch) {
+        if (dispatch(p, now) >= 0) ++accepted;
+    }
+    return accepted;
+}
+
+RingStats RssDispatcher::stats() const {
+    RingStats total;
+    for (const auto& qp : queues_) {
+        const RingStats s = qp->rx_stats();
+        total.enqueued += s.enqueued;
+        total.dequeued += s.dequeued;
+        total.dropped += s.dropped;
+        total.depth += s.depth;
+    }
+    return total;
+}
+
+RingStats RssDispatcher::take_delta() {
+    const RingStats now = stats();
+    RingStats delta;
+    delta.enqueued = now.enqueued - accounted_.enqueued;
+    delta.dequeued = now.dequeued - accounted_.dequeued;
+    delta.dropped = now.dropped - accounted_.dropped;
+    delta.depth = now.depth;  // absolute, not a delta
+    accounted_ = now;
+    return delta;
+}
+
+}  // namespace pipeleon::sim

@@ -116,4 +116,35 @@ std::vector<std::size_t> Workload::pick_flows(double fraction) {
 
 void Workload::reshuffle_ranks() { rng_.shuffle(rank_to_flow_); }
 
+std::size_t OfferedLoad::accrue(double dt) {
+    if (pps_ <= 0.0 || dt <= 0.0) return 0;
+    credit_ += pps_ * dt;
+    const double whole = std::floor(credit_);
+    credit_ -= whole;
+    return static_cast<std::size_t>(whole);
+}
+
+std::size_t OfferedLoad::offer(sim::RssDispatcher& io, sim::FieldTable& fields,
+                               std::size_t n, double now,
+                               std::size_t wire_bytes) {
+    if (tuple_ids_.empty()) {
+        for (const FieldRange& f : workload_.flows().fields()) {
+            tuple_ids_.push_back(fields.intern(f.field));
+        }
+    }
+    const FlowSet& flows = workload_.flows();
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t flow = workload_.next_flow();
+        scratch_.set_wire_bytes(wire_bytes);
+        for (std::size_t j = 0; j < tuple_ids_.size(); ++j) {
+            scratch_.set(tuple_ids_[j], flows.value_at(flow, j));
+        }
+        if (io.dispatch(scratch_, now) >= 0) ++ok;
+    }
+    offered_ += n;
+    accepted_ += ok;
+    return ok;
+}
+
 }  // namespace pipeleon::trafficgen

@@ -14,6 +14,7 @@
 #include "ir/entry.h"
 #include "sim/batch.h"
 #include "sim/packet.h"
+#include "sim/rss.h"
 #include "util/rng.h"
 
 namespace pipeleon::trafficgen {
@@ -101,6 +102,51 @@ private:
     util::Rng rng_;
     util::ZipfSampler zipf_;
     std::vector<std::size_t> rank_to_flow_;
+};
+
+/// An offered-load source (ISSUE 6): paces the Workload at a configured
+/// packets/sec rate against the emulator's virtual clock and enqueues
+/// through the RSS dispatcher into the descriptor rings — the open-loop
+/// front end the overload benches drive. Unlike next_batch(), the source
+/// never slows down when the data plane falls behind: excess packets
+/// overflow their RX ring and are dropped there (goodput < offered load is
+/// the measurement, not an error).
+///
+/// The field ids of the flow tuple are interned on the first offer() call
+/// and cached, so a source is bound to one emulator's FieldTable; packet
+/// materialization reuses one scratch packet (steady-state offer() makes no
+/// heap allocations).
+class OfferedLoad {
+public:
+    OfferedLoad(Workload& workload, double packets_per_second)
+        : workload_(workload), pps_(packets_per_second) {}
+
+    double rate_pps() const { return pps_; }
+    void set_rate(double packets_per_second) { pps_ = packets_per_second; }
+
+    /// Credits `dt` virtual seconds and returns the number of whole packets
+    /// now due; the fractional remainder carries to the next call, so the
+    /// long-run rate converges to rate_pps() regardless of tick size.
+    std::size_t accrue(double dt);
+
+    /// Generates `n` packets from the workload and dispatches them at
+    /// virtual time `now`. Returns how many the rings accepted (the rest
+    /// were overflow-dropped by the dispatcher).
+    std::size_t offer(sim::RssDispatcher& io, sim::FieldTable& fields,
+                      std::size_t n, double now = -1.0,
+                      std::size_t wire_bytes = 512);
+
+    std::uint64_t offered() const { return offered_; }
+    std::uint64_t accepted() const { return accepted_; }
+
+private:
+    Workload& workload_;
+    double pps_;
+    double credit_ = 0.0;
+    std::vector<sim::FieldId> tuple_ids_;  ///< interned on first offer()
+    sim::Packet scratch_;                  ///< reused; copied into ring slots
+    std::uint64_t offered_ = 0;
+    std::uint64_t accepted_ = 0;
 };
 
 }  // namespace pipeleon::trafficgen

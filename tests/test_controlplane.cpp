@@ -514,6 +514,11 @@ TEST(ControllerPump, DynamicBatchSizingAdaptsToCycleBudget) {
 /// exceeds config.max_batch_drop_rate shrinks the next batch even when the
 /// cycle budget would have grown it, and PumpStats reports which rule moved
 /// the size.
+/// ISSUE 6 satellite: the pump's drop feedback reads the ring overflow
+/// counters — descriptors the RX rings actually refused — not per-packet
+/// policy verdicts. A deny-all ACL (100% policy drops, zero overload) must
+/// leave the batch size alone; an undersized ring (real overflow) must
+/// shrink it.
 TEST(ControllerPump, DropRateFeedbackShrinksBatch) {
     // Every packet misses the one table and hits the drop default.
     ProgramBuilder b("drops");
@@ -530,41 +535,52 @@ TEST(ControllerPump, DropRateFeedbackShrinksBatch) {
         {{"src", 0, 255}}, 64, rng);
 
     {
+        // Deny-all policy drops, amply sized rings: no overflow, so the
+        // drop feedback must NOT fire — the infinite cycle budget grows the
+        // batch to the cap instead (the old heuristic would have thrashed
+        // down to the floor here).
         sim::Emulator emu(nic(), p, {});
         runtime::ControllerConfig cfg = controller_config();
         cfg.batch_floor = 8;
         cfg.batch_cap = 512;
-        cfg.target_batch_cycles = 1e15;  // cycle rule alone would only grow
+        cfg.target_batch_cycles = 1e15;
         cfg.max_batch_drop_rate = 0.5;
         runtime::Controller ctl(emu, p, model(), cfg);
         trafficgen::Workload wl(flows, trafficgen::Locality::Uniform, 1.0, 2);
 
         runtime::Controller::PumpStats s = ctl.pump_window(wl, 2000, 1.0);
         EXPECT_EQ(s.packets, 2000u);
-        EXPECT_DOUBLE_EQ(s.drop_rate, 1.0);
-        EXPECT_DOUBLE_EQ(s.max_batch_drop, 1.0);
-        EXPECT_GT(s.batch_shrinks_drops, 0u);
-        EXPECT_EQ(s.batch_grows, 0u);  // drops take priority over the budget
-        EXPECT_EQ(s.last_batch, 8u);   // shrunk to the floor
+        EXPECT_EQ(s.offered, 2000u);
+        EXPECT_DOUBLE_EQ(s.drop_rate, 1.0);  // policy drops, fully observed
+        EXPECT_EQ(s.ring_drops, 0u);         // but the rings never refused
+        EXPECT_DOUBLE_EQ(s.max_batch_drop, 0.0);
+        EXPECT_EQ(s.batch_shrinks_drops, 0u);
+        EXPECT_GT(s.batch_grows, 0u);
+        EXPECT_EQ(s.max_batch, 512u);
     }
     {
-        // Same workload with the feedback disabled (threshold above 1.0):
-        // the infinite budget grows the batch to the cap instead.
+        // Undersized rings (capacity 16 vs 256-packet bursts): genuine
+        // overflow drops shrink the burst until it fits the ring, taking
+        // priority over the growth the infinite budget would order.
         sim::Emulator emu(nic(), p, {});
         runtime::ControllerConfig cfg = controller_config();
         cfg.batch_floor = 8;
         cfg.batch_cap = 512;
         cfg.target_batch_cycles = 1e15;
-        cfg.max_batch_drop_rate = 1.1;
+        cfg.max_batch_drop_rate = 0.5;
+        cfg.ring_capacity = 16;
         runtime::Controller ctl(emu, p, model(), cfg);
         trafficgen::Workload wl(flows, trafficgen::Locality::Uniform, 1.0, 2);
 
         runtime::Controller::PumpStats s = ctl.pump_window(wl, 2000, 1.0);
-        EXPECT_EQ(s.batch_shrinks_drops, 0u);
-        EXPECT_GT(s.batch_grows, 0u);
-        EXPECT_EQ(s.max_batch, 512u);
-        EXPECT_DOUBLE_EQ(s.max_batch_drop, 1.0);  // still observed, just not
-                                                  // acted on
+        EXPECT_EQ(s.packets, 2000u);
+        EXPECT_GT(s.ring_drops, 0u);
+        EXPECT_GT(s.max_batch_drop, 0.5);
+        EXPECT_GT(s.batch_shrinks_drops, 0u);
+        EXPECT_LE(s.last_batch, 16u);  // converged to what the ring holds
+        // Conservation: with a deny-all policy every completed packet drops,
+        // so policy drops + ring sheds must account for everything offered.
+        EXPECT_EQ(s.dropped + s.ring_drops, s.offered);
     }
 }
 

@@ -11,10 +11,12 @@ diffed with a relative tolerance:
                    current > baseline * (1 + tolerance)
 
 Reports only in one directory (new or retired benches) are listed but never
-fail the gate, and metrics missing or zero on either side are skipped (a
-zero baseline means the bench didn't exercise that path — there is nothing
-meaningful to gate against). Exit status: 0 = no regression, 1 = at least
-one regression, 2 = usage/IO error.
+fail the gate — a brand-new bench prints "new <name>: no baseline, not
+gated" and passes. A missing or empty baseline directory (fresh branch, no
+artifact yet) passes trivially. Metrics missing or zero on either side are
+skipped (a zero baseline means the bench didn't exercise that path — there
+is nothing meaningful to gate against). Exit status: 0 = no regression,
+1 = at least one regression, 2 = usage/IO error.
 
 Usage:
   tools/bench_compare.py BASELINE_DIR CURRENT_DIR [--tolerance 0.15]
@@ -47,10 +49,18 @@ def load_reports(directory: Path) -> dict[str, dict]:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"warning: skipping unreadable {path}: {exc}")
             continue
-        if report.get("schema") != SCHEMA:
-            print(f"warning: skipping {path}: schema {report.get('schema')!r}")
+        if not isinstance(report, dict) or report.get("schema") != SCHEMA:
+            schema = report.get("schema") if isinstance(report, dict) else None
+            print(f"warning: skipping {path}: schema {schema!r}")
             continue
-        reports[report.get("bench", path.stem)] = report
+        if not isinstance(report.get("metrics", {}), dict):
+            print(f"warning: skipping {path}: 'metrics' is not an object")
+            continue
+        name = report.get("bench", path.stem)
+        if name in reports:
+            print(f"warning: duplicate bench {name!r} ({path} shadows an "
+                  f"earlier report); keeping the last one")
+        reports[name] = report
     return reports
 
 
@@ -100,9 +110,15 @@ def main(argv: list[str]) -> int:
                              "-latency_p99)")
     args = parser.parse_args(argv)
 
-    if not args.baseline.is_dir() or not args.current.is_dir():
-        print(f"error: {args.baseline} and {args.current} must be directories")
+    if not args.current.is_dir():
+        print(f"error: current directory {args.current} does not exist")
         return 2
+    if not args.baseline.is_dir():
+        # A missing baseline directory is the normal state of a fresh branch
+        # (no artifact published yet) — same trivial pass as an empty one.
+        print(f"no baseline directory at {args.baseline}; "
+              "gate passes trivially")
+        return 0
     if not 0.0 <= args.tolerance < 1.0:
         print(f"error: tolerance {args.tolerance} outside [0, 1)")
         return 2
