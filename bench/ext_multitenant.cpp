@@ -1,0 +1,280 @@
+// bench/ext_multitenant.cpp — the noisy-neighbor bench (ISSUE 8 acceptance).
+// Tenant A serves a steady offered load at 70% of its cycle-share capacity.
+// Tenant B, on the same registry, runs the worst control-plane behavior we
+// model: an ingress flood past its own slice, a reconfigure storm (full
+// redeploys alternating its chain with a deny-all program), and table churn
+// (inserts + set_entries every tick). The claim the multi-tenant carve
+// makes — and this bench gates — is that B's noise moves A's goodput by
+// < 5% versus A running the identical schedule solo, because A's cycle
+// share is a hard partition and every other resource (rings, tables,
+// caches, epochs, control queue) is private per tenant.
+//
+// Both runs give A the same explicit cycles_share (0.5), so A's per-tick
+// budget slice is identical whether or not B exists; the measured delta is
+// therefore pure interference, not a budget artifact. Emits
+// BENCH_ext_multitenant.json with the solo/shared goodput + p99 pair and a
+// per-tick CSV of A's completions in the shared run.
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "bench/common.h"
+#include "bench/report.h"
+#include "ir/builder.h"
+#include "sim/nic_model.h"
+#include "sim/tenant.h"
+#include "trafficgen/workload.h"
+#include "util/strings.h"
+
+using namespace pipeleon;
+
+namespace {
+
+constexpr int kChainLen = 4;
+constexpr int kFlows = 128;
+constexpr std::size_t kRingCapacity = 512;
+constexpr double kShareA = 0.5;   // A's hard cycle partition, both runs
+constexpr double kLoadFactorA = 0.7;  // fraction of A's slice capacity
+
+/// Same deliberately small NIC as the overload bench: two run-to-completion
+/// cores at 10 MHz, so the runs finish in well under a second of wall time.
+sim::NicModel tenant_nic() {
+    sim::NicModel nic = sim::bluefield2_model();
+    nic.name = "multitenant_2core_10mhz";
+    nic.cycles_per_second = 1.0e7;
+    nic.cores = 2;
+    return nic;
+}
+
+std::vector<trafficgen::FieldRange> field_tuple() {
+    std::vector<trafficgen::FieldRange> tuple;
+    for (int i = 0; i < kChainLen; ++i) {
+        tuple.push_back({util::format("f%d", i), 0, 255});
+    }
+    return tuple;
+}
+
+/// The deny-all program tenant B keeps redeploying mid-storm.
+ir::Program deny_all() {
+    ir::ProgramBuilder b("deny_all");
+    b.append(ir::TableSpec("wall")
+                 .key("f0")
+                 .drop_action("deny")
+                 .default_to("deny")
+                 .build());
+    return b.build();
+}
+
+/// Mean service cycles per packet for the chain, measured closed-loop on a
+/// solo emulator (ample rings, no budget) — same calibration the overload
+/// bench uses.
+double calibrate_service_cycles(const ir::Program& prog,
+                                const trafficgen::FlowSet& flows) {
+    sim::Emulator emu(tenant_nic(), prog, {});
+    emu.set_worker_count(emu.model().cores);
+    apps::install_flow_entries(emu, flows);
+    trafficgen::Workload wl(flows, trafficgen::Locality::Zipf, 1.1, 31);
+    bench::RingPump pump(emu, 256);
+    double cycles = 0.0;
+    std::uint64_t packets = 0;
+    for (int round = 0; round < 8; ++round) {
+        sim::PacketBatch batch = wl.next_batch(emu.fields(), 256);
+        const sim::BatchResult& r = pump.pump(batch);
+        if (round == 0) continue;  // warm caches before counting
+        cycles += r.total_cycles;
+        packets += r.results.size();
+    }
+    return packets > 0 ? cycles / static_cast<double>(packets) : 1.0;
+}
+
+struct RunResult {
+    double goodput_pps = 0.0;
+    double p99_cycles = 0.0;
+    sim::TenantStats stats_a;
+    std::vector<std::uint64_t> completions_per_ms;  // shared run only
+};
+
+/// Drives tenant A's fixed schedule for `duration_s` of virtual time; when
+/// `noisy` the identical loop also hosts tenant B's flood + storm + churn.
+RunResult run_tenant_a(const ir::Program& prog_a,
+                       const trafficgen::FlowSet& flows, double rate_a_pps,
+                       double duration_s, bool noisy) {
+    sim::RingConfig ring_cfg;
+    ring_cfg.rx_capacity = kRingCapacity;
+    sim::TenantRegistry reg(tenant_nic(), ring_cfg);
+
+    sim::TenantQuota quota_a;
+    quota_a.cycles_share = kShareA;
+    sim::TenantId a = reg.add_tenant("a", prog_a, quota_a);
+    apps::install_flow_entries(reg.emulator(a), flows);
+
+    sim::TenantId b = sim::kNoTenant;
+    trafficgen::Workload wl_b(flows, trafficgen::Locality::Uniform, 0.0, 33);
+    trafficgen::OfferedLoad src_b(wl_b, 0.0);
+    if (noisy) {
+        sim::TenantQuota quota_b;
+        quota_b.cycles_share = 1.0 - kShareA;
+        b = reg.add_tenant("b", ir::chain_of_exact_tables("p_b", kChainLen,
+                                                          2, 1),
+                           quota_b);
+        apps::install_flow_entries(reg.emulator(b), flows);
+        // Flood: 3x B's own slice capacity, so B's rings overflow all run.
+        src_b.set_rate(3.0 * rate_a_pps);
+    }
+
+    trafficgen::Workload wl_a(flows, trafficgen::Locality::Zipf, 1.1, 32);
+    trafficgen::OfferedLoad src_a(wl_a, rate_a_pps);
+
+    const sim::NicModel nic = tenant_nic();
+    const double dt = 1e-4;
+    const double tick_budget =
+        nic.cycles_per_second * dt * static_cast<double>(nic.cores);
+    const int ticks = static_cast<int>(duration_s / dt);
+    const int ticks_per_ms = static_cast<int>(1e-3 / dt);
+
+    RunResult run;
+    std::vector<double> latencies;
+    std::uint64_t completed = 0, window = 0;
+    int storms = 0;
+    for (int t = 0; t < ticks; ++t) {
+        std::size_t due = src_a.accrue(dt);
+        if (due > 0) src_a.offer(reg, a, due);
+        if (noisy) {
+            std::size_t due_b = src_b.accrue(dt);
+            if (due_b > 0) src_b.offer(reg, b, due_b);
+            // Table churn every tick: an insert plus a bulk replace.
+            sim::Emulator& emu_b = reg.emulator(b);
+            emu_b.insert_entry(
+                "t1", flows.exact_entry(static_cast<std::size_t>(t) % kFlows,
+                                        {"f1"}, 0));
+            if (t % 5 == 0) emu_b.set_entries("t2", {});
+            // Reconfigure storm: a full redeploy every 20 ticks (2 ms),
+            // alternating deny-all with B's own chain.
+            if (t % 20 == 10) {
+                ++storms;
+                reg.reconfigure(b, (storms % 2 != 0)
+                                       ? deny_all()
+                                       : ir::chain_of_exact_tables(
+                                             "p_b", kChainLen, 2, 1));
+                apps::install_flow_entries(reg.emulator(b), flows);
+            }
+        }
+        reg.advance_time(dt);
+        // Poll per tenant (not poll_all) so A's latencies are harvestable;
+        // the budgets are exactly what poll_all's share split would hand out.
+        const sim::BatchResult& out_a = reg.poll(a, tick_budget * kShareA);
+        completed += out_a.results.size();
+        window += out_a.results.size();
+        for (const sim::ProcessResult& r : out_a.results) {
+            latencies.push_back(r.cycles + r.queue_cycles);
+        }
+        if (noisy) reg.poll(b, tick_budget * (1.0 - kShareA));
+        if ((t + 1) % ticks_per_ms == 0) {
+            run.completions_per_ms.push_back(window);
+            window = 0;
+        }
+    }
+
+    run.goodput_pps = static_cast<double>(completed) / duration_s;
+    run.p99_cycles = util::percentile(std::move(latencies), 99.0);
+    run.stats_a = reg.stats(a);
+    if (noisy) {
+        const sim::TenantStats& sb = reg.stats(b);
+        std::printf("  tenant b noise: offered %llu, ring_dropped %llu, "
+                    "epoch %llu (storm redeploys)\n",
+                    static_cast<unsigned long long>(sb.offered),
+                    static_cast<unsigned long long>(sb.ring_dropped),
+                    static_cast<unsigned long long>(reg.epoch(b)));
+    }
+    return run;
+}
+
+}  // namespace
+
+int main() {
+    bench::section("multi-tenant noisy neighbor: tenant A goodput/p99 while "
+                   "tenant B storms");
+    const bool quick = bench::BenchEnv::quick();
+    const double duration_s = quick ? 0.05 : 0.25;
+
+    ir::Program prog_a = ir::chain_of_exact_tables("p_a", kChainLen, 2, 1);
+    util::Rng rng(29);
+    trafficgen::FlowSet flows =
+        trafficgen::FlowSet::generate(field_tuple(), kFlows, rng);
+
+    const double service_cycles = calibrate_service_cycles(prog_a, flows);
+    const sim::NicModel nic = tenant_nic();
+    const double slice_capacity_pps = nic.cycles_per_second *
+                                      static_cast<double>(nic.cores) *
+                                      kShareA / service_cycles;
+    const double rate_a_pps = kLoadFactorA * slice_capacity_pps;
+    std::printf("calibrated %.1f cycles/packet -> A slice capacity %.0f pps "
+                "(share %.2f); A offered at %.0f pps\n",
+                service_cycles, slice_capacity_pps, kShareA, rate_a_pps);
+
+    std::printf("solo run (tenant A alone, same share):\n");
+    RunResult solo = run_tenant_a(prog_a, flows, rate_a_pps, duration_s,
+                                  /*noisy=*/false);
+    std::printf("shared run (tenant B flooding + reconfigure storm + table "
+                "churn):\n");
+    RunResult shared = run_tenant_a(prog_a, flows, rate_a_pps, duration_s,
+                                    /*noisy=*/true);
+
+    const double goodput_ratio =
+        solo.goodput_pps > 0.0 ? shared.goodput_pps / solo.goodput_pps : 0.0;
+    const double p99_delta = shared.p99_cycles - solo.p99_cycles;
+
+    util::TextTable table({"run", "goodput pps", "p99 cycles", "completed",
+                           "ring drops"});
+    table.add_row({"A solo", util::format("%.0f", solo.goodput_pps),
+                   util::format("%.0f", solo.p99_cycles),
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            solo.stats_a.completed)),
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            solo.stats_a.ring_dropped))});
+    table.add_row({"A shared", util::format("%.0f", shared.goodput_pps),
+                   util::format("%.0f", shared.p99_cycles),
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            shared.stats_a.completed)),
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            shared.stats_a.ring_dropped))});
+    std::printf("%s", table.to_string().c_str());
+    std::printf("\nA goodput under noise: %.1f%% of solo (gate: >= 95%%); "
+                "p99 delta %+.0f cycles\n",
+                100.0 * goodput_ratio, p99_delta);
+
+    telemetry::CsvSeries series({"ms", "a_completed_shared"});
+    for (std::size_t i = 0; i < shared.completions_per_ms.size(); ++i) {
+        series.add_row({static_cast<double>(i),
+                        static_cast<double>(shared.completions_per_ms[i])});
+    }
+
+    bench::Reporter rep("ext_multitenant", nic);
+    rep.param("ring_capacity", static_cast<double>(kRingCapacity));
+    rep.param("duration_s", duration_s);
+    rep.param("share_a", kShareA);
+    rep.param("load_factor_a", kLoadFactorA);
+    rep.metric("service_cycles", service_cycles);
+    rep.metric("slice_capacity_pps", slice_capacity_pps);
+    rep.metric("goodput_solo_pps", solo.goodput_pps);
+    rep.metric("goodput_shared_pps", shared.goodput_pps);
+    rep.metric("goodput_ratio", goodput_ratio);
+    rep.metric("p99_solo_cycles", solo.p99_cycles);
+    rep.metric("p99_shared_cycles", shared.p99_cycles);
+    rep.metric("p99_delta_cycles", p99_delta);
+    // The gated pair: A's goodput under noise on 512 B packets, A's p99.
+    rep.metric("throughput_gbps", shared.goodput_pps * 512.0 * 8.0 / 1e9);
+    rep.metric("latency_p99", shared.p99_cycles);
+    rep.write();
+    series.write(rep.raw().csv_path());
+    std::printf("[bench-report] wrote %s\n", rep.raw().csv_path().c_str());
+
+    if (goodput_ratio < 0.95) {
+        std::printf("FAIL: tenant A goodput degraded more than 5%% under a "
+                    "noisy neighbor\n");
+        return 1;
+    }
+    return 0;
+}

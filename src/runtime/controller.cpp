@@ -212,6 +212,29 @@ void Controller::commit_deploy(PreparedDeploy prepared, TickResult& result) {
     }
 }
 
+TickResult Controller::deploy_external(ir::Program target) {
+    TELEMETRY_SPAN("controller.deploy_external");
+    TickResult result;
+    target.validate();
+    PreparedDeploy prepared = prepare_deploy(std::move(target));
+    if (config_.verify_deploys) {
+        analysis::DiagnosticList diags = verify_deploy(nullptr, prepared);
+        if (!diags.ok()) {
+            result.verify_rejected = true;
+            result.verify_diagnostics = std::move(diags);
+            if constexpr (telemetry::kEnabled) {
+                emulator_.metrics().add(ctl_rejects_);
+            }
+            util::log_warn(util::format(
+                "controller: verifier rejected external deploy (%zu findings)",
+                result.verify_diagnostics.size()));
+            return result;
+        }
+    }
+    commit_deploy(std::move(prepared), result);
+    return result;
+}
+
 TickResult Controller::tick() {
     TELEMETRY_SPAN("controller.tick");
     TickResult result;

@@ -104,6 +104,17 @@ public:
     /// window. The harness decides the cadence (virtual time).
     TickResult tick();
 
+    /// Deploys an externally supplied program through the same
+    /// prepare→verify→commit path tick() uses (ISSUE 8: a tenant pushing a
+    /// program revision). The target must host the original program's API
+    /// surface (its tables, possibly merged/cached) so the remapped entry
+    /// set stays well-defined; the verifier gates the commit exactly as for
+    /// optimizer output (structure + entry-remap checks — no translation
+    /// validation, since the program was not derived by our search). On
+    /// rejection the old program keeps serving and the result carries the
+    /// diagnostics.
+    TickResult deploy_external(ir::Program target);
+
     /// Aggregate measurements of one pumped window. `packets` counts
     /// packets offered (generated); `dropped`/`drop_rate` are the policy
     /// verdicts of processed packets; `ring_drops` are descriptors the RX

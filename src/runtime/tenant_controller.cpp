@@ -1,0 +1,215 @@
+#include "runtime/tenant_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace pipeleon::runtime {
+
+MultiController::MultiController(sim::TenantRegistry& registry,
+                                 cost::CostModel model,
+                                 MultiControllerConfig config)
+    : registry_(registry), model_(std::move(model)), config_(std::move(config)) {}
+
+void MultiController::attach(sim::TenantId id, ir::Program original) {
+    attach(id, std::move(original), config_.controller);
+}
+
+void MultiController::attach(sim::TenantId id, ir::Program original,
+                             ControllerConfig config) {
+    if (runtime_for(id) != nullptr) {
+        throw std::invalid_argument("tenant already attached: " +
+                                    registry_.name(id));
+    }
+    TenantRt rt;
+    rt.id = id;
+    rt.last_completed = registry_.stats(id).completed;
+    rt.controller = std::make_unique<Controller>(
+        registry_.emulator(id), std::move(original), model_, std::move(config));
+    tenants_.push_back(std::move(rt));
+}
+
+Controller& MultiController::controller(sim::TenantId id) {
+    TenantRt* rt = runtime_for(id);
+    if (rt == nullptr) {
+        throw std::out_of_range("tenant not attached: " + registry_.name(id));
+    }
+    return *rt->controller;
+}
+
+MultiController::TenantRt* MultiController::runtime_for(sim::TenantId id) {
+    for (TenantRt& rt : tenants_) {
+        if (rt.id == id) return &rt;
+    }
+    return nullptr;
+}
+
+const MultiController::TenantRt* MultiController::runtime_for(
+    sim::TenantId id) const {
+    for (const TenantRt& rt : tenants_) {
+        if (rt.id == id) return &rt;
+    }
+    return nullptr;
+}
+
+void MultiController::enqueue_deploy(sim::TenantId id, ir::Program target) {
+    TenantRt* rt = runtime_for(id);
+    if (rt == nullptr) {
+        throw std::out_of_range("tenant not attached: " + registry_.name(id));
+    }
+    ++rt->enqueued_this_round;
+    queue_.push_back({id, std::move(target)});
+}
+
+std::size_t MultiController::queued_deploys(sim::TenantId id) const {
+    return static_cast<std::size_t>(
+        std::count_if(queue_.begin(), queue_.end(),
+                      [&](const DeployRequest& r) { return r.tenant == id; }));
+}
+
+bool MultiController::quarantined(sim::TenantId id) const {
+    const TenantRt* rt = runtime_for(id);
+    return rt != nullptr && rt->quarantine_left > 0;
+}
+
+const MultiController::TenantRound* MultiController::RoundResult::for_tenant(
+    sim::TenantId id) const {
+    for (const TenantRound& r : tenants) {
+        if (r.tenant == id) return &r;
+    }
+    return nullptr;
+}
+
+void MultiController::note_reject(TenantRt& rt) {
+    ++rt.consecutive_rejects;
+    if (rt.consecutive_rejects >= config_.quarantine.reject_threshold) {
+        rt.quarantine_left = config_.quarantine.quarantine_rounds;
+        rt.consecutive_rejects = 0;
+        util::log_warn(util::format(
+            "multicontroller: quarantining tenant %s for %d round(s) "
+            "(repeated verify rejects)",
+            registry_.name(rt.id).c_str(), rt.quarantine_left));
+    }
+}
+
+MultiController::RoundResult MultiController::tick_all() {
+    RoundResult round;
+    round.tenants.resize(tenants_.size());
+
+    // (1) Window boundary: measure each tenant's load (packets completed
+    // since the last round) and re-split the Eq. 5 budget proportionally.
+    std::vector<double> loads(tenants_.size(), 0.0);
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        TenantRt& rt = tenants_[i];
+        std::uint64_t completed = registry_.stats(rt.id).completed;
+        loads[i] = static_cast<double>(completed - rt.last_completed);
+        rt.last_completed = completed;
+    }
+    std::vector<search::ResourceLimits> granted;
+    if (config_.split_budget && !tenants_.empty()) {
+        granted = search::split_budget(config_.total_limits, loads,
+                                       config_.split);
+    } else {
+        granted.assign(tenants_.size(), config_.total_limits);
+    }
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        tenants_[i].controller->config().optimizer.limits = granted[i];
+        round.tenants[i].tenant = tenants_[i].id;
+        round.tenants[i].granted = granted[i];
+        round.tenants[i].measured_load = loads[i];
+    }
+
+    // (2) Tick quarantine clocks, then detect deploy storms: the signal is
+    // requests *submitted since the previous round* — a deferred backlog
+    // from a past storm drains at the rate cap below and never re-trips.
+    for (TenantRt& rt : tenants_) {
+        if (rt.quarantine_left > 0) --rt.quarantine_left;
+    }
+    for (TenantRt& rt : tenants_) {
+        std::size_t fresh = rt.enqueued_this_round;
+        rt.enqueued_this_round = 0;
+        if (fresh > config_.quarantine.storm_threshold &&
+            rt.quarantine_left <= 0) {
+            rt.quarantine_left = config_.quarantine.quarantine_rounds;
+            util::log_warn(util::format(
+                "multicontroller: deploy storm from tenant %s "
+                "(%zu submitted > %zu); quarantining for %d round(s)",
+                registry_.name(rt.id).c_str(), fresh,
+                config_.quarantine.storm_threshold, rt.quarantine_left));
+        }
+    }
+
+    // (3) Drain the shared queue in global FIFO order. Quarantined tenants'
+    // requests are deferred in place (order preserved), as is anything past
+    // a tenant's per-round rate cap; each applied request runs only that
+    // tenant's prepare→verify→commit, so a bad deploy cannot touch a
+    // neighbor. A deploy that throws (e.g. a structurally invalid program)
+    // counts as a reject — a malformed request must not escape the
+    // offender's lane as an exception.
+    std::deque<DeployRequest> deferred;
+    while (!queue_.empty()) {
+        DeployRequest req = std::move(queue_.front());
+        queue_.pop_front();
+        std::size_t idx = 0;
+        TenantRt* rt = nullptr;
+        for (; idx < tenants_.size(); ++idx) {
+            if (tenants_[idx].id == req.tenant) {
+                rt = &tenants_[idx];
+                break;
+            }
+        }
+        if (rt == nullptr) continue;  // detached tenant: drop the request
+        TenantRound& tr = round.tenants[idx];
+        if (rt->quarantine_left > 0 ||
+            tr.deploys_applied + tr.deploys_rejected >=
+                config_.quarantine.storm_threshold) {
+            ++tr.deploys_deferred;
+            deferred.push_back(std::move(req));
+            continue;
+        }
+        bool rejected = false;
+        try {
+            registry_.apply_quota(req.tenant, req.target);
+            TickResult r =
+                rt->controller->deploy_external(std::move(req.target));
+            rejected = r.verify_rejected;
+        } catch (const std::exception& e) {
+            rejected = true;
+            util::log_warn(util::format(
+                "multicontroller: deploy from tenant %s threw: %s",
+                registry_.name(req.tenant).c_str(), e.what()));
+        }
+        if (rejected) {
+            ++tr.deploys_rejected;
+            note_reject(*rt);
+        } else {
+            ++tr.deploys_applied;
+            rt->consecutive_rejects = 0;
+        }
+    }
+    queue_ = std::move(deferred);
+
+    // (4) Per-tenant optimizer rounds. A quarantined tenant sits out; every
+    // other tenant profiles/searches/deploys against its own emulator and
+    // its granted budget slice.
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        TenantRt& rt = tenants_[i];
+        TenantRound& tr = round.tenants[i];
+        if (rt.quarantine_left > 0) {
+            tr.quarantined = true;
+            continue;
+        }
+        tr.tick = rt.controller->tick();
+        tr.ticked = true;
+        if (tr.tick.verify_rejected) {
+            note_reject(rt);
+        } else if (tr.tick.deployed) {
+            rt.consecutive_rejects = 0;
+        }
+    }
+    return round;
+}
+
+}  // namespace pipeleon::runtime

@@ -1,0 +1,142 @@
+// runtime/tenant_controller.h — the multi-tenant control plane (ISSUE 8).
+// One MultiController fronts a TenantRegistry: each attached tenant gets a
+// private Controller (its own profile→optimize→deploy loop against its own
+// emulator), while deploy *requests* flow through one shared FIFO queue
+// tagged by tenant — the software analogue of the single PF control channel
+// every VF's configuration traffic traverses.
+//
+// The failure-isolation policy lives here. A tenant whose deploys keep
+// failing verification, or who floods the shared queue (a deploy storm),
+// is quarantined: its requests stay queued (deferred, never silently
+// dropped) and its optimizer tick is skipped for a configurable number of
+// rounds, while every other tenant's prepare→verify→commit proceeds
+// untouched. tests/test_tenant.cpp pins down that a storming or rejected
+// tenant cannot delay or corrupt a well-behaved one.
+//
+// tick_all() is also the window boundary where the §4/Eq. 5 budget is
+// re-split: measured per-tenant load (packets completed since the last
+// round) feeds search::split_budget, and each tenant's optimizer runs its
+// next round against its slice only.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cost/model.h"
+#include "runtime/controller.h"
+#include "search/budget_split.h"
+#include "sim/tenant.h"
+
+namespace pipeleon::runtime {
+
+/// When a tenant's control-plane behavior trips isolation.
+struct QuarantinePolicy {
+    /// Consecutive verify-rejected deploys (queued or tick-originated)
+    /// before the tenant is quarantined.
+    int reject_threshold = 3;
+    /// Deploy requests one tenant may submit between rounds before the
+    /// burst counts as a storm (quarantine). Also the drain rate: after a
+    /// quarantine expires, the deferred backlog applies at most this many
+    /// deploys per round (excess is deferred again, never re-quarantined —
+    /// a past storm drains off; only fresh flooding re-trips).
+    std::size_t storm_threshold = 8;
+    /// Rounds a quarantined tenant sits out before its queue drains again.
+    int quarantine_rounds = 2;
+};
+
+struct MultiControllerConfig {
+    /// Per-tenant Controller template (attach() copies it; the optimizer
+    /// limits inside are overwritten by the budget split each round).
+    ControllerConfig controller;
+    QuarantinePolicy quarantine;
+    /// The whole NIC's Eq. 5 budget, split across tenants by measured load.
+    search::ResourceLimits total_limits;
+    search::BudgetSplitOptions split;
+    /// Disable to give every tenant the full budget (single-tenant
+    /// compatibility mode).
+    bool split_budget = true;
+};
+
+class MultiController {
+public:
+    MultiController(sim::TenantRegistry& registry, cost::CostModel model,
+                    MultiControllerConfig config = {});
+
+    /// Binds a Controller to the tenant's emulator. `original` is that
+    /// tenant's API-surface program (entry bookkeeping happens in its
+    /// space). Tenants may be attached with individual configs; otherwise
+    /// the template config applies.
+    void attach(sim::TenantId id, ir::Program original);
+    void attach(sim::TenantId id, ir::Program original, ControllerConfig config);
+
+    Controller& controller(sim::TenantId id);
+    const MultiControllerConfig& config() const { return config_; }
+    MultiControllerConfig& config() { return config_; }
+
+    /// Enqueues a tenant-tagged deploy request on the shared control queue.
+    /// Requests drain in global FIFO order at the next tick_all(). The
+    /// tenant must be attached.
+    void enqueue_deploy(sim::TenantId id, ir::Program target);
+    std::size_t queued_deploys() const { return queue_.size(); }
+    std::size_t queued_deploys(sim::TenantId id) const;
+
+    bool quarantined(sim::TenantId id) const;
+
+    /// One attached tenant's slice of a round.
+    struct TenantRound {
+        sim::TenantId tenant = sim::kNoTenant;
+        bool quarantined = false;
+        std::size_t deploys_applied = 0;
+        std::size_t deploys_rejected = 0;
+        /// Requests left on the queue because the tenant is (or became)
+        /// quarantined this round.
+        std::size_t deploys_deferred = 0;
+        /// The optimizer round (valid when `ticked`; quarantined tenants
+        /// skip it).
+        bool ticked = false;
+        TickResult tick;
+        /// The Eq. 5 slice this tenant's next round will search under.
+        search::ResourceLimits granted;
+        double measured_load = 0.0;
+    };
+    struct RoundResult {
+        std::vector<TenantRound> tenants;
+        const TenantRound* for_tenant(sim::TenantId id) const;
+    };
+
+    /// One control round over every attached tenant: (1) re-split the
+    /// budget from each tenant's completed packets since the last round,
+    /// (2) drain the shared deploy queue in FIFO order through each
+    /// tenant's prepare→verify→commit (quarantined tenants' requests stay
+    /// queued), (3) run each non-quarantined tenant's optimizer tick.
+    RoundResult tick_all();
+
+private:
+    struct TenantRt {
+        sim::TenantId id = sim::kNoTenant;
+        std::unique_ptr<Controller> controller;
+        int consecutive_rejects = 0;
+        int quarantine_left = 0;
+        /// Requests submitted since the previous round (the storm signal).
+        std::size_t enqueued_this_round = 0;
+        std::uint64_t last_completed = 0;
+    };
+    struct DeployRequest {
+        sim::TenantId tenant = sim::kNoTenant;
+        ir::Program target;
+    };
+
+    TenantRt* runtime_for(sim::TenantId id);
+    const TenantRt* runtime_for(sim::TenantId id) const;
+    void note_reject(TenantRt& rt);
+
+    sim::TenantRegistry& registry_;
+    cost::CostModel model_;
+    MultiControllerConfig config_;
+    std::vector<TenantRt> tenants_;
+    std::deque<DeployRequest> queue_;
+};
+
+}  // namespace pipeleon::runtime

@@ -1,0 +1,74 @@
+#include "search/budget_split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pipeleon::search {
+
+std::vector<double> split_shares(const std::vector<double>& loads,
+                                 const BudgetSplitOptions& opts) {
+    const std::size_t n = loads.size();
+    if (n == 0) return {};
+    const double equal = 1.0 / static_cast<double>(n);
+    const double floor = std::clamp(opts.floor_fraction, 0.0, equal);
+
+    double total = 0.0;
+    for (double l : loads) total += std::max(0.0, l);
+    if (total <= 0.0) return std::vector<double>(n, equal);
+
+    // Waterfill: tenants whose proportional share falls below the floor are
+    // pinned to it; the remaining budget divides among the rest by relative
+    // load. Pinning shrinks the remainder, which can push more tenants under
+    // the floor, so iterate to the fixed point (at most n rounds).
+    std::vector<double> shares(n, 0.0);
+    std::vector<bool> floored(n, false);
+    for (;;) {
+        std::size_t n_floored = 0;
+        double free_load = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (floored[i]) {
+                ++n_floored;
+            } else {
+                free_load += std::max(0.0, loads[i]);
+            }
+        }
+        double remainder = 1.0 - floor * static_cast<double>(n_floored);
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (floored[i]) {
+                shares[i] = floor;
+                continue;
+            }
+            double raw = free_load > 0.0
+                             ? remainder * std::max(0.0, loads[i]) / free_load
+                             : remainder / static_cast<double>(n - n_floored);
+            if (raw < floor) {
+                floored[i] = true;
+                changed = true;
+            } else {
+                shares[i] = raw;
+            }
+        }
+        if (!changed) break;
+    }
+    return shares;
+}
+
+std::vector<ResourceLimits> split_budget(const ResourceLimits& total,
+                                         const std::vector<double>& loads,
+                                         const BudgetSplitOptions& opts) {
+    std::vector<double> shares = split_shares(loads, opts);
+    std::vector<ResourceLimits> out(shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+        if (std::isfinite(total.memory_bytes)) {
+            out[i].memory_bytes = total.memory_bytes * shares[i];
+        }
+        if (std::isfinite(total.updates_per_sec)) {
+            out[i].updates_per_sec = total.updates_per_sec * shares[i];
+        }
+    }
+    return out;
+}
+
+}  // namespace pipeleon::search

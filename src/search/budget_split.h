@@ -1,0 +1,40 @@
+// search/budget_split.h — tenant-aware division of the Eq. 5 resource
+// budget (ISSUE 8). The DPU characterization literature (PAPERS.md) shows
+// shared on-NIC memory and table-update bandwidth are the contended
+// resources under multi-tenancy, so the global §4/Eq. 5 knapsack budget
+// cannot be optimized jointly: each tenant's optimizer must run against a
+// private slice. The splitter divides both budget axes (memory_bytes,
+// updates_per_sec) proportionally to measured per-tenant load — packets
+// served in the last profiling window — with a configurable floor share so
+// an idle tenant is never starved to zero and can ramp back up. Re-split at
+// every window boundary (MultiController::tick_all does this).
+#pragma once
+
+#include <vector>
+
+#include "search/knapsack.h"
+
+namespace pipeleon::search {
+
+struct BudgetSplitOptions {
+    /// Minimum share any tenant receives regardless of load. Effective
+    /// floor is min(floor_fraction, 1/n) so n floors always fit in the
+    /// budget. Zero-load windows fall back to an equal split.
+    double floor_fraction = 0.05;
+};
+
+/// Proportional shares with a floor: share_i = max(floor, load_i / Σload),
+/// renormalized so Σ shares == 1 (waterfill — floored tenants take their
+/// floor, the rest divide the remainder by relative load). Loads must be
+/// non-negative; an empty input returns an empty vector.
+std::vector<double> split_shares(const std::vector<double>& loads,
+                                 const BudgetSplitOptions& opts = {});
+
+/// Applies split_shares to both axes of `total`. Infinite axes stay
+/// infinite for every tenant (an unconstrained budget has nothing to
+/// carve).
+std::vector<ResourceLimits> split_budget(const ResourceLimits& total,
+                                         const std::vector<double>& loads,
+                                         const BudgetSplitOptions& opts = {});
+
+}  // namespace pipeleon::search

@@ -147,4 +147,31 @@ std::size_t OfferedLoad::offer(sim::RssDispatcher& io, sim::FieldTable& fields,
     return ok;
 }
 
+std::size_t OfferedLoad::offer(sim::TenantRegistry& registry,
+                               sim::TenantId tenant, std::size_t n,
+                               std::size_t wire_bytes) {
+    sim::FieldTable& fields = registry.emulator(tenant).fields();
+    if (tuple_ids_.empty()) {
+        for (const FieldRange& f : workload_.flows().fields()) {
+            tuple_ids_.push_back(fields.intern(f.field));
+        }
+    }
+    const FlowSet& flows = workload_.flows();
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t flow = workload_.next_flow();
+        scratch_.set_wire_bytes(wire_bytes);
+        for (std::size_t j = 0; j < tuple_ids_.size(); ++j) {
+            scratch_.set(tuple_ids_[j], flows.value_at(flow, j));
+        }
+        if (registry.offer(tenant, scratch_) ==
+            sim::TenantRegistry::Admit::Enqueued) {
+            ++ok;
+        }
+    }
+    offered_ += n;
+    accepted_ += ok;
+    return ok;
+}
+
 }  // namespace pipeleon::trafficgen

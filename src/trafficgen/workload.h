@@ -15,6 +15,7 @@
 #include "sim/batch.h"
 #include "sim/packet.h"
 #include "sim/rss.h"
+#include "sim/tenant.h"
 #include "util/rng.h"
 
 namespace pipeleon::trafficgen {
@@ -135,6 +136,15 @@ public:
     std::size_t offer(sim::RssDispatcher& io, sim::FieldTable& fields,
                       std::size_t n, double now = -1.0,
                       std::size_t wire_bytes = 512);
+
+    /// Tenant-aware variant (ISSUE 8): offers through the registry's
+    /// admission path (token bucket, then that tenant's rings) at the
+    /// registry's virtual clock. Returns how many packets were enqueued;
+    /// the rest were rate-limited or overflow-dropped, attributed in the
+    /// tenant's TenantStats. A source is bound to one tenant's FieldTable
+    /// by its first offer — use one OfferedLoad per tenant.
+    std::size_t offer(sim::TenantRegistry& registry, sim::TenantId tenant,
+                      std::size_t n, std::size_t wire_bytes = 512);
 
     std::uint64_t offered() const { return offered_; }
     std::uint64_t accepted() const { return accepted_; }

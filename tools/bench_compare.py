@@ -10,17 +10,22 @@ diffed with a relative tolerance:
   latency_p99      lower is better: regression when
                    current > baseline * (1 + tolerance)
 
-Reports only in one directory (new or retired benches) are listed but never
-fail the gate — a brand-new bench prints "new <name>: no baseline, not
-gated" and passes. A missing or empty baseline directory (fresh branch, no
-artifact yet) passes trivially. Metrics missing or zero on either side are
-skipped (a zero baseline means the bench didn't exercise that path — there
-is nothing meaningful to gate against). Exit status: 0 = no regression,
-1 = at least one regression, 2 = usage/IO error.
+A brand-new bench (present only in the current run) prints
+"new <name>: no baseline, not gated" and passes. A bench present in the
+baseline but MISSING from the current run is a coverage regression — a
+bench that silently stopped running would otherwise retire its own gate —
+and fails with exit 1 unless the name is listed via --allow-missing
+(the allowlist for intentionally retired benches). A missing or empty
+baseline directory (fresh branch, no artifact yet) passes trivially.
+Metrics missing or zero on either side are skipped (a zero baseline means
+the bench didn't exercise that path — there is nothing meaningful to gate
+against). Exit status: 0 = no regression, 1 = at least one regression
+(metric or coverage), 2 = usage/IO error.
 
 Usage:
   tools/bench_compare.py BASELINE_DIR CURRENT_DIR [--tolerance 0.15]
                          [--metrics throughput_gbps,latency_p99]
+                         [--allow-missing old_bench,other_bench]
 """
 
 from __future__ import annotations
@@ -65,13 +70,20 @@ def load_reports(directory: Path) -> dict[str, dict]:
 
 
 def compare(baseline: dict[str, dict], current: dict[str, dict],
-            metrics: dict[str, str], tolerance: float) -> int:
+            metrics: dict[str, str], tolerance: float,
+            allow_missing: set[str]) -> int:
     regressions = 0
     common = sorted(set(baseline) & set(current))
     for name in sorted(set(current) - set(baseline)):
         print(f"  new   {name}: no baseline, not gated")
     for name in sorted(set(baseline) - set(current)):
-        print(f"  gone  {name}: present only in baseline, not gated")
+        if name in allow_missing:
+            print(f"  gone  {name}: retired (allowlisted), not gated")
+        else:
+            print(f"  MISSING  {name}: in baseline but absent from the "
+                  "current run — coverage regression (allowlist retired "
+                  "benches with --allow-missing)")
+            regressions += 1
 
     for name in common:
         base_m = baseline[name].get("metrics", {})
@@ -108,6 +120,10 @@ def main(argv: list[str]) -> int:
                         help="comma-separated list; prefix a name with '-' for "
                              "lower-is-better (default: throughput_gbps,"
                              "-latency_p99)")
+    parser.add_argument("--allow-missing", default="",
+                        help="comma-separated bench names that may be present "
+                             "in the baseline but absent from the current run "
+                             "(intentionally retired benches)")
     args = parser.parse_args(argv)
 
     if not args.current.is_dir():
@@ -145,12 +161,15 @@ def main(argv: list[str]) -> int:
         print(f"no baseline reports in {args.baseline}; gate passes trivially")
         return 0
 
+    allow_missing = {s.strip() for s in args.allow_missing.split(",")
+                     if s.strip()}
     print(f"comparing {len(current)} report(s) against "
           f"{len(baseline)} baseline report(s):")
-    regressions = compare(baseline, current, metrics, args.tolerance)
+    regressions = compare(baseline, current, metrics, args.tolerance,
+                          allow_missing)
     if regressions:
-        print(f"\n{regressions} regression(s) beyond "
-              f"{args.tolerance * 100:.0f}% tolerance")
+        print(f"\n{regressions} regression(s) (metric beyond "
+              f"{args.tolerance * 100:.0f}% tolerance, or missing bench)")
         return 1
     print("\nno regressions")
     return 0
