@@ -14,6 +14,13 @@ CostParams bluefield2_params() {
     p.default_lpm_m = 3;
     p.default_ternary_m = 5;
     p.default_cache_hit_rate = 0.9;
+    // Tiered flow-state memory: DDR over the internal bus is ~3x an exact
+    // match; a host access over PCIe costs ~25x unless the DMA engine
+    // amortizes its doorbell across a descriptor batch.
+    p.l_tier_dram = 30.0;
+    p.l_tier_host = 90.0;
+    p.dma_setup = 400.0;
+    p.dma_per_entry = 16.0;
     return p;
 }
 
@@ -29,6 +36,12 @@ CostParams agilio_cx_params() {
     p.default_lpm_m = 3;
     p.default_ternary_m = 5;
     p.default_cache_hit_rate = 0.9;
+    // Micro-engines already pay EMEM latency for l_mat; the DRAM tier adds
+    // little, but host memory over the PCIe DMA engine stays expensive.
+    p.l_tier_dram = 12.0;
+    p.l_tier_host = 120.0;
+    p.dma_setup = 520.0;
+    p.dma_per_entry = 24.0;
     return p;
 }
 

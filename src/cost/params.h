@@ -59,6 +59,23 @@ struct CostParams {
     /// external memory).
     double l_mat_fast = 0.0;
     double fast_memory_bytes = 0.0;
+
+    /// Tiered flow-state memory (SRAM -> NIC DRAM -> host over DMA). The
+    /// DPU characterization papers quantify the asymmetry these model: NIC
+    /// DRAM/EMEM is a few times slower than on-chip SRAM, and a host-memory
+    /// access over PCIe is one to two orders of magnitude slower again
+    /// unless its DMA setup cost is amortized across a descriptor batch.
+    /// All four are *extra* cycles on top of the tier-0 probe the lookup
+    /// already pays; 0 disables the corresponding tier.
+    double l_tier_dram = 0.0;   ///< extra cycles per NIC-DRAM-tier access
+    double l_tier_host = 0.0;   ///< extra cycles per host-tier access
+    double dma_setup = 0.0;     ///< per-DMA-batch doorbell/completion cost
+    double dma_per_entry = 0.0; ///< per-descriptor transfer cost
+    /// Placement budgets for the lower tiers (opt::assign_memory_tiers
+    /// carves table placement and cache capacity out of these); 0 = the
+    /// tier is not part of placement.
+    double dram_memory_bytes = 0.0;
+    double host_memory_bytes = 0.0;
 };
 
 /// Nvidia BlueField2-like target: dRMT ASIC cores fetching MA entries over a

@@ -91,6 +91,17 @@ Json table_to_json(const Table& t) {
         JsonObject c;
         c.set("capacity", Json(t.cache.capacity));
         c.set("max_insert_per_sec", Json(t.cache.max_insert_per_sec));
+        if (t.cache.tiers.enabled()) {
+            JsonObject tiers;
+            tiers.set("dram_entries", Json(t.cache.tiers.dram_entries));
+            tiers.set("host_entries", Json(t.cache.tiers.host_entries));
+            tiers.set("promote_hits",
+                      Json(static_cast<std::int64_t>(t.cache.tiers.promote_hits)));
+            tiers.set("decay_every",
+                      Json(static_cast<std::int64_t>(t.cache.tiers.decay_every)));
+            tiers.set("dma_batch", Json(t.cache.tiers.dma_batch));
+            c.set("tiers", Json(std::move(tiers)));
+        }
         o.set("cache", Json(std::move(c)));
     }
     return Json(std::move(o));
@@ -116,6 +127,18 @@ Table table_from_json(const Json& j) {
     if (const Json* c = j.find("cache")) {
         t.cache.capacity = static_cast<std::size_t>(c->get_int("capacity", 4096));
         t.cache.max_insert_per_sec = c->get_double("max_insert_per_sec", 10000.0);
+        if (const Json* tiers = c->find("tiers")) {
+            t.cache.tiers.dram_entries =
+                static_cast<std::size_t>(tiers->get_int("dram_entries", 0));
+            t.cache.tiers.host_entries =
+                static_cast<std::size_t>(tiers->get_int("host_entries", 0));
+            t.cache.tiers.promote_hits =
+                static_cast<std::uint32_t>(tiers->get_int("promote_hits", 2));
+            t.cache.tiers.decay_every =
+                static_cast<std::uint32_t>(tiers->get_int("decay_every", 64));
+            t.cache.tiers.dma_batch =
+                static_cast<std::size_t>(tiers->get_int("dma_batch", 32));
+        }
     }
     return t;
 }

@@ -30,6 +30,7 @@ const char* to_string(MemTier tier) {
     switch (tier) {
         case MemTier::Default: return "default";
         case MemTier::Fast: return "fast";
+        case MemTier::Host: return "host";
     }
     return "?";
 }
@@ -37,6 +38,7 @@ const char* to_string(MemTier tier) {
 MemTier mem_tier_from_string(const std::string& s) {
     if (s == "default") return MemTier::Default;
     if (s == "fast") return MemTier::Fast;
+    if (s == "host") return MemTier::Host;
     throw std::invalid_argument("unknown memory tier: " + s);
 }
 

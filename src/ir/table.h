@@ -33,11 +33,33 @@ TableRole table_role_from_string(const std::string& s);
 /// per-access latency.
 enum class MemTier : std::uint8_t {
     Default,  ///< external memory (EMEM/DRAM)
-    Fast      ///< on-chip SRAM
+    Fast,     ///< on-chip SRAM
+    Host      ///< host memory reached over DMA (slowest, effectively unbounded)
 };
 
 const char* to_string(MemTier tier);
 MemTier mem_tier_from_string(const std::string& s);
+
+/// Tiered flow-state placement for a cache table (§6 hierarchical memory).
+/// Tier 0 is the on-NIC SRAM store (CacheConfig::capacity); the two
+/// lower tiers below are NIC DRAM/EMEM and host memory over DMA. A zero
+/// capacity disables a tier; all-zero — the default — keeps the flat
+/// single-tier store, bit-identical to the pre-tier CacheStore.
+struct TierConfig {
+    std::size_t dram_entries = 0;  ///< tier-1 (NIC DRAM/EMEM) capacity
+    std::size_t host_entries = 0;  ///< tier-2 (host memory over DMA) capacity
+    /// Hits an entry must collect (between decays) to be promoted one tier
+    /// up at the next batch boundary.
+    std::uint32_t promote_hits = 2;
+    /// Batch-boundary flushes between hit-counter decays (halving); 0
+    /// disables decay.
+    std::uint32_t decay_every = 64;
+    /// Host fetches amortized per DMA doorbell (descriptor-ring batch).
+    std::size_t dma_batch = 32;
+
+    bool enabled() const { return dram_entries > 0 || host_entries > 0; }
+    bool operator==(const TierConfig&) const = default;
+};
 
 /// Per-cache-table knobs (§3.2.2): a fixed memory budget with LRU eviction
 /// and an insertion rate limit ("insertions beyond the limit will be
@@ -45,6 +67,8 @@ MemTier mem_tier_from_string(const std::string& s);
 struct CacheConfig {
     std::size_t capacity = 4096;          ///< max cached entries (LRU beyond)
     double max_insert_per_sec = 10000.0;  ///< insertion rate limit
+    /// Lower-tier capacities and policy (hierarchical flow-state memory).
+    TierConfig tiers;
     bool operator==(const CacheConfig&) const = default;
 };
 

@@ -1,6 +1,7 @@
 #include "opt/memory_tiers.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace pipeleon::opt {
@@ -13,46 +14,150 @@ TierAssignment assign_memory_tiers(const ir::Program& program,
     TierAssignment result;
     result.program = program;
     const cost::CostParams& params = model.params();
-    if (params.l_mat_fast <= 0.0 || params.fast_memory_bytes <= 0.0 ||
-        params.l_mat_fast >= params.l_mat) {
-        return result;  // no fast tier on this target
-    }
 
-    struct Candidate {
-        NodeId node;
-        double benefit;  // expected cycles saved per packet
-        double bytes;
-    };
+    const bool has_fast = params.l_mat_fast > 0.0 &&
+                          params.fast_memory_bytes > 0.0 &&
+                          params.l_mat_fast < params.l_mat;
+    const bool has_dram = params.dram_memory_bytes > 0.0;
+    const bool has_host = params.host_memory_bytes > 0.0;
+    if (!has_fast && !has_dram && !has_host) return result;
+
     std::vector<double> reach = profile.reach_probabilities(result.program);
-    std::vector<Candidate> candidates;
-    for (NodeId id : result.program.reachable()) {
-        const ir::Node& n = result.program.node(id);
-        if (!n.is_table()) continue;
-        const profile::TableStats& stats = profile.table(id);
-        double m = static_cast<double>(model.m_multiplier(n.table, stats));
-        double benefit = reach[static_cast<std::size_t>(id)] * m *
-                         (params.l_mat - params.l_mat_fast);
-        double bytes = model.memory_bytes(n.table, stats);
-        if (benefit > 0.0 && bytes > 0.0) {
-            candidates.push_back({id, benefit, bytes});
+
+    // ------------------------------------------------- stage 1: fast greedy
+    if (has_fast) {
+        struct Candidate {
+            NodeId node;
+            double benefit;  // expected cycles saved per packet
+            double bytes;
+        };
+        std::vector<Candidate> candidates;
+        for (NodeId id : result.program.reachable()) {
+            const ir::Node& n = result.program.node(id);
+            if (!n.is_table()) continue;
+            const profile::TableStats& stats = profile.table(id);
+            double m = static_cast<double>(model.m_multiplier(n.table, stats));
+            double benefit = reach[static_cast<std::size_t>(id)] * m *
+                             (params.l_mat - params.l_mat_fast);
+            double bytes = model.memory_bytes(n.table, stats);
+            if (benefit > 0.0 && bytes > 0.0) {
+                candidates.push_back({id, benefit, bytes});
+            }
+        }
+        // Density greedy: best saved-cycles-per-byte first; deterministic
+        // ties.
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                      double da = a.benefit / a.bytes, db = b.benefit / b.bytes;
+                      if (da != db) return da > db;
+                      return a.node < b.node;
+                  });
+
+        double budget = params.fast_memory_bytes;
+        for (const Candidate& c : candidates) {
+            if (c.bytes > budget) continue;
+            result.program.node(c.node).table.tier = ir::MemTier::Fast;
+            budget -= c.bytes;
+            result.fast_bytes_used += c.bytes;
+            result.predicted_gain += c.benefit;
+            ++result.tables_in_fast;
         }
     }
-    // Density greedy: best saved-cycles-per-byte first; deterministic ties.
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                  double da = a.benefit / a.bytes, db = b.benefit / b.bytes;
-                  if (da != db) return da > db;
-                  return a.node < b.node;
-              });
+    if (!has_dram && !has_host) return result;
 
-    double budget = params.fast_memory_bytes;
-    for (const Candidate& c : candidates) {
-        if (c.bytes > budget) continue;
-        result.program.node(c.node).table.tier = ir::MemTier::Fast;
-        budget -= c.bytes;
-        result.fast_bytes_used += c.bytes;
-        result.predicted_gain += c.benefit;
-        ++result.tables_in_fast;
+    // ------------------------------------------- stage 2: spill cold tables
+    //
+    // Every Default-tier (non-cache) table lives in NIC DRAM. When their
+    // combined footprint exceeds the DRAM budget and a host budget exists,
+    // demote the coldest benefit-density tables to MemTier::Host — the
+    // cycles a resident table saves are the l_tier_host premium every probe
+    // of a spilled table would pay.
+    struct Resident {
+        NodeId node;
+        double density;  // saved cycles per byte of staying resident
+        double bytes;
+    };
+    std::vector<Resident> residents;
+    double default_bytes = 0.0;
+    for (NodeId id : result.program.reachable()) {
+        const ir::Node& n = result.program.node(id);
+        if (!n.is_table() || n.table.tier != ir::MemTier::Default) continue;
+        if (n.table.role == ir::TableRole::Cache) continue;
+        const profile::TableStats& stats = profile.table(id);
+        double bytes = model.memory_bytes(n.table, stats);
+        if (bytes <= 0.0) continue;
+        double m = static_cast<double>(model.m_multiplier(n.table, stats));
+        double benefit =
+            reach[static_cast<std::size_t>(id)] * m * params.l_tier_host;
+        residents.push_back({id, benefit / bytes, bytes});
+        default_bytes += bytes;
+    }
+    double dram_used = default_bytes;
+    if (has_host && has_dram && default_bytes > params.dram_memory_bytes) {
+        std::sort(residents.begin(), residents.end(),
+                  [](const Resident& a, const Resident& b) {
+                      if (a.density != b.density) return a.density < b.density;
+                      return a.node < b.node;
+                  });
+        for (const Resident& r : residents) {
+            if (dram_used <= params.dram_memory_bytes) break;
+            result.program.node(r.node).table.tier = ir::MemTier::Host;
+            dram_used -= r.bytes;
+            result.host_bytes_used += r.bytes;
+            ++result.tables_in_host;
+        }
+    }
+    result.dram_bytes_used = dram_used;
+
+    // --------------------------------------- stage 3: carve cache capacity
+    //
+    // Whatever DRAM/host bytes remain become lower-tier *cache* capacity:
+    // each cache table's ir::TierConfig gets dram_entries / host_entries,
+    // split across caches by profiled reach probability (a cache no traffic
+    // reaches earns no budget — unless nothing has traffic yet, in which
+    // case the split is even).
+    struct CacheSlot {
+        NodeId node;
+        double weight;
+        double entry_bytes;
+    };
+    std::vector<CacheSlot> caches;
+    double total_weight = 0.0;
+    for (NodeId id : result.program.reachable()) {
+        const ir::Node& n = result.program.node(id);
+        if (!n.is_table() || n.table.role != ir::TableRole::Cache) continue;
+        double entry_bytes =
+            static_cast<double>(n.table.key_width_bits()) / 8.0 +
+            static_cast<double>(params.entry_overhead_bytes);
+        if (entry_bytes <= 0.0) continue;
+        double w = reach[static_cast<std::size_t>(id)];
+        caches.push_back({id, w, entry_bytes});
+        total_weight += w;
+    }
+    if (caches.empty()) return result;
+    if (total_weight <= 0.0) {
+        for (CacheSlot& c : caches) c.weight = 1.0;
+        total_weight = static_cast<double>(caches.size());
+    }
+
+    const double dram_left =
+        has_dram ? std::max(0.0, params.dram_memory_bytes - dram_used) : 0.0;
+    const double host_left =
+        has_host
+            ? std::max(0.0, params.host_memory_bytes - result.host_bytes_used)
+            : 0.0;
+    for (const CacheSlot& c : caches) {
+        const double share = c.weight / total_weight;
+        auto entries = [&](double bytes) {
+            return static_cast<std::size_t>(
+                std::floor(bytes * share / c.entry_bytes));
+        };
+        ir::TierConfig& tiers =
+            result.program.node(c.node).table.cache.tiers;
+        tiers.dram_entries = entries(dram_left);
+        tiers.host_entries = entries(host_left);
+        result.cache_dram_entries += tiers.dram_entries;
+        result.cache_host_entries += tiers.host_entries;
     }
     return result;
 }

@@ -7,6 +7,20 @@
 //
 //   benefit(v) = P(reach v) · traffic_rate · m_v · (L_mat − L_mat_fast)
 //   weight(v)  = M(v)   (the Eq. 5 memory estimate)
+//
+// Three-tier extension (ISSUE 9): targets that also expose NIC-DRAM and
+// host-memory budgets (dram_memory_bytes / host_memory_bytes) get two more
+// placement stages on top of the fast greedy:
+//
+//   * table spill — Default-tier tables whose combined footprint exceeds
+//     the DRAM budget are demoted to MemTier::Host, coldest benefit-density
+//     first, until the remainder fits. A Host table pays l_tier_host extra
+//     per probe in the emulator.
+//   * cache carve — the DRAM/host bytes left over after table placement are
+//     carved into lower-tier *cache* capacities (ir::TierConfig
+//     dram_entries / host_entries on each cache table), split across caches
+//     by profiled reach probability. The emulator's TieredStore turns those
+//     budgets into the SRAM -> DRAM -> host-DMA hierarchy of DESIGN.md §14.
 #pragma once
 
 #include "cost/model.h"
@@ -17,16 +31,27 @@ namespace pipeleon::opt {
 
 /// Outcome of a placement pass.
 struct TierAssignment {
-    ir::Program program;           ///< copy with Table::tier set
+    ir::Program program;           ///< copy with Table::tier / cache tiers set
     std::size_t tables_in_fast = 0;
     double fast_bytes_used = 0.0;
     /// Predicted expected-latency reduction (cycles) from the placement.
     double predicted_gain = 0.0;
+
+    // Three-tier extension (all zero when the target configures no
+    // dram/host budgets — the pass is then exactly the legacy fast greedy).
+    std::size_t tables_in_host = 0;   ///< tables spilled to host memory
+    double dram_bytes_used = 0.0;     ///< Default-tier table footprint
+    double host_bytes_used = 0.0;     ///< spilled-table footprint
+    std::size_t cache_dram_entries = 0;  ///< carved tier-1 cache capacity
+    std::size_t cache_host_entries = 0;  ///< carved tier-2 cache capacity
 };
 
 /// Greedily assigns tables to the Fast tier within
-/// `model.params().fast_memory_bytes`. Returns the input unchanged when the
-/// target has no fast tier configured (l_mat_fast <= 0 or budget <= 0).
+/// `model.params().fast_memory_bytes`, spills cold tables to host memory
+/// when the DRAM budget overflows, and carves leftover DRAM/host bytes into
+/// per-cache lower-tier capacities. Stages whose budgets are unset are
+/// skipped; with no fast tier and no dram/host budgets the input comes back
+/// unchanged.
 TierAssignment assign_memory_tiers(const ir::Program& program,
                                    const profile::RuntimeProfile& profile,
                                    const cost::CostModel& model);

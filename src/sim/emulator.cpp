@@ -34,6 +34,17 @@ Emulator::Emulator(NicModel model, ir::Program program,
     mid_.ring_dropped = metrics_.counter("ring.dropped");
     mid_.ring_depth = metrics_.gauge("ring.depth");
     mid_.ring_drop_rate = metrics_.histogram("ring.drop_rate");
+    mid_.tier_lookups = metrics_.counter("tier.lookups");
+    mid_.tier_sram_hits = metrics_.counter("tier.sram_hits");
+    mid_.tier_dram_hits = metrics_.counter("tier.dram_hits");
+    mid_.tier_host_hits = metrics_.counter("tier.host_hits");
+    mid_.tier_misses = metrics_.counter("tier.misses");
+    mid_.tier_promotions = metrics_.counter("tier.promotions");
+    mid_.tier_demotions = metrics_.counter("tier.demotions");
+    mid_.tier_drops = metrics_.counter("tier.drops");
+    mid_.tier_dma_batches = metrics_.counter("tier.dma_batches");
+    mid_.tier_dma_fetches = metrics_.counter("tier.dma_fetches");
+    mid_.tier_cycles = metrics_.gauge("tier.cycles");
     metrics_.set_shard_count(static_cast<std::size_t>(workers_));
     metrics_.set_gauge(mid_.workers_gauge, static_cast<double>(workers_));
     compile();
@@ -103,21 +114,91 @@ void Emulator::compile() {
     steer_fields_.erase(std::unique(steer_fields_.begin(), steer_fields_.end()),
                         steer_fields_.end());
 
+    // Hierarchical memory: does any deployed cache have lower tiers?
+    has_tiered_ = false;
+    for (const Node& node : program_.nodes()) {
+        if (node.is_table() && node.table.role == TableRole::Cache &&
+            node.table.cache.tiers.enabled()) {
+            has_tiered_ = true;
+            break;
+        }
+    }
+
     // Every shard starts cold on a (re)compile; the rebuild happens on the
-    // owning workers (first touch) when the pool exists.
+    // owning workers (first touch) when the pool exists. Tier metric deltas
+    // restart from the fresh stores' zeroed stats.
     cache_shards_.clear();
+    tier_reported_ = TierStats{};
     populate_worker_state();
 }
 
 Emulator::CacheSet Emulator::make_cache_set() const {
     CacheSet set(program_.node_count());
+    const TierCosts costs{model_.costs.l_tier_dram, model_.costs.l_tier_host,
+                          model_.costs.dma_setup, model_.costs.dma_per_entry};
     for (const Node& node : program_.nodes()) {
         if (node.is_table() && node.table.role == TableRole::Cache) {
             set[static_cast<std::size_t>(node.id)] =
-                std::make_unique<CacheStore>(node.table.cache);
+                std::make_unique<TieredStore>(node.table.cache, costs);
         }
     }
     return set;
+}
+
+TierStats Emulator::tier_totals_unlocked() const {
+    TierStats total;
+    for (const CacheSet& shard : cache_shards_) {
+        for (const auto& store : shard) {
+            if (!store) continue;
+            const TierStats s = store->stats();
+            total.lookups += s.lookups;
+            total.sram_hits += s.sram_hits;
+            total.dram_hits += s.dram_hits;
+            total.host_hits += s.host_hits;
+            total.misses += s.misses;
+            total.promotions += s.promotions;
+            total.demotions += s.demotions;
+            total.drops += s.drops;
+            total.dma_batches += s.dma_batches;
+            total.dma_fetches += s.dma_fetches;
+            total.tier_cycles += s.tier_cycles;
+        }
+    }
+    return total;
+}
+
+void Emulator::flush_tier_stores_unlocked() {
+    if (!has_tiered_) return;
+    // Batch boundary: workers are quiesced and control_mu_ is held, so the
+    // per-worker stores can complete partial DMA batches and apply queued
+    // promotions without racing the hot path.
+    for (CacheSet& shard : cache_shards_) {
+        for (auto& store : shard) {
+            if (store && store->tiered()) store->flush_batch();
+        }
+    }
+    if constexpr (telemetry::kEnabled) {
+        const TierStats t = tier_totals_unlocked();
+        metrics_.add(mid_.tier_lookups, t.lookups - tier_reported_.lookups);
+        metrics_.add(mid_.tier_sram_hits,
+                     t.sram_hits - tier_reported_.sram_hits);
+        metrics_.add(mid_.tier_dram_hits,
+                     t.dram_hits - tier_reported_.dram_hits);
+        metrics_.add(mid_.tier_host_hits,
+                     t.host_hits - tier_reported_.host_hits);
+        metrics_.add(mid_.tier_misses, t.misses - tier_reported_.misses);
+        metrics_.add(mid_.tier_promotions,
+                     t.promotions - tier_reported_.promotions);
+        metrics_.add(mid_.tier_demotions,
+                     t.demotions - tier_reported_.demotions);
+        metrics_.add(mid_.tier_drops, t.drops - tier_reported_.drops);
+        metrics_.add(mid_.tier_dma_batches,
+                     t.dma_batches - tier_reported_.dma_batches);
+        metrics_.add(mid_.tier_dma_fetches,
+                     t.dma_fetches - tier_reported_.dma_fetches);
+        metrics_.set_gauge(mid_.tier_cycles, t.tier_cycles);
+        tier_reported_ = t;
+    }
 }
 
 WorkerPoolOptions Emulator::pool_options() const {
@@ -539,14 +620,25 @@ ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
             key.clear();
             for (FieldId f : cn.key_fields) key.push_back(packet.get(f));
 
-            double l_mat = n.table.tier == ir::MemTier::Fast &&
-                                   model_.costs.l_mat_fast > 0.0
-                               ? model_.costs.l_mat_fast
-                               : model_.costs.l_mat;
+            double l_mat = model_.costs.l_mat;
+            if (n.table.tier == ir::MemTier::Fast &&
+                model_.costs.l_mat_fast > 0.0) {
+                l_mat = model_.costs.l_mat_fast;
+            } else if (n.table.tier == ir::MemTier::Host &&
+                       model_.costs.l_tier_host > 0.0) {
+                // A table placed in host memory pays the PCIe crossing on
+                // every probe (no DMA batching for table state: entries are
+                // fetched on demand).
+                l_mat = model_.costs.l_mat + model_.costs.l_tier_host;
+            }
             if (n.table.role == TableRole::Cache) {
-                CacheStore& store = *caches[static_cast<std::size_t>(cur)];
-                result.cycles += l_mat * scale;  // one probe
-                const CacheStore::CacheEntry* hit = store.lookup(key);
+                TieredStore& store = *caches[static_cast<std::size_t>(cur)];
+                result.cycles += l_mat * scale;  // the tier-0 probe
+                const TieredStore::Result tr = store.lookup(key);
+                // A lower-tier hit costs extra cycles (DRAM access, or the
+                // host DMA fetch) on top of the probe.
+                result.cycles += tr.extra_cycles * scale;
+                const CacheStore::CacheEntry* hit = tr.entry;
                 if (hit != nullptr) {
                     if (sampled) {
                         ++counters.cache_hits[static_cast<std::size_t>(cur)];
@@ -679,7 +771,11 @@ ProcessResult Emulator::process_unlocked(Packet& packet) {
 ProcessResult Emulator::process(Packet& packet) {
     std::lock_guard<std::mutex> lock(control_mu_);
     if (!queue_.empty()) drain_queue_unlocked();  // drain point
-    return process_unlocked(packet);
+    ProcessResult r = process_unlocked(packet);
+    // The scalar path is a degenerate batch of one: still a tier boundary
+    // (no-op unless some cache has lower tiers enabled).
+    flush_tier_stores_unlocked();
+    return r;
 }
 
 namespace {
@@ -794,6 +890,10 @@ void Emulator::process_batch(PacketBatch& batch, BatchResult& out) {
         out.total_cycles += r.cycles;
         out.dropped += r.dropped ? 1 : 0;
     }
+
+    // Batch boundary for the tiered stores: complete partial DMA batches,
+    // apply promotions, fold tier.* deltas.
+    flush_tier_stores_unlocked();
 
     if constexpr (telemetry::kEnabled) {
         const auto wall_ns =
@@ -944,6 +1044,9 @@ void Emulator::poll(RssDispatcher& io, BatchResult& out, double cycle_budget) {
     const RingStats delta = io.take_delta();
     out.ring_dropped = delta.dropped;
     out.ring_backlog = delta.depth;
+
+    // Ring-drain boundary is a tier boundary too.
+    flush_tier_stores_unlocked();
 
     if constexpr (telemetry::kEnabled) {
         const auto wall_ns =
@@ -1220,12 +1323,12 @@ Emulator::ReconfigureStats Emulator::reconfigure_incremental_unlocked(
 
     // Save warm cache stores (one per worker shard) whose definition is
     // unchanged.
-    std::map<std::string, std::vector<std::unique_ptr<CacheStore>>> saved_caches;
+    std::map<std::string, std::vector<std::unique_ptr<TieredStore>>> saved_caches;
     for (const Node& node : program_.nodes()) {
         auto i = static_cast<std::size_t>(node.id);
         if (!node.is_table() || node.table.role != TableRole::Cache) continue;
         if (!cache_shards_[0][i]) continue;
-        std::vector<std::unique_ptr<CacheStore>> stores;
+        std::vector<std::unique_ptr<TieredStore>> stores;
         for (CacheSet& shard : cache_shards_) {
             stores.push_back(std::move(shard[i]));
         }
@@ -1261,6 +1364,9 @@ Emulator::ReconfigureStats Emulator::reconfigure_incremental_unlocked(
             ++stats.caches_kept_warm;
         }
     }
+    // Spliced-back stores carry their lifetime TierStats; re-baseline so
+    // the tier.* metric deltas do not re-count them.
+    tier_reported_ = tier_totals_unlocked();
     return stats;
 }
 

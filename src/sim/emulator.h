@@ -59,6 +59,7 @@
 #include "sim/packet.h"
 #include "sim/rss.h"
 #include "sim/table_state.h"
+#include "sim/tiered_store.h"
 #include "sim/worker_pool.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -326,8 +327,11 @@ private:
         std::vector<ir::NodeId> covered_by;
     };
 
-    /// One worker's set of per-node cache stores (index = node id).
-    using CacheSet = std::vector<std::unique_ptr<CacheStore>>;
+    /// One worker's set of per-node cache stores (index = node id). Each
+    /// store is the hierarchical SRAM -> DRAM -> host TieredStore; cache
+    /// tables without a tier config run it in single-tier mode, which is
+    /// bit-identical to the bare flat-LRU CacheStore.
+    using CacheSet = std::vector<std::unique_ptr<TieredStore>>;
 
     /// A pending cache fill collected while a packet walks the pipeline:
     /// the missed cache node, the missed key, and the replay steps recorded
@@ -360,6 +364,13 @@ private:
 
     void compile();
     CacheSet make_cache_set() const;
+    /// Batch boundary for the tiered stores (no-op unless some cache table
+    /// has lower tiers enabled): flushes partial DMA batches, applies
+    /// pending promotions, and folds tier.* metric deltas. Runs under
+    /// control_mu_ with the workers quiesced.
+    void flush_tier_stores_unlocked();
+    /// Sums the monotonic TierStats over every live store.
+    TierStats tier_totals_unlocked() const;
     /// Sizes per-worker state (cache shards, counter shards, scratch) to
     /// workers_. Existing cache shards (and their warm entries) are kept;
     /// new shards are constructed on their owning worker thread when the
@@ -456,6 +467,16 @@ private:
         telemetry::MetricId ring_dropped = 0;
         telemetry::MetricId ring_depth = 0;
         telemetry::MetricId ring_drop_rate = 0;
+        /// Hierarchical flow-state memory (DESIGN.md §14): per-tier
+        /// hit/miss/promote/demote/DMA counters, folded as deltas from the
+        /// stores' monotonic TierStats at batch boundaries.
+        telemetry::MetricId tier_lookups = 0;
+        telemetry::MetricId tier_sram_hits = 0, tier_dram_hits = 0;
+        telemetry::MetricId tier_host_hits = 0, tier_misses = 0;
+        telemetry::MetricId tier_promotions = 0, tier_demotions = 0;
+        telemetry::MetricId tier_drops = 0;
+        telemetry::MetricId tier_dma_batches = 0, tier_dma_fetches = 0;
+        telemetry::MetricId tier_cycles = 0;  ///< gauge: cumulative extra cycles
     } mid_;
 
     /// Union of every table's key fields — the emulator's RSS flow tuple.
@@ -465,6 +486,13 @@ private:
     std::vector<WorkerScratch> scratch_;
     /// Reusable steering plan (control thread only, under control_mu_).
     SteerPlan steer_;
+
+    /// True when any cache table of the deployed program has lower tiers
+    /// enabled — gates the per-batch tier flush so single-tier programs pay
+    /// nothing.
+    bool has_tiered_ = false;
+    /// Last tier totals folded into the tier.* metrics (delta baseline).
+    TierStats tier_reported_;
 
     int workers_ = 1;
     bool deterministic_ = false;

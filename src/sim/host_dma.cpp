@@ -1,0 +1,43 @@
+#include "sim/host_dma.h"
+
+#include <algorithm>
+
+namespace pipeleon::sim {
+
+HostDmaEngine::HostDmaEngine(std::size_t batch, DmaCosts costs)
+    : batch_(std::max<std::size_t>(1, batch)),
+      costs_(costs),
+      ring_(ring_pow2(std::max<std::size_t>(2, batch_))) {}
+
+double HostDmaEngine::fetch(std::uint32_t slot, std::uint64_t hash) {
+    double cycles = costs_.per_entry + carry_;
+    carry_ = 0.0;
+    ++stats_.fetches;
+    stats_.cycles += costs_.per_entry;
+    if (!ring_.try_push(DmaFetch{slot, hash})) {
+        // The ring is sized past `batch_`, so this only trips when the
+        // doorbell threshold exceeds ring capacity after pow2 rounding;
+        // complete the outstanding batch and retry rather than lose the
+        // descriptor's accounting.
+        cycles += complete(false);
+        ring_.try_push(DmaFetch{slot, hash});
+    }
+    if (ring_.size() >= batch_) cycles += complete(false);
+    return cycles;
+}
+
+void HostDmaEngine::flush() {
+    if (ring_.empty()) return;
+    carry_ += complete(true);
+}
+
+double HostDmaEngine::complete(bool is_flush) {
+    const std::size_t n = ring_.consume([](DmaFetch&) { return true; });
+    if (n == 0) return 0.0;
+    ++stats_.batches;
+    if (is_flush) ++stats_.flushes;
+    stats_.cycles += costs_.setup;
+    return costs_.setup;
+}
+
+}  // namespace pipeleon::sim

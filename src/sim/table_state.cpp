@@ -138,6 +138,11 @@ void CacheStore::evict_tail() {
     const std::uint32_t victim = tail_;
     index_erase(probe(slots_[victim].key, KeyVecHash{}(slots_[victim].key)));
     lru_unlink(victim);
+    // Demotion hook: hand the victim to the sink (which swaps the contents
+    // away) before recycling the slot.
+    if (evict_sink_ != nullptr) {
+        evict_sink_(evict_ctx_, slots_[victim].key, slots_[victim].entry);
+    }
     // Recycle: the slot keeps its key/steps vector capacity for the next
     // insert (the allocation-free refill path).
     slots_[victim].key.clear();
@@ -211,6 +216,41 @@ bool CacheStore::insert(const KeyVec& key, CacheEntry entry, double now_seconds)
     ++live_;
     tokens_ -= 1.0;
     return true;
+}
+
+void CacheStore::promote_swap(KeyVec& key, CacheEntry& entry) {
+    if (config_.capacity == 0) return;
+    const std::uint64_t h = KeyVecHash{}(key);
+    if (!index_.empty()) {
+        const std::size_t pos = probe(key, h);
+        if (index_[pos].slot != kNil) {
+            // Already resident (tiers are normally disjoint; be safe):
+            // refresh in place.
+            const std::uint32_t s = index_[pos].slot;
+            std::swap(slots_[s].entry, entry);
+            if (head_ != s) {
+                lru_unlink(s);
+                lru_push_front(s);
+            }
+            return;
+        }
+    }
+    while (live_ >= config_.capacity && live_ > 0) evict_tail();
+    if (index_.empty() || (live_ + 1) * 10 >= index_.size() * 7) index_grow();
+
+    std::uint32_t s;
+    if (!free_.empty()) {
+        s = free_.back();
+        free_.pop_back();
+    } else {
+        s = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(Slot{});
+    }
+    std::swap(slots_[s].key, key);
+    std::swap(slots_[s].entry, entry);
+    lru_push_front(s);
+    index_insert(h, s);
+    ++live_;
 }
 
 void CacheStore::clear() {

@@ -82,6 +82,18 @@ public:
         std::vector<ReplayStep> steps;
     };
 
+    /// Eviction sink: called with the victim's key/entry *before* the slot
+    /// is recycled. The callee may std::swap the contents into its own
+    /// recycled buffers (the demotion path of sim::TieredStore); whatever it
+    /// leaves behind is cleared, capacity retained. Swap semantics keep the
+    /// cascade allocation-free in both directions. No sink (the default)
+    /// means evictions discard, exactly as before.
+    using EvictSink = void (*)(void* ctx, KeyVec& key, CacheEntry& entry);
+    void set_evict_sink(EvictSink sink, void* ctx) {
+        evict_sink_ = sink;
+        evict_ctx_ = ctx;
+    }
+
     /// Looks up and LRU-touches the entry; nullptr on miss. The pointer is
     /// valid until the next insert/clear (slot storage may be recycled).
     const CacheEntry* lookup(const KeyVec& key);
@@ -91,12 +103,22 @@ public:
     /// limiter has no budget.
     bool insert(const KeyVec& key, CacheEntry entry, double now_seconds);
 
+    /// Promotion insert (tiered store only): installs by *swapping* the
+    /// caller's buffers into a recycled slot — the caller gets the slot's
+    /// old vectors back, so neither side allocates in steady state — and
+    /// bypasses the token-bucket limiter (a promotion moves state the store
+    /// already admitted, it is not a new insertion). Evicts LRU victims at
+    /// capacity (cascading through the sink). Never called in single-tier
+    /// mode, which keeps flat-LRU behavior bit-identical.
+    void promote_swap(KeyVec& key, CacheEntry& entry);
+
     /// Full invalidation (covered-table update, or redeployment). Slot and
     /// index capacity are retained — invalidations are frequent (§3.2.2)
     /// and refilling into recycled storage is the allocation-free path.
     void clear();
 
     std::size_t size() const { return live_; }
+    std::size_t capacity() const { return config_.capacity; }
     std::uint64_t inserts_dropped() const { return inserts_dropped_; }
 
 private:
@@ -143,6 +165,8 @@ private:
     double tokens_;
     double last_refill_ = 0.0;
     std::uint64_t inserts_dropped_ = 0;
+    EvictSink evict_sink_ = nullptr;
+    void* evict_ctx_ = nullptr;
 };
 
 }  // namespace pipeleon::sim

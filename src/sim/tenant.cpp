@@ -70,6 +70,31 @@ void clamp_capacities(ir::Program& program, std::size_t grant, bool caches) {
     }
 }
 
+/// Clamps each cache node's lower-tier capacities (ir::TierConfig) to an
+/// equal share of the tenant's DRAM/host grants. Unlike tier 0, a zero
+/// share disables the tier outright — lower tiers are an optimization, not
+/// a correctness requirement, so a starved tenant just runs flat.
+void clamp_tier_capacities(ir::Program& program, std::size_t dram_grant,
+                           std::size_t host_grant) {
+    if (dram_grant == 0 && host_grant == 0) return;
+    std::size_t n = 0;
+    for (const ir::Node& node : program.nodes()) {
+        if (node.is_table() && is_cache_table(node.table)) ++n;
+    }
+    if (n == 0) return;
+    for (ir::NodeId id = 0; id < program.node_count(); ++id) {
+        ir::Node& node = program.node(id);
+        if (!node.is_table() || !is_cache_table(node.table)) continue;
+        ir::TierConfig& tiers = node.table.cache.tiers;
+        if (dram_grant > 0) {
+            tiers.dram_entries = std::min(tiers.dram_entries, dram_grant / n);
+        }
+        if (host_grant > 0) {
+            tiers.host_entries = std::min(tiers.host_entries, host_grant / n);
+        }
+    }
+}
+
 }  // namespace
 
 TenantId TenantRegistry::add_tenant(const std::string& name, ir::Program program,
@@ -94,6 +119,8 @@ TenantId TenantRegistry::add_tenant(const std::string& name, ir::Program program
     // the program, core clamp on the model the tenant's emulator sees.
     clamp_capacities(program, quota.cache_entries, /*caches=*/true);
     clamp_capacities(program, quota.table_entries, /*caches=*/false);
+    clamp_tier_capacities(program, quota.dram_cache_entries,
+                          quota.host_cache_entries);
     NicModel model = base_;
     if (quota.cores > 0) model.cores = std::min(model.cores, quota.cores);
 
@@ -154,6 +181,8 @@ void TenantRegistry::apply_quota(TenantId id, ir::Program& program) const {
     const TenantQuota& q = tenant(id).quota;
     clamp_capacities(program, q.cache_entries, /*caches=*/true);
     clamp_capacities(program, q.table_entries, /*caches=*/false);
+    clamp_tier_capacities(program, q.dram_cache_entries,
+                          q.host_cache_entries);
 }
 
 double TenantRegistry::reconfigure(TenantId id, ir::Program program) {

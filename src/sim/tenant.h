@@ -87,6 +87,13 @@ struct TenantQuota {
     /// clamping each cache node's CacheConfig::capacity to an equal share
     /// of the grant. 0 = uncapped.
     std::size_t cache_entries = 0;
+    /// Per-tier carve-outs of the hierarchical flow-state memory
+    /// (DESIGN.md §14): the tenant's slice of tier-1 (NIC DRAM) and tier-2
+    /// (host memory) cache capacity, clamped onto every cache node's
+    /// ir::TierConfig the same equal-share way on every deploy. 0 =
+    /// uncapped. (`cache_entries` above is the tier-0 SRAM grant.)
+    std::size_t dram_cache_entries = 0;
+    std::size_t host_cache_entries = 0;
     /// Total match-table entries granted across non-cache tables (clamps
     /// ir::Table::size the same way). 0 = uncapped.
     std::size_t table_entries = 0;

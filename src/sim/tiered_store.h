@@ -1,0 +1,249 @@
+// sim/tiered_store.h — hierarchical flow-state memory (DESIGN.md §14): a
+// three-tier store scaling the flow cache from the on-NIC SRAM budget to
+// tens of millions of flows.
+//
+//   tier 0  SRAM      the existing flat open-addressing LRU (CacheStore),
+//                     unchanged hot path;
+//   tier 1  NIC DRAM  a larger FlatTier, each access charged l_tier_dram
+//                     extra cycles;
+//   tier 2  host      the largest FlatTier reached over the emulated DMA
+//                     engine: l_tier_host extra cycles plus a descriptor-
+//                     batched fetch (sim/host_dma.h).
+//
+// Movement between tiers:
+//   * demotion — an eviction from tier k cascades into tier k+1 through the
+//     CacheStore/FlatTier eviction sinks. The victim's buffers are swapped,
+//     not copied, so the cascade is allocation-free.
+//   * promotion — profile-driven. Every lower-tier hit bumps a per-entry
+//     counter (plain non-atomic u32 in the slot: the hot path stays free of
+//     shared state); when it crosses `promote_hits` the entry is queued on a
+//     bounded pending list and moved one tier up at the next batch boundary
+//     (flush_batch), never mid-batch. Counters decay by halving every
+//     `decay_every` flushes so old heat expires; decay is applied lazily at
+//     touch time from an epoch delta, keeping flushes O(pending) instead of
+//     O(live).
+//
+// Single-tier mode (tiers disabled in ir::TierConfig) delegates every
+// operation straight to the embedded CacheStore with no sink installed —
+// behavior is bit-identical to the flat LRU by construction (test-enforced:
+// randomized op mirroring in tests/test_tiered_store.cpp).
+//
+// Invariant: a key lives in at most one tier. Lookups probe top-down, so
+// tier 0 always answers first; inserts land in tier 0 and erase any stale
+// lower-tier copy; promotions/demotions move entries, never duplicate them.
+// Conservation (test- and bench-enforced): lookups == Σ per-tier hits +
+// misses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ir/table.h"
+#include "sim/engine.h"
+#include "sim/host_dma.h"
+#include "sim/table_state.h"
+
+namespace pipeleon::sim {
+
+/// Per-tier access costs (mirrors the cost::CostParams fields so the store
+/// is testable without a cost model). All values are *extra* cycles on top
+/// of the tier-0 probe the lookup already paid.
+struct TierCosts {
+    double l_tier_dram = 0.0;
+    double l_tier_host = 0.0;
+    double dma_setup = 0.0;
+    double dma_per_entry = 0.0;
+};
+
+/// Monotonic tiered-store accounting (read by the emulator's tier.* metrics
+/// and by the scale bench).
+struct TierStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t sram_hits = 0;
+    std::uint64_t dram_hits = 0;
+    std::uint64_t host_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t promotions = 0;  ///< entries moved one tier up
+    std::uint64_t demotions = 0;   ///< evictions caught by a lower tier
+    std::uint64_t drops = 0;       ///< evictions off the last tier
+    std::uint64_t dma_batches = 0;
+    std::uint64_t dma_fetches = 0;
+    double tier_cycles = 0.0;  ///< extra cycles charged for tier-1/2 access
+};
+
+/// Lower-tier flat store: the CacheStore layout (contiguous slots, intrusive
+/// LRU links, linear-probe index with backward-shift deletion, slot free
+/// list) plus per-slot hit counters with lazy epoch decay and slot-addressed
+/// extraction for promotion. No insertion limiter — demotions and
+/// promotions move already-admitted state.
+class FlatTier {
+public:
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+    using Entry = CacheStore::CacheEntry;
+    using EvictSink = void (*)(void* ctx, KeyVec& key, Entry& entry);
+
+    explicit FlatTier(std::size_t capacity) : capacity_(capacity) {}
+
+    void set_evict_sink(EvictSink sink, void* ctx) {
+        evict_sink_ = sink;
+        evict_ctx_ = ctx;
+    }
+
+    /// Slot holding `key` (hash `h`), or kNil. Does not touch LRU/hits.
+    std::uint32_t find(const KeyVec& key, std::uint64_t h) const;
+
+    /// LRU-front + lazily-decayed hit-count bump; returns the new count.
+    std::uint32_t touch(std::uint32_t s);
+
+    const Entry& entry(std::uint32_t s) const { return slots_[s].entry; }
+    std::uint64_t slot_hash(std::uint32_t s) const { return slots_[s].hash; }
+    bool slot_live(std::uint32_t s) const {
+        return s < slots_.size() && slots_[s].live;
+    }
+
+    /// Installs by swapping the caller's buffers into a recycled slot (the
+    /// caller gets the slot's old capacity back). Evicts the LRU tail
+    /// through the sink at capacity. With capacity 0 the entry goes
+    /// straight to the sink (or is discarded).
+    void insert_swap(KeyVec& key, Entry& entry);
+
+    /// Removes slot `s`, swapping its contents out into key/entry.
+    void extract(std::uint32_t s, KeyVec& key, Entry& entry);
+
+    /// Removes `key` if present (contents discarded, buffers recycled).
+    bool erase(const KeyVec& key, std::uint64_t h);
+
+    /// Advances the decay epoch: every counter is halved once per epoch
+    /// step, applied lazily on the next touch.
+    void advance_epoch() { ++epoch_; }
+
+    void clear();
+    std::size_t size() const { return live_; }
+    std::size_t capacity() const { return capacity_; }
+
+private:
+    struct Slot {
+        KeyVec key;
+        Entry entry;
+        std::uint64_t hash = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+        std::uint32_t hits = 0;
+        std::uint32_t epoch = 0;
+        bool live = false;
+    };
+    struct IndexCell {
+        std::uint64_t hash = 0;
+        std::uint32_t slot = kNil;
+    };
+
+    std::size_t probe(const KeyVec& key, std::uint64_t h) const;
+    void index_insert(std::uint64_t h, std::uint32_t slot);
+    void index_erase(std::size_t pos);
+    void index_grow();
+    void lru_unlink(std::uint32_t s);
+    void lru_push_front(std::uint32_t s);
+    void evict_tail();
+    void release_slot(std::uint32_t s);
+
+    std::size_t capacity_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;
+    std::vector<IndexCell> index_;
+    std::uint32_t head_ = kNil;
+    std::uint32_t tail_ = kNil;
+    std::size_t live_ = 0;
+    std::uint32_t epoch_ = 0;
+    EvictSink evict_sink_ = nullptr;
+    void* evict_ctx_ = nullptr;
+};
+
+/// The SRAM -> DRAM -> host tiered flow-state store. Drop-in successor of a
+/// bare CacheStore in the emulator's per-worker cache shards.
+class TieredStore {
+public:
+    using CacheEntry = CacheStore::CacheEntry;
+
+    TieredStore(const ir::CacheConfig& config, TierCosts costs);
+
+    // The demotion sinks capture `this`; moving would dangle them.
+    TieredStore(const TieredStore&) = delete;
+    TieredStore& operator=(const TieredStore&) = delete;
+
+    /// Lookup outcome: the entry (tier-0 pointer validity rules apply: valid
+    /// until the next mutation), which tier answered (-1 on miss), and the
+    /// extra cycles the access costs beyond the tier-0 probe (0 for tier-0
+    /// hits and misses — single-tier cycle accounting is untouched).
+    struct Result {
+        const CacheEntry* entry = nullptr;
+        int tier = -1;
+        double extra_cycles = 0.0;
+    };
+
+    Result lookup(const KeyVec& key);
+
+    /// Installs into tier 0 with CacheStore semantics (LRU refresh, token-
+    /// bucket limiter, eviction cascade). A successful insert erases any
+    /// stale copy of the key from the lower tiers so the disjointness
+    /// invariant holds.
+    bool insert(const KeyVec& key, CacheEntry entry, double now_seconds);
+
+    /// Batch boundary: flush the partial DMA batch, apply queued
+    /// promotions, advance the decay epoch every `decay_every` flushes.
+    /// No-op in single-tier mode.
+    void flush_batch();
+
+    /// Full invalidation across all tiers; storage capacity retained.
+    void clear();
+
+    /// Live entries across all tiers.
+    std::size_t size() const;
+    /// Live entries in one tier (0..2).
+    std::size_t tier_size(int tier) const;
+
+    std::uint64_t inserts_dropped() const { return sram_.inserts_dropped(); }
+    bool tiered() const { return tiered_; }
+    const ir::TierConfig& tier_config() const { return config_.tiers; }
+
+    /// Monotonic stats with the DMA engine's view folded in.
+    TierStats stats() const;
+
+private:
+    static void demote_from_sram(void* ctx, KeyVec& key, CacheEntry& entry);
+    static void demote_from_dram(void* ctx, KeyVec& key, CacheEntry& entry);
+    static void demote_from_host(void* ctx, KeyVec& key, CacheEntry& entry);
+    /// Places an eviction victim from tier `from` into the next enabled
+    /// tier below, or counts a drop.
+    void demote(int from, KeyVec& key, CacheEntry& entry);
+    void maybe_queue_promotion(int tier, std::uint32_t slot,
+                               std::uint64_t hash, std::uint32_t hits);
+
+    /// A queued promotion: re-verified against the slot's hash at flush
+    /// time (the slot may have been recycled since).
+    struct Promo {
+        std::uint8_t tier = 0;
+        std::uint32_t slot = 0;
+        std::uint64_t hash = 0;
+    };
+    static constexpr std::size_t kPendingCap = 256;
+
+    ir::CacheConfig config_;
+    TierCosts costs_;
+    bool tiered_ = false;
+    bool dram_enabled_ = false;
+    bool host_enabled_ = false;
+    CacheStore sram_;
+    FlatTier dram_;
+    FlatTier host_;
+    HostDmaEngine dma_;
+    TierStats stats_;
+    std::vector<Promo> pending_;  ///< reserved to kPendingCap up front
+    std::uint32_t flushes_until_decay_ = 0;
+    // Scratch buffers for promotion extraction; capacity recycled.
+    KeyVec scratch_key_;
+    CacheEntry scratch_entry_;
+};
+
+}  // namespace pipeleon::sim

@@ -127,6 +127,150 @@ TEST(MemoryTiers, TierSurvivesJsonRoundTrip) {
     EXPECT_TRUE(p == q);
 }
 
+// ---------------------------------------------------------------------------
+// Three-tier placement (ISSUE 9): host spill + cache-budget carve.
+
+cost::CostParams three_tier_params() {
+    cost::CostParams p = tiered_params();
+    p.l_tier_dram = 30.0;
+    p.l_tier_host = 90.0;
+    p.dma_setup = 400.0;
+    p.dma_per_entry = 16.0;
+    return p;
+}
+
+ir::Program cache_chain_program() {
+    // cache(a,b) -> [a -> b] with a miss fall-through, the shape the cache
+    // transform emits.
+    ir::Table cache =
+        TableSpec("cache_ab").key("f").noop_action("cache_hit").build();
+    cache.role = ir::TableRole::Cache;
+    cache.origin_tables = {"a", "b"};
+    cache.cache.capacity = 64;
+    cache.default_action = -1;
+    ir::ProgramBuilder b("carve");
+    NodeId c = b.add(cache);
+    NodeId ta = b.add(TableSpec("a").key("f").noop_action("na", 1).build());
+    NodeId tb = b.add(TableSpec("b").key("g").noop_action("nb", 1).build());
+    b.connect_action(c, 0, ir::kNoNode);
+    b.connect_miss(c, ta);
+    b.connect(ta, tb);
+    b.set_root(c);
+    return b.build();
+}
+
+TEST(MemoryTiers, NoLowerTiersWithoutBudgets) {
+    // l_tier_* costs alone (no dram/host byte budgets) must leave the pass
+    // exactly as the legacy fast greedy: no spill, no cache carve.
+    ir::Program p = cache_chain_program();
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    cost::CostModel model(three_tier_params(), no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+    EXPECT_EQ(a.tables_in_host, 0u);
+    EXPECT_EQ(a.cache_dram_entries, 0u);
+    EXPECT_EQ(a.cache_host_entries, 0u);
+    for (NodeId id : a.program.reachable()) {
+        const ir::Node& n = a.program.node(id);
+        if (!n.is_table()) continue;
+        EXPECT_NE(n.table.tier, MemTier::Host);
+        EXPECT_FALSE(n.table.cache.tiers.enabled());
+    }
+}
+
+TEST(MemoryTiers, SpillsColdestTablesToHost) {
+    // Three 2000-byte tables, a DRAM budget that holds two: the coldest
+    // (lowest benefit density) spills to MemTier::Host.
+    Program p = ir::chain_of_exact_tables("spill", 3, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    for (NodeId id : p.reachable()) prof.table(id).entry_count = 100;
+    cost::CostParams params = three_tier_params();
+    params.fast_memory_bytes = 0.0;  // isolate the spill stage
+    params.dram_memory_bytes = 4100.0;
+    params.host_memory_bytes = 100000.0;
+    cost::CostModel model(params, no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+    EXPECT_EQ(a.tables_in_host, 1u);
+    EXPECT_LE(a.dram_bytes_used, params.dram_memory_bytes);
+    EXPECT_GT(a.host_bytes_used, 0.0);
+    std::size_t host_tables = 0;
+    for (NodeId id : a.program.reachable()) {
+        if (a.program.node(id).table.tier == MemTier::Host) ++host_tables;
+    }
+    EXPECT_EQ(host_tables, 1u);
+}
+
+TEST(MemoryTiers, NoSpillWithoutHostBudget) {
+    Program p = ir::chain_of_exact_tables("nospill", 3, 1, 1);
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    for (NodeId id : p.reachable()) prof.table(id).entry_count = 100;
+    cost::CostParams params = three_tier_params();
+    params.dram_memory_bytes = 100.0;  // overflows, but nowhere to spill
+    params.host_memory_bytes = 0.0;
+    cost::CostModel model(params, no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+    EXPECT_EQ(a.tables_in_host, 0u);
+}
+
+TEST(MemoryTiers, CarvesCacheBudgetAcrossTiers) {
+    ir::Program p = cache_chain_program();
+    profile::RuntimeProfile prof;
+    prof.reset_for(p, 1.0);
+    prof.table(p.find_table("a")).entry_count = 10;  // 10*20 = 200 B in DRAM
+    prof.table(p.find_table("b")).entry_count = 10;
+    cost::CostParams params = three_tier_params();
+    params.dram_memory_bytes = 10400.0;  // 10000 B left after the tables
+    params.host_memory_bytes = 100000.0;
+    cost::CostModel model(params, no_instr());
+    TierAssignment a = assign_memory_tiers(p, prof, model);
+
+    const ir::Table& cache =
+        a.program.node(a.program.find_table("cache_ab")).table;
+    EXPECT_TRUE(cache.cache.tiers.enabled());
+    // Cache entry = 4-byte key + 16 overhead = 20 B; one cache gets the
+    // whole leftover: 10000/20 = 500 DRAM entries, 100000/20 = 5000 host.
+    EXPECT_EQ(cache.cache.tiers.dram_entries, 500u);
+    EXPECT_EQ(cache.cache.tiers.host_entries, 5000u);
+    EXPECT_EQ(a.cache_dram_entries, 500u);
+    EXPECT_EQ(a.cache_host_entries, 5000u);
+    // Tier-0 capacity untouched by the carve.
+    EXPECT_EQ(cache.cache.capacity, 64u);
+}
+
+TEST(MemoryTiers, EmulatorChargesHostTierTables) {
+    Program p = ir::chain_of_exact_tables("h", 2, 1, 1);
+    p.node(1).table.tier = MemTier::Host;
+    sim::NicModel nic;
+    nic.costs = three_tier_params();
+    sim::Emulator emu(nic, p, no_instr());
+    sim::Packet pkt;
+    sim::ProcessResult r = emu.process(pkt);
+    // Table 0: 20 + 1; table 1 in host memory: (20 + 90) + 1.
+    EXPECT_DOUBLE_EQ(r.cycles, 21.0 + 111.0);
+}
+
+TEST(MemoryTiers, TierConfigSurvivesJsonRoundTrip) {
+    ir::Program p = cache_chain_program();
+    ir::TierConfig& tiers =
+        p.node(p.find_table("cache_ab")).table.cache.tiers;
+    tiers.dram_entries = 1000;
+    tiers.host_entries = 50000;
+    tiers.promote_hits = 3;
+    tiers.decay_every = 16;
+    tiers.dma_batch = 64;
+    ir::Program q = ir::program_from_json(ir::program_to_json(p));
+    EXPECT_TRUE(p == q);
+    const ir::TierConfig& rt =
+        q.node(q.find_table("cache_ab")).table.cache.tiers;
+    EXPECT_EQ(rt.dram_entries, 1000u);
+    EXPECT_EQ(rt.host_entries, 50000u);
+    EXPECT_EQ(rt.promote_hits, 3u);
+    EXPECT_EQ(rt.decay_every, 16u);
+    EXPECT_EQ(rt.dma_batch, 64u);
+}
+
 TEST(MemoryTiers, BudgetRespected) {
     Program p = ir::chain_of_exact_tables("b", 10, 1, 1);
     profile::RuntimeProfile prof;

@@ -151,6 +151,62 @@ TEST(TenantRegistry, QuotaCarvesCachesTablesAndCores) {
               100u);
 }
 
+TEST(TenantRegistry, TierQuotaClampedOnEveryDeploy) {
+    Program p = chain();
+    // Two cache nodes so the equal-share split is visible.
+    std::vector<ir::NodeId> cache_ids;
+    for (const char* name : {"t2", "t3"}) {
+        ir::NodeId id = p.find_table(name);
+        ASSERT_NE(id, ir::kNoNode);
+        p.node(id).table.role = ir::TableRole::Cache;
+        p.node(id).table.cache.capacity = 4096;
+        p.node(id).table.cache.tiers.dram_entries = 100000;
+        p.node(id).table.cache.tiers.host_entries = 100000;
+        cache_ids.push_back(id);
+    }
+
+    TenantQuota q;
+    q.dram_cache_entries = 100;  // across 2 caches -> 50 each
+    q.host_cache_entries = 50;   // -> 25 each
+    TenantRegistry reg(nic());
+    TenantId t = reg.add_tenant("tiered", p, q);
+
+    auto check_conserved = [&](const Program& deployed) {
+        std::size_t dram_total = 0, host_total = 0;
+        for (ir::NodeId id : cache_ids) {
+            const ir::TierConfig& tiers = deployed.node(id).table.cache.tiers;
+            dram_total += tiers.dram_entries;
+            host_total += tiers.host_entries;
+        }
+        // Conservation: a tenant's carved tier capacity never exceeds its
+        // grant, no matter what the deployed program asked for.
+        EXPECT_LE(dram_total, q.dram_cache_entries);
+        EXPECT_LE(host_total, q.host_cache_entries);
+    };
+
+    const Program& deployed = reg.emulator(t).program();
+    for (ir::NodeId id : cache_ids) {
+        EXPECT_EQ(deployed.node(id).table.cache.tiers.dram_entries, 50u);
+        EXPECT_EQ(deployed.node(id).table.cache.tiers.host_entries, 25u);
+    }
+    check_conserved(deployed);
+
+    // Redeploying an over-quota program re-clamps (quota applies on every
+    // deploy, not just admission).
+    Program again = p;
+    again.node(cache_ids[0]).table.cache.tiers.dram_entries = 500000;
+    again.node(cache_ids[0]).table.cache.tiers.host_entries = 500000;
+    reg.reconfigure(t, again);
+    check_conserved(reg.emulator(t).program());
+
+    // An unbudgeted quota leaves tier configs alone; a tenant whose program
+    // stays under the grant is untouched too.
+    TenantId open = reg.add_tenant("open", p);
+    const Program& free_plan = reg.emulator(open).program();
+    EXPECT_EQ(free_plan.node(cache_ids[0]).table.cache.tiers.dram_entries,
+              100000u);
+}
+
 TEST(TenantRegistry, RateLimitAndConservationUnderMixedOverload) {
     sim::RingConfig rings;
     rings.rx_capacity = 32;  // small on purpose: force overflow drops

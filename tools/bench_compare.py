@@ -10,6 +10,10 @@ diffed with a relative tolerance:
   latency_p99      lower is better: regression when
                    current > baseline * (1 + tolerance)
 
+Benches listed in PER_BENCH_METRICS gate additional metrics of their own
+(e.g. ext_hierarchical_memory gates tiered_goodput_mpps higher-is-better
+and tiered_eff_cycles lower-is-better) on top of the common set.
+
 A brand-new bench (present only in the current run) prints
 "new <name>: no baseline, not gated" and passes. A bench present in the
 baseline but MISSING from the current run is a coverage regression — a
@@ -41,6 +45,16 @@ SCHEMA = "pipeleon.bench_report/1"
 DEFAULT_METRICS = {
     "throughput_gbps": "higher",
     "latency_p99": "lower",
+}
+
+# Extra gated metrics for specific benches, merged on top of the common set
+# (and on top of --metrics when given). Keeps bench-specific KPIs gated
+# without forcing every other report to carry them.
+PER_BENCH_METRICS: dict[str, dict[str, str]] = {
+    "ext_hierarchical_memory": {
+        "tiered_goodput_mpps": "higher",
+        "tiered_eff_cycles": "lower",
+    },
 }
 
 
@@ -88,7 +102,9 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
     for name in common:
         base_m = baseline[name].get("metrics", {})
         cur_m = current[name].get("metrics", {})
-        for metric, direction in metrics.items():
+        gated = dict(metrics)
+        gated.update(PER_BENCH_METRICS.get(name, {}))
+        for metric, direction in gated.items():
             base = base_m.get(metric)
             cur = cur_m.get(metric)
             if not isinstance(base, (int, float)) or not isinstance(
