@@ -42,6 +42,13 @@ void ReplayCounterTable::add(std::uint64_t key, std::uint64_t delta) {
     slot_for(key) += delta;
 }
 
+void ReplayCounterTable::prefetch(std::uint64_t key) const {
+    if (!slots_.empty()) {
+        __builtin_prefetch(
+            &slots_[static_cast<std::size_t>(mix(key)) & (slots_.size() - 1)]);
+    }
+}
+
 void ReplayCounterTable::grow() {
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(old.empty() ? 64 : old.size() * 2, Slot{});

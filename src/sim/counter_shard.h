@@ -48,6 +48,10 @@ public:
     }
 
     void add(std::uint64_t key, std::uint64_t delta = 1);
+    /// Hints `key`'s home cell into cache ahead of the add() a sampled cache
+    /// hit is about to issue per replay step (batched match pipeline,
+    /// DESIGN.md §15). Speculative and side-effect-free.
+    void prefetch(std::uint64_t key) const;
     void clear();
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }

@@ -107,6 +107,33 @@ public:
         return n;
     }
 
+    /// Consumer side, two-phase variant for the batched match pipeline
+    /// (DESIGN.md §15): exposes up to `max` pending slots as raw pointers
+    /// WITHOUT releasing them, so the consumer can hash/prefetch a whole
+    /// group before processing any packet, then advance(). The pointers stay
+    /// valid until advance() — the producer only writes slots at or past the
+    /// published head. Consumer-thread only, like consume().
+    std::size_t peek(T** out, std::size_t max) {
+        std::uint64_t head = head_.load(std::memory_order_relaxed);
+        std::size_t n = 0;
+        while (n < max) {
+            if (head == cons_.tail_cache) {
+                cons_.tail_cache = tail_.load(std::memory_order_acquire);
+                if (head == cons_.tail_cache) break;
+            }
+            out[n++] = &slots_[static_cast<std::size_t>(head) & mask_];
+            ++head;
+        }
+        return n;
+    }
+
+    /// Releases the first `n` peeked slots back to the producer. Must not
+    /// exceed the count the preceding peek() returned.
+    void advance(std::size_t n) {
+        head_.store(head_.load(std::memory_order_relaxed) + n,
+                    std::memory_order_release);
+    }
+
     // Accounting. enqueued/dequeued are the free-running indices, so the
     // invariant `enqueued + dropped == dequeued + dropped + size` holds at
     // any quiescent point: every offered descriptor was either consumed,

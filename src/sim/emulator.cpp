@@ -114,6 +114,21 @@ void Emulator::compile() {
     steer_fields_.erase(std::unique(steer_fields_.begin(), steer_fields_.end()),
                         steer_fields_.end());
 
+    // Batched match pipeline (DESIGN.md §15): the group prefetch can only
+    // target the program's *root* node — fields are unmutated before the
+    // first node, so the key gathered up front equals the key run_packet
+    // gathers when the walk arrives. A root cache table with a non-empty key
+    // enables the pipeline for this program.
+    front_cache_ = kNoNode;
+    const NodeId root_id = program_.root();
+    if (root_id != kNoNode) {
+        const Node& root = program_.node(root_id);
+        if (root.is_table() && root.table.role == TableRole::Cache &&
+            !compiled_[static_cast<std::size_t>(root_id)].key_fields.empty()) {
+            front_cache_ = root_id;
+        }
+    }
+
     // Hierarchical memory: does any deployed cache have lower tiers?
     has_tiered_ = false;
     for (const Node& node : program_.nodes()) {
@@ -218,6 +233,13 @@ void Emulator::init_worker_state(int w) {
     worker_counters_[wi].reset_for(program_);
     scratch_[wi].key.reserve(16);
     scratch_[wi].fills.reserve(8);
+    // Pre-size the SIMD gather buffer for the widest key the lane will hash
+    // (first-touched here like the rest of the scratch).
+    if (front_cache_ != kNoNode) {
+        scratch_[wi].hasher.reserve(
+            compiled_[static_cast<std::size_t>(front_cache_)].key_fields.size());
+    }
+    scratch_[wi].hasher.reserve(steer_fields_.size());
     // First-touch this worker's slice of the steering scatter buffer (the
     // "lane"); lanes are equal slices until the first real batch re-sizes
     // the plan.
@@ -240,6 +262,26 @@ void Emulator::populate_worker_state() {
     worker_counters_.resize(n);
     scratch_.resize(n);
     if (steer_.idx.empty()) steer_.idx.resize(4096);  // pre-size the lanes
+    steer_hasher_.reserve(steer_fields_.size());
+
+    // Rebuild the NUMA-aware RETA (DESIGN.md §15): 128 buckets sliced into
+    // contiguous equal blocks over the workers in node-major pin order, so
+    // adjacent hash buckets map to workers whose shards share a socket and a
+    // multi-socket host keeps per-batch merge traffic mostly node-local.
+    // Single-worker mode steers trivially and skips the table.
+    if (workers_ > 1) {
+        constexpr std::size_t kRetaSize = 128;  // power of two (hash & mask)
+        const std::vector<int> order = topology_.node_major_order(workers_);
+        reta_.assign(kRetaSize, 0);
+        for (std::size_t b = 0; b < kRetaSize; ++b) {
+            const std::size_t w = b * static_cast<std::size_t>(workers_) /
+                                  kRetaSize;
+            reta_[b] = static_cast<std::uint32_t>(
+                order[std::min(w, order.size() - 1)]);
+        }
+    } else {
+        reta_.clear();
+    }
     if (pool_ && workers_ > 1) {
         pool_->run([this](int w) { init_worker_state(w); });
     } else {
@@ -276,6 +318,13 @@ void Emulator::set_pin_workers(bool on) {
         pool_ = std::make_unique<WorkerPool>(workers_, pool_options());
         populate_worker_state();
     }
+}
+
+void Emulator::set_match_pipeline(bool on) {
+    // A/B measurement knob (bench/micro_match) — results are identical
+    // either way. Takes the control lock directly like set_pin_workers.
+    std::lock_guard<std::mutex> lock(control_mu_);
+    match_pipeline_ = on;
 }
 
 int Emulator::pinned_workers() const {
@@ -564,10 +613,18 @@ std::uint64_t Emulator::flow_hash(const Packet& packet) const {
     return rss_hash(packet, steer_fields_.data(), steer_fields_.size());
 }
 
+int Emulator::worker_for_hash(std::uint64_t h) const {
+    if (workers_ <= 1) return 0;
+    if (reta_.empty()) {
+        return static_cast<int>(h % static_cast<std::uint64_t>(workers_));
+    }
+    return static_cast<int>(
+        reta_[static_cast<std::size_t>(h) & (reta_.size() - 1)]);
+}
+
 int Emulator::steer_worker_unlocked(const Packet& packet) const {
     if (workers_ <= 1) return 0;
-    return static_cast<int>(flow_hash(packet) %
-                            static_cast<std::uint64_t>(workers_));
+    return worker_for_hash(flow_hash(packet));
 }
 
 int Emulator::steer_worker(const Packet& packet) const {
@@ -577,7 +634,8 @@ int Emulator::steer_worker(const Packet& packet) const {
 
 ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
                                    CounterShard& counters, CacheSet& caches,
-                                   WorkerScratch& scratch) {
+                                   WorkerScratch& scratch,
+                                   const ProbeHint* hint) {
     ProcessResult result;
 
     // Reused per-worker buffers: clear() keeps capacity, so the warm hit
@@ -634,7 +692,13 @@ ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
             if (n.table.role == TableRole::Cache) {
                 TieredStore& store = *caches[static_cast<std::size_t>(cur)];
                 result.cycles += l_mat * scale;  // the tier-0 probe
-                const TieredStore::Result tr = store.lookup(key);
+                // Batched pipeline: the group's SIMD pass already hashed this
+                // key and prefetched its slot — reuse the hash instead of
+                // walking the key bytes again. Bit-identical to lookup().
+                const TieredStore::Result tr =
+                    hint != nullptr && hint->node == cur
+                        ? store.lookup_hashed(key, hint->key_hash)
+                        : store.lookup(key);
                 // A lower-tier hit costs extra cycles (DRAM access, or the
                 // host DMA fetch) on top of the probe.
                 result.cycles += tr.extra_cycles * scale;
@@ -644,6 +708,14 @@ ProcessResult Emulator::run_packet(Packet& packet, bool sampled,
                         ++counters.cache_hits[static_cast<std::size_t>(cur)];
                     }
                     bool dropped = false;
+                    if (sampled) {
+                        // Pull the replay-counter cells toward the cache
+                        // before the per-step adds dereference them.
+                        for (const ReplayStep& step : hit->steps) {
+                            counters.replays.prefetch(ReplayCounterTable::pack(
+                                cur, step.origin_node, step.action_index));
+                        }
+                    }
                     for (const ReplayStep& step : hit->steps) {
                         const CompiledNode& origin =
                             compiled_[static_cast<std::size_t>(step.origin_node)];
@@ -801,9 +873,28 @@ void Emulator::build_steer_plan(const PacketBatch& batch) {
     if (steer_.offsets.size() < w + 1) steer_.offsets.resize(w + 1);
     if (steer_.idx.size() < n) steer_.idx.resize(n);
     if (steer_.worker_of.size() < n) steer_.worker_of.resize(n);
+    if (steer_.hash_of.size() < n) steer_.hash_of.resize(n);
+    // Hash the steering tuples in SIMD groups of kHashGroup; each packet is
+    // hashed exactly once per boundary, and the hash feeds both the RETA
+    // worker choice here and any downstream consumer via hash_of.
+    for (std::size_t i = 0; i < n; i += kHashGroup) {
+        const std::size_t g = std::min(kHashGroup, n - i);
+        if (g == kHashGroup) {
+            steer_hasher_.rss_group(
+                [&](std::size_t lane) -> const Packet& {
+                    return batch[i + lane];
+                },
+                g, steer_fields_.data(), steer_fields_.size(),
+                steer_.hash_of.data() + i);
+        } else {
+            for (std::size_t lane = 0; lane < g; ++lane) {
+                steer_.hash_of[i + lane] = flow_hash(batch[i + lane]);
+            }
+        }
+    }
     for (std::size_t i = 0; i < n; ++i) {
         const auto wk =
-            static_cast<std::uint32_t>(steer_worker_unlocked(batch[i]));
+            static_cast<std::uint32_t>(worker_for_hash(steer_.hash_of[i]));
         steer_.worker_of[i] = wk;
         ++steer_.counts[wk];
     }
@@ -860,20 +951,57 @@ void Emulator::process_batch(PacketBatch& batch, BatchResult& out) {
         // The job reaches the pool as a function pointer + reference to this
         // lambda (WorkerPool::run is a template) — no std::function, so the
         // dispatch itself is allocation-free too.
+        // Batched match pipeline (DESIGN.md §15): when the program's root is
+        // a cache table, each lane hashes its keys in SIMD groups of
+        // kHashGroup, prefetches all the target slots, then resolves the
+        // probes with the loads in flight (run_packet reuses the hash via
+        // ProbeHint). Results are bit-identical to the scalar probe order.
+        const bool pipelined = match_pipeline_ && front_cache_ != kNoNode;
+        const CompiledNode* front =
+            pipelined ? &compiled_[static_cast<std::size_t>(front_cache_)]
+                      : nullptr;
         auto job = [&](int w) {
             auto wi = static_cast<std::size_t>(w);
             CounterShard& shard = worker_counters_[wi];
             shard.reset_for(program_);
             WorkerScratch& scratch = scratch_[wi];
-            for (std::uint32_t k = offsets[wi]; k < offsets[wi + 1]; ++k) {
-                const std::uint32_t idx = lane_idx[k];
-                results[idx] = run_packet(packets[idx],
-                                          sampled_for(base_seq + idx), shard,
-                                          cache_shards_[wi], scratch);
-                if constexpr (telemetry::kEnabled) {
-                    // Lane write: non-atomic, this worker owns lane wi.
-                    metrics_.shard_add(wi, mid_.worker_packets);
+            const std::uint32_t begin = offsets[wi];
+            const std::uint32_t end = offsets[wi + 1];
+            for (std::uint32_t k = begin; k < end;) {
+                const std::size_t g =
+                    std::min<std::size_t>(kHashGroup, end - k);
+                ProbeHint hint;
+                const ProbeHint* hp = nullptr;
+                std::uint64_t h8[kHashGroup];
+                if (pipelined && g == kHashGroup) {
+                    scratch.hasher.key_group(
+                        [&](std::size_t lane) -> const Packet& {
+                            return packets[lane_idx[k + lane]];
+                        },
+                        g, front->key_fields.data(), front->key_fields.size(),
+                        h8);
+                    TieredStore& store =
+                        *cache_shards_[wi][static_cast<std::size_t>(
+                            front_cache_)];
+                    for (std::size_t lane = 0; lane < g; ++lane) {
+                        store.prefetch(h8[lane]);
+                    }
+                    hint.node = front_cache_;
+                    hp = &hint;
                 }
+                for (std::size_t lane = 0; lane < g; ++lane) {
+                    const std::uint32_t idx = lane_idx[k + lane];
+                    if (hp != nullptr) hint.key_hash = h8[lane];
+                    results[idx] = run_packet(packets[idx],
+                                              sampled_for(base_seq + idx),
+                                              shard, cache_shards_[wi],
+                                              scratch, hp);
+                    if constexpr (telemetry::kEnabled) {
+                        // Lane write: non-atomic, this worker owns lane wi.
+                        metrics_.shard_add(wi, mid_.worker_packets);
+                    }
+                }
+                k += static_cast<std::uint32_t>(g);
             }
         };
         pool_->run(job);
@@ -924,6 +1052,10 @@ RssDispatcher Emulator::make_rings(const RingConfig& cfg) const {
     RssDispatcher io(queues, steer_fields_, cfg);
     io.set_steer_fields(steer_fields_,
                         epoch_.load(std::memory_order_acquire));
+    // Share the NUMA-aware RETA so ring dispatch lands each flow on the same
+    // worker batch steering picks (the multi-queue case; the single-queue
+    // configuration steers trivially).
+    if (queues > 1) io.set_steer_map(reta_);
     return io;
 }
 
@@ -995,6 +1127,16 @@ void Emulator::poll(RssDispatcher& io, BatchResult& out, double cycle_budget) {
             cycle_budget > 0.0 ? cycle_budget / static_cast<double>(workers_)
                                : 0.0;
         const std::uint64_t dequeued_before = io.stats().dequeued;
+        // Batched match pipeline on the ring path: drain each RX queue in
+        // peeked groups of kHashGroup — hash all, prefetch all slots, then
+        // run each descriptor with its hash in hand — releasing the slots
+        // per group. Budget semantics match consume(): the packet that
+        // reaches the per-worker budget is still consumed, the rest stay
+        // queued for the next poll.
+        const bool pipelined = match_pipeline_ && front_cache_ != kNoNode;
+        const CompiledNode* front =
+            pipelined ? &compiled_[static_cast<std::size_t>(front_cache_)]
+                      : nullptr;
         auto job = [&](int w) {
             auto wi = static_cast<std::size_t>(w);
             CounterShard& shard = worker_counters_[wi];
@@ -1002,23 +1144,57 @@ void Emulator::poll(RssDispatcher& io, BatchResult& out, double cycle_budget) {
             WorkerScratch& scratch = scratch_[wi];
             QueuePair& qp = io.queue(wi);
             double used = 0.0;
-            qp.rx().consume([&](RxDesc& d) {
-                // The descriptor keeps its arrival seq, so the sampling
-                // decision matches what the scalar loop would have made at
-                // that arrival.
-                ProcessResult r = run_packet(d.packet, sampled_for(d.seq),
-                                             shard, cache_shards_[wi], scratch);
-                if (d.enq_time >= 0.0) {
-                    r.queue_cycles =
-                        std::max(0.0, clock_seconds_ - d.enq_time) * cps;
+            bool budget_hit = false;
+            RxDesc* group[kHashGroup];
+            std::uint64_t h8[kHashGroup];
+            while (!budget_hit) {
+                const std::size_t g = qp.rx().peek(group, kHashGroup);
+                if (g == 0) break;
+                ProbeHint hint;
+                const ProbeHint* hp = nullptr;
+                if (pipelined && g == kHashGroup) {
+                    scratch.hasher.key_group(
+                        [&](std::size_t lane) -> const Packet& {
+                            return group[lane]->packet;
+                        },
+                        g, front->key_fields.data(), front->key_fields.size(),
+                        h8);
+                    TieredStore& store =
+                        *cache_shards_[wi][static_cast<std::size_t>(
+                            front_cache_)];
+                    for (std::size_t lane = 0; lane < g; ++lane) {
+                        store.prefetch(h8[lane]);
+                    }
+                    hint.node = front_cache_;
+                    hp = &hint;
                 }
-                used += r.cycles;
-                qp.tx().try_push(TxCompletion{r, d.seq});
-                if constexpr (telemetry::kEnabled) {
-                    metrics_.shard_add(wi, mid_.worker_packets);
+                std::size_t done = 0;
+                for (std::size_t lane = 0; lane < g; ++lane) {
+                    RxDesc& d = *group[lane];
+                    // The descriptor keeps its arrival seq, so the sampling
+                    // decision matches what the scalar loop would have made
+                    // at that arrival.
+                    if (hp != nullptr) hint.key_hash = h8[lane];
+                    ProcessResult r =
+                        run_packet(d.packet, sampled_for(d.seq), shard,
+                                   cache_shards_[wi], scratch, hp);
+                    if (d.enq_time >= 0.0) {
+                        r.queue_cycles =
+                            std::max(0.0, clock_seconds_ - d.enq_time) * cps;
+                    }
+                    used += r.cycles;
+                    qp.tx().try_push(TxCompletion{r, d.seq});
+                    if constexpr (telemetry::kEnabled) {
+                        metrics_.shard_add(wi, mid_.worker_packets);
+                    }
+                    ++done;
+                    if (per_budget > 0.0 && used >= per_budget) {
+                        budget_hit = true;
+                        break;
+                    }
                 }
-                return per_budget <= 0.0 || used < per_budget;
-            });
+                qp.rx().advance(done);
+            }
         };
         pool_->run(job);
         packet_seq_ += io.stats().dequeued - dequeued_before;

@@ -55,6 +55,7 @@
 #include "sim/batch.h"
 #include "sim/control_queue.h"
 #include "sim/counter_shard.h"
+#include "sim/match_batch.h"
 #include "sim/nic_model.h"
 #include "sim/packet.h"
 #include "sim/rss.h"
@@ -203,6 +204,15 @@ public:
     void set_deterministic(bool on) { deterministic_ = on; }
     bool deterministic() const { return deterministic_; }
 
+    /// The batched match pipeline (DESIGN.md §15): per steering lane, keys
+    /// are hashed in SIMD groups of kHashGroup, the target cache slots
+    /// prefetched, and probes resolved with the loads in flight. On by
+    /// default; results are bit-identical with it off (test-enforced) — this
+    /// knob exists for A/B measurement (bench/micro_match) and triage.
+    /// Fenced like set_pin_workers (waits for an in-flight batch).
+    void set_match_pipeline(bool on);
+    bool match_pipeline() const { return match_pipeline_; }
+
     /// The worker a packet's flow steers to (stable across batches: it
     /// depends only on the packet's key-field values and the worker count).
     int steer_worker(const Packet& packet) const;
@@ -349,6 +359,9 @@ private:
     struct WorkerScratch {
         KeyVec key;
         std::vector<FillCtx> fills;
+        /// SIMD gather+hash scratch for the lane's group-of-8 front-cache
+        /// probes (batched match pipeline, DESIGN.md §15).
+        MatchBatcher hasher;
     };
 
     /// The reusable counting-sort steering plan (ISSUE 5). One flat scatter
@@ -360,6 +373,18 @@ private:
         std::vector<std::uint32_t> offsets;    ///< workers_ + 1 prefix sums
         std::vector<std::uint32_t> idx;        ///< packet indices, lane-grouped
         std::vector<std::uint32_t> worker_of;  ///< per packet steering result
+        std::vector<std::uint64_t> hash_of;    ///< per packet steering hash
+    };
+
+    /// A precomputed probe hint for run_packet (batched pipeline): when the
+    /// walk reaches `node`, the front cache's lookup reuses `key_hash`
+    /// (already computed by the group's SIMD pass, slot already prefetched)
+    /// instead of hashing the gathered key again. Valid only for the
+    /// program's root cache node — fields are unmutated before the first
+    /// node, so the gathered key is identical.
+    struct ProbeHint {
+        ir::NodeId node = ir::kNoNode;
+        std::uint64_t key_hash = 0;
     };
 
     void compile();
@@ -388,13 +413,17 @@ private:
     /// The scalar per-packet loop, parameterized over the counter shard,
     /// cache shard, and scratch it uses. Thread-safe for distinct shards.
     ProcessResult run_packet(Packet& packet, bool sampled, CounterShard& counters,
-                             CacheSet& caches, WorkerScratch& scratch);
+                             CacheSet& caches, WorkerScratch& scratch,
+                             const ProbeHint* hint = nullptr);
     /// Applies an action; returns true when the packet was dropped.
     bool apply_action(const CompiledAction& action, Packet& packet,
                       const std::vector<std::uint64_t>& args, double scale,
                       double& cycles) const;
     std::uint64_t flow_hash(const Packet& packet) const;
     int steer_worker_unlocked(const Packet& packet) const;
+    /// Steering hash -> worker through the NUMA-aware RETA (plain modulo
+    /// when the RETA is empty: single worker, or no topology advantage).
+    int worker_for_hash(std::uint64_t h) const;
 
     ProcessResult process_unlocked(Packet& packet);
     void begin_window_unlocked();
@@ -482,6 +511,19 @@ private:
     /// Union of every table's key fields — the emulator's RSS flow tuple.
     std::vector<FieldId> steer_fields_;
 
+    /// NUMA-aware RSS indirection table (DESIGN.md §15): 128 buckets of
+    /// contiguous equal-size blocks in node-major worker order, rebuilt by
+    /// populate_worker_state(). Empty with one worker (plain modulo).
+    /// make_rings() installs a copy on the dispatcher so ring dispatch and
+    /// batch steering agree packet-for-packet.
+    std::vector<std::uint32_t> reta_;
+    /// SIMD hashing scratch for the steer plan (control thread only).
+    MatchBatcher steer_hasher_;
+    /// The program's root cache node when it has one (the only node the
+    /// group prefetch can target: fields are unmutated at the root), else
+    /// ir::kNoNode — gates the batched probe pipeline per program.
+    ir::NodeId front_cache_ = ir::kNoNode;
+
     /// Per-worker scratch, indexed like cache_shards_ / worker_counters_.
     std::vector<WorkerScratch> scratch_;
     /// Reusable steering plan (control thread only, under control_mu_).
@@ -496,6 +538,7 @@ private:
 
     int workers_ = 1;
     bool deterministic_ = false;
+    bool match_pipeline_ = true;
     bool pin_workers_ = true;
     util::Topology topology_ = util::Topology::detect();
     std::unique_ptr<WorkerPool> pool_;

@@ -1,0 +1,323 @@
+#include "sim/match_batch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define PIPELEON_X86_64 1
+#include <immintrin.h>
+#endif
+
+namespace pipeleon::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kMix1 = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kMix2 = 0x94d049bb133111ebULL;
+
+inline std::uint64_t splitmix(std::uint64_t h) {
+    h ^= h >> 30;
+    h *= kMix1;
+    h ^= h >> 27;
+    h *= kMix2;
+    h ^= h >> 31;
+    return h;
+}
+
+}  // namespace
+
+const char* simd_tier_name(SimdTier tier) {
+    switch (tier) {
+        case SimdTier::Scalar: return "scalar";
+        case SimdTier::Sse2: return "sse2";
+        case SimdTier::Avx2: return "avx2";
+    }
+    return "scalar";
+}
+
+SimdTier cpu_simd_tier() {
+#if PIPELEON_X86_64
+    static const SimdTier tier =
+        __builtin_cpu_supports("avx2") ? SimdTier::Avx2 : SimdTier::Sse2;
+    return tier;
+#else
+    return SimdTier::Scalar;
+#endif
+}
+
+SimdTier simd_tier_cap(const char* value) {
+    if (value == nullptr || *value == '\0') return SimdTier::Avx2;
+    if (std::strcmp(value, "0") == 0 || std::strcmp(value, "scalar") == 0) {
+        return SimdTier::Scalar;
+    }
+    if (std::strcmp(value, "1") == 0 || std::strcmp(value, "sse2") == 0) {
+        return SimdTier::Sse2;
+    }
+    return SimdTier::Avx2;
+}
+
+namespace {
+
+std::atomic<int> g_tier_override{-1};
+
+SimdTier resolved_tier() {
+    const SimdTier cpu = cpu_simd_tier();
+    const SimdTier cap = simd_tier_cap(std::getenv("PIPELEON_SIMD"));
+    return static_cast<int>(cap) < static_cast<int>(cpu) ? cap : cpu;
+}
+
+}  // namespace
+
+SimdTier simd_tier() {
+    const int o = g_tier_override.load(std::memory_order_relaxed);
+    if (o >= 0) return static_cast<SimdTier>(o);
+    static const SimdTier tier = resolved_tier();
+    return tier;
+}
+
+void set_simd_tier_for_test(SimdTier tier) {
+    if (static_cast<int>(tier) > static_cast<int>(cpu_simd_tier())) {
+        tier = cpu_simd_tier();
+    }
+    g_tier_override.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void clear_simd_tier_for_test() {
+    g_tier_override.store(-1, std::memory_order_relaxed);
+}
+
+std::uint64_t rss_hash_words(const std::uint64_t* vals, std::size_t n) {
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= vals[i];
+        h *= kFnvPrime;
+    }
+    return splitmix(h);
+}
+
+std::uint64_t key_hash_words(const std::uint64_t* vals, std::size_t n) {
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t w = vals[i];
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xFF;
+            h *= kFnvPrime;
+        }
+    }
+    return h;
+}
+
+namespace {
+
+// ------------------------------------------------------------ scalar tier
+
+void rss_hash8_scalar(const std::uint64_t* words, std::size_t n_fields,
+                      std::uint64_t out[kHashGroup]) {
+    for (std::size_t lane = 0; lane < kHashGroup; ++lane) {
+        std::uint64_t h = kFnvOffset;
+        for (std::size_t f = 0; f < n_fields; ++f) {
+            h ^= words[f * kHashGroup + lane];
+            h *= kFnvPrime;
+        }
+        out[lane] = splitmix(h);
+    }
+}
+
+void key_hash8_scalar(const std::uint64_t* words, std::size_t n_fields,
+                      std::uint64_t out[kHashGroup]) {
+    for (std::size_t lane = 0; lane < kHashGroup; ++lane) {
+        std::uint64_t h = kFnvOffset;
+        for (std::size_t f = 0; f < n_fields; ++f) {
+            const std::uint64_t w = words[f * kHashGroup + lane];
+            for (int b = 0; b < 8; ++b) {
+                h ^= (w >> (8 * b)) & 0xFF;
+                h *= kFnvPrime;
+            }
+        }
+        out[lane] = h;
+    }
+}
+
+#if PIPELEON_X86_64
+
+// --------------------------------------------------------------- SSE2 tier
+//
+// x86-64 has no packed 64-bit multiply below AVX-512DQ, so the kernels
+// synthesize it from 32x32->64 partial products:
+//   a*b mod 2^64 = (a_lo*b_lo) + ((a_hi*b_lo + a_lo*b_hi) << 32)
+// which is bit-exact mod 2^64 — the only arithmetic the hash needs.
+
+inline __m128i mul64_sse2(__m128i a, __m128i b) {
+    const __m128i lo = _mm_mul_epu32(a, b);
+    const __m128i cross =
+        _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                      _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+    return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i splitmix_sse2(__m128i h) {
+    h = _mm_xor_si128(h, _mm_srli_epi64(h, 30));
+    h = mul64_sse2(h, _mm_set1_epi64x(static_cast<long long>(kMix1)));
+    h = _mm_xor_si128(h, _mm_srli_epi64(h, 27));
+    h = mul64_sse2(h, _mm_set1_epi64x(static_cast<long long>(kMix2)));
+    h = _mm_xor_si128(h, _mm_srli_epi64(h, 31));
+    return h;
+}
+
+void rss_hash8_sse2(const std::uint64_t* words, std::size_t n_fields,
+                    std::uint64_t out[kHashGroup]) {
+    const __m128i prime = _mm_set1_epi64x(static_cast<long long>(kFnvPrime));
+    __m128i h[4];
+    for (int v = 0; v < 4; ++v) {
+        h[v] = _mm_set1_epi64x(static_cast<long long>(kFnvOffset));
+    }
+    for (std::size_t f = 0; f < n_fields; ++f) {
+        const std::uint64_t* w = words + f * kHashGroup;
+        for (int v = 0; v < 4; ++v) {
+            const __m128i x = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(w + 2 * v));
+            h[v] = mul64_sse2(_mm_xor_si128(h[v], x), prime);
+        }
+    }
+    for (int v = 0; v < 4; ++v) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * v),
+                         splitmix_sse2(h[v]));
+    }
+}
+
+void key_hash8_sse2(const std::uint64_t* words, std::size_t n_fields,
+                    std::uint64_t out[kHashGroup]) {
+    const __m128i prime = _mm_set1_epi64x(static_cast<long long>(kFnvPrime));
+    const __m128i byte_mask = _mm_set1_epi64x(0xFF);
+    __m128i h[4];
+    for (int v = 0; v < 4; ++v) {
+        h[v] = _mm_set1_epi64x(static_cast<long long>(kFnvOffset));
+    }
+    for (std::size_t f = 0; f < n_fields; ++f) {
+        const std::uint64_t* w = words + f * kHashGroup;
+        for (int v = 0; v < 4; ++v) {
+            const __m128i x = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(w + 2 * v));
+            for (int b = 0; b < 8; ++b) {
+                const __m128i byte = _mm_and_si128(
+                    _mm_srli_epi64(x, 8 * b), byte_mask);
+                h[v] = mul64_sse2(_mm_xor_si128(h[v], byte), prime);
+            }
+        }
+    }
+    for (int v = 0; v < 4; ++v) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * v), h[v]);
+    }
+}
+
+// --------------------------------------------------------------- AVX2 tier
+
+__attribute__((target("avx2"))) inline __m256i mul64_avx2(__m256i a,
+                                                          __m256i b) {
+    const __m256i lo = _mm256_mul_epu32(a, b);
+    const __m256i cross =
+        _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                         _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i splitmix_avx2(__m256i h) {
+    h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 30));
+    h = mul64_avx2(h, _mm256_set1_epi64x(static_cast<long long>(kMix1)));
+    h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 27));
+    h = mul64_avx2(h, _mm256_set1_epi64x(static_cast<long long>(kMix2)));
+    h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 31));
+    return h;
+}
+
+__attribute__((target("avx2"))) void rss_hash8_avx2(
+    const std::uint64_t* words, std::size_t n_fields,
+    std::uint64_t out[kHashGroup]) {
+    const __m256i prime =
+        _mm256_set1_epi64x(static_cast<long long>(kFnvPrime));
+    __m256i h0 = _mm256_set1_epi64x(static_cast<long long>(kFnvOffset));
+    __m256i h1 = h0;
+    for (std::size_t f = 0; f < n_fields; ++f) {
+        const std::uint64_t* w = words + f * kHashGroup;
+        const __m256i x0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+        const __m256i x1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+        h0 = mul64_avx2(_mm256_xor_si256(h0, x0), prime);
+        h1 = mul64_avx2(_mm256_xor_si256(h1, x1), prime);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), splitmix_avx2(h0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4),
+                        splitmix_avx2(h1));
+}
+
+__attribute__((target("avx2"))) void key_hash8_avx2(
+    const std::uint64_t* words, std::size_t n_fields,
+    std::uint64_t out[kHashGroup]) {
+    const __m256i prime =
+        _mm256_set1_epi64x(static_cast<long long>(kFnvPrime));
+    const __m256i byte_mask = _mm256_set1_epi64x(0xFF);
+    __m256i h0 = _mm256_set1_epi64x(static_cast<long long>(kFnvOffset));
+    __m256i h1 = h0;
+    for (std::size_t f = 0; f < n_fields; ++f) {
+        const std::uint64_t* w = words + f * kHashGroup;
+        const __m256i x0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+        const __m256i x1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+        for (int b = 0; b < 8; ++b) {
+            const __m256i b0 =
+                _mm256_and_si256(_mm256_srli_epi64(x0, 8 * b), byte_mask);
+            const __m256i b1 =
+                _mm256_and_si256(_mm256_srli_epi64(x1, 8 * b), byte_mask);
+            h0 = mul64_avx2(_mm256_xor_si256(h0, b0), prime);
+            h1 = mul64_avx2(_mm256_xor_si256(h1, b1), prime);
+        }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), h0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), h1);
+}
+
+#endif  // PIPELEON_X86_64
+
+inline SimdTier clamp_tier(SimdTier tier) {
+    const SimdTier cpu = cpu_simd_tier();
+    return static_cast<int>(tier) > static_cast<int>(cpu) ? cpu : tier;
+}
+
+}  // namespace
+
+void rss_hash8(const std::uint64_t* words, std::size_t n_fields,
+               std::uint64_t out[kHashGroup], SimdTier tier) {
+    switch (clamp_tier(tier)) {
+#if PIPELEON_X86_64
+        case SimdTier::Avx2: rss_hash8_avx2(words, n_fields, out); return;
+        case SimdTier::Sse2: rss_hash8_sse2(words, n_fields, out); return;
+#else
+        case SimdTier::Avx2:
+        case SimdTier::Sse2:
+#endif
+        case SimdTier::Scalar: break;
+    }
+    rss_hash8_scalar(words, n_fields, out);
+}
+
+void key_hash8(const std::uint64_t* words, std::size_t n_fields,
+               std::uint64_t out[kHashGroup], SimdTier tier) {
+    switch (clamp_tier(tier)) {
+#if PIPELEON_X86_64
+        case SimdTier::Avx2: key_hash8_avx2(words, n_fields, out); return;
+        case SimdTier::Sse2: key_hash8_sse2(words, n_fields, out); return;
+#else
+        case SimdTier::Avx2:
+        case SimdTier::Sse2:
+#endif
+        case SimdTier::Scalar: break;
+    }
+    key_hash8_scalar(words, n_fields, out);
+}
+
+}  // namespace pipeleon::sim

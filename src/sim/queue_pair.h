@@ -36,6 +36,10 @@ struct RxDesc {
     Packet packet;
     std::uint64_t seq = 0;
     double enq_time = -1.0;
+    /// Steering hash (rss_hash over the epoch's steer fields) stamped by the
+    /// dispatcher, so each packet is hashed exactly once per batch boundary
+    /// — consumers reuse it instead of recomputing.
+    std::uint64_t flow_hash = 0;
 };
 
 /// One TX completion: the per-packet result, tagged with the RX seq.

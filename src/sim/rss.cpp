@@ -1,5 +1,7 @@
 #include "sim/rss.h"
 
+#include <algorithm>
+
 namespace pipeleon::sim {
 
 std::uint64_t rss_hash(const Packet& packet, const FieldId* fields,
@@ -32,30 +34,65 @@ void RssDispatcher::set_steer_fields(std::vector<FieldId> fields,
                                      std::uint64_t epoch) {
     steer_ = std::move(fields);
     steer_epoch_ = epoch;
+    hasher_.reserve(steer_.size());
+}
+
+void RssDispatcher::set_steer_map(std::vector<std::uint32_t> reta) {
+    reta_ = std::move(reta);
 }
 
 int RssDispatcher::dispatch(const Packet& packet, double now) {
-    const std::size_t q =
-        queues_.size() > 1
-            ? static_cast<std::size_t>(
-                  rss_hash(packet, steer_.data(), steer_.size()) %
-                  static_cast<std::uint64_t>(queues_.size()))
-            : 0;
+    return dispatch_hashed(packet, rss_hash(packet, steer_.data(), steer_.size()),
+                           now);
+}
+
+int RssDispatcher::dispatch_hashed(const Packet& packet, std::uint64_t h,
+                                   double now) {
+    std::size_t q = 0;
+    if (queues_.size() > 1) {
+        // RETA indirection when installed (clamped, so a table built for a
+        // different queue count can never index out of range), plain modulo
+        // otherwise.
+        q = reta_.empty()
+                ? static_cast<std::size_t>(
+                      h % static_cast<std::uint64_t>(queues_.size()))
+                : static_cast<std::size_t>(
+                      reta_[static_cast<std::size_t>(h) & (reta_.size() - 1)]) %
+                      queues_.size();
+    }
     // Fill the ring slot in place: the slot packet's field vector reuses its
     // capacity, so a steady-state dispatch is allocation-free.
     const bool ok = queues_[q]->rx().try_emplace([&](RxDesc& d) {
         d.packet = packet;
         d.seq = seq_;
         d.enq_time = now;
+        d.flow_hash = h;
     });
     ++seq_;  // a dropped packet still consumes an arrival number
     return ok ? static_cast<int>(q) : -1;
 }
 
 std::size_t RssDispatcher::dispatch_batch(const PacketBatch& batch, double now) {
+    // Hash in SIMD groups of kHashGroup, then funnel each packet through the
+    // single-packet path with its hash in hand — one hash per packet per
+    // boundary, computed by the same kernel the emulator's steer plan uses.
     std::size_t accepted = 0;
-    for (const Packet& p : batch) {
-        if (dispatch(p, now) >= 0) ++accepted;
+    std::uint64_t h[kHashGroup];
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; i += kHashGroup) {
+        const std::size_t g = std::min(kHashGroup, n - i);
+        if (g == kHashGroup) {
+            hasher_.rss_group(
+                [&](std::size_t lane) -> const Packet& { return batch[i + lane]; },
+                g, steer_.data(), steer_.size(), h);
+        } else {
+            for (std::size_t lane = 0; lane < g; ++lane) {
+                h[lane] = rss_hash(batch[i + lane], steer_.data(), steer_.size());
+            }
+        }
+        for (std::size_t lane = 0; lane < g; ++lane) {
+            if (dispatch_hashed(batch[i + lane], h[lane], now) >= 0) ++accepted;
+        }
     }
     return accepted;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/batch.h"
+#include "sim/match_batch.h"
 #include "sim/packet.h"
 #include "sim/queue_pair.h"
 
@@ -50,12 +51,28 @@ public:
     void set_steer_fields(std::vector<FieldId> fields, std::uint64_t epoch);
     std::uint64_t steer_epoch() const { return steer_epoch_; }
 
+    /// Installs a NUMA-aware indirection table (RETA): queue =
+    /// reta[hash & (reta.size()-1)]. Size must be a power of two; an empty
+    /// table restores plain `hash % queues`. The emulator shares its own
+    /// RETA here (make_rings) so ring dispatch and batch steering agree
+    /// packet-for-packet even when steering is node-aware (DESIGN.md §15).
+    void set_steer_map(std::vector<std::uint32_t> reta);
+    const std::vector<std::uint32_t>& steer_map() const { return reta_; }
+
     /// Hashes the packet onto a queue and enqueues a copy of it as an RX
     /// descriptor stamped with the next arrival seq and `now` (virtual
     /// seconds; pass < 0 to skip queueing-delay accounting). Returns the
     /// queue index, or -1 when that queue's ring was full and the packet
     /// was dropped (the producer never blocks).
     int dispatch(const Packet& packet, double now = -1.0);
+
+    /// dispatch() with the steering hash already computed (must equal
+    /// rss_hash over the current steer fields). The batched front end hashes
+    /// groups of kHashGroup packets with the SIMD kernel, then funnels each
+    /// through here — one hash per packet per boundary, stamped into
+    /// RxDesc::flow_hash for downstream reuse.
+    int dispatch_hashed(const Packet& packet, std::uint64_t h,
+                        double now = -1.0);
 
     /// Dispatches every packet of the batch; returns how many were
     /// accepted (the rest overflowed their ring and were dropped).
@@ -78,6 +95,8 @@ private:
     // movable.
     std::vector<std::unique_ptr<QueuePair>> queues_;
     std::vector<FieldId> steer_;
+    std::vector<std::uint32_t> reta_;  ///< empty = hash % queues
+    MatchBatcher hasher_;              ///< SIMD group hashing scratch
     std::uint64_t steer_epoch_ = 0;
     std::uint64_t seq_ = 0;
     RingStats accounted_;  ///< totals already reported via take_delta()

@@ -246,8 +246,13 @@ void TieredStore::demote(int from, KeyVec& key, CacheEntry& entry) {
 }
 
 TieredStore::Result TieredStore::lookup(const KeyVec& key) {
+    return lookup_hashed(key, KeyVecHash{}(key));
+}
+
+TieredStore::Result TieredStore::lookup_hashed(const KeyVec& key,
+                                               std::uint64_t h) {
     ++stats_.lookups;
-    if (const CacheEntry* e = sram_.lookup(key)) {
+    if (const CacheEntry* e = sram_.lookup_hashed(key, h)) {
         ++stats_.sram_hits;
         return Result{e, 0, 0.0};
     }
@@ -255,7 +260,6 @@ TieredStore::Result TieredStore::lookup(const KeyVec& key) {
         ++stats_.misses;
         return Result{};
     }
-    const std::uint64_t h = KeyVecHash{}(key);
     if (dram_enabled_) {
         const std::uint32_t s = dram_.find(key, h);
         if (s != FlatTier::kNil) {

@@ -184,6 +184,22 @@ public:
 
     Result lookup(const KeyVec& key);
 
+    /// The hash lookup() computes internally (KeyVecHash over the key
+    /// words), exposed for the batched match pipeline (DESIGN.md §15).
+    static std::uint64_t key_hash(const KeyVec& key) {
+        return CacheStore::key_hash(key);
+    }
+
+    /// Hints the SRAM-tier home index cell of `h` into cache; issued per
+    /// lane by the batched pipeline before any probe resolves.
+    void prefetch(std::uint64_t h) const { sram_.prefetch(h); }
+
+    /// lookup() with the key hash precomputed (must equal key_hash(key)).
+    /// Bit-identical results and side effects; the hash is computed exactly
+    /// once and reused for the lower tiers, where lookup() used to hash the
+    /// key a second time on SRAM miss.
+    Result lookup_hashed(const KeyVec& key, std::uint64_t h);
+
     /// Installs into tier 0 with CacheStore semantics (LRU refresh, token-
     /// bucket limiter, eviction cascade). A successful insert erases any
     /// stale copy of the key from the lower tiers so the disjointness

@@ -151,6 +151,31 @@ std::vector<int> Topology::assign(int workers) const {
     return picks;
 }
 
+std::vector<int> Topology::node_major_order(int workers) const {
+    std::vector<int> order;
+    if (workers <= 0) return order;
+    const std::vector<int> picks = assign(workers);
+    order.reserve(picks.size());
+    // Stable bucket by node: assign() is already locality-first, so this is
+    // usually the identity — it exists to keep the RETA's node blocks
+    // contiguous under any future assignment policy (and under wraparound,
+    // where worker w and w + cpu_count share a CPU but not a position).
+    for (int node = 0; node < node_count_; ++node) {
+        for (int w = 0; w < workers; ++w) {
+            if (node_of(picks[static_cast<std::size_t>(w)]) == node) {
+                order.push_back(w);
+            }
+        }
+    }
+    // Defensive: any worker whose node fell outside [0, node_count_) (never
+    // from our own parse) still gets a RETA position.
+    for (int w = 0; w < workers; ++w) {
+        const int n = node_of(picks[static_cast<std::size_t>(w)]);
+        if (n < 0 || n >= node_count_) order.push_back(w);
+    }
+    return order;
+}
+
 std::string Topology::summary() const {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "%d cpus / %d nodes [%s]", cpu_count(),

@@ -64,6 +64,13 @@ public:
     /// exceed the online CPU count, assignment wraps around.
     std::vector<int> assign(int workers) const;
 
+    /// Worker ids (0..workers-1) reordered so workers pinned to the same
+    /// NUMA node are contiguous, nodes ascending; the order is stable within
+    /// a node. The emulator's RETA steering (DESIGN.md §15) slices the
+    /// indirection table into contiguous per-node blocks from this order, so
+    /// adjacent hash buckets land on workers whose shards share a socket.
+    std::vector<int> node_major_order(int workers) const;
+
     /// One-line human rendering ("8 cpus / 2 nodes [sysfs]") for bench
     /// reports and logs.
     std::string summary() const;

@@ -55,6 +55,9 @@ PER_BENCH_METRICS: dict[str, dict[str, str]] = {
         "tiered_goodput_mpps": "higher",
         "tiered_eff_cycles": "lower",
     },
+    "micro_match": {
+        "probe_ns_per_key": "lower",
+    },
 }
 
 
